@@ -1,0 +1,17 @@
+"""Fig. 3 — the worked VCC(64, 64, 4) encoding example."""
+
+from conftest import run_once
+
+from repro.experiments.fig03_worked_example import run
+
+
+def test_fig03_worked_example(benchmark, record_table):
+    table = run_once(benchmark, run)
+    record_table("fig03", table)
+
+    values = {row["quantity"]: row["value"] for row in table}
+    # The exact selection shown in Fig. 3(e).
+    assert values["selected codeword Xopt"] == "0b00070010610cd0"
+    assert values["auxiliary bits (kernel index + flags)"] == "000110"
+    assert values["cost (ones incl. aux)"] == 17
+    assert values["decode(Xopt) == D"] is True

@@ -1,0 +1,22 @@
+"""Table I — MLC symbol-transition energy classification."""
+
+from conftest import run_once
+
+from repro.experiments.table1_energy_model import run
+
+
+def test_table1_energy_model(benchmark, record_table):
+    table = run_once(benchmark, run)
+    record_table("table1", table)
+
+    for row in table:
+        old = row["old_state"][2:4]
+        # Diagonal entries need no programming.
+        assert row[f"N({old})"] == "-"
+        for new in ("00", "01", "11", "10"):
+            if new == old:
+                continue
+            # High-energy transitions are exactly those whose new symbol has
+            # a right digit of one.
+            expected = "high" if new[1] == "1" else "low"
+            assert row[f"N({new})"] == expected

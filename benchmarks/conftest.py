@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure/table of the paper, prints the
+resulting series, stores it under ``benchmarks/results/`` for inspection,
+and asserts the qualitative "shape" the paper reports (who wins, by
+roughly what factor).  The pytest-benchmark timing measures the cost of
+regenerating the experiment itself.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.results import ResultTable
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Save a result table to benchmarks/results/ and echo it to stdout."""
+
+    def _record(name: str, table: ResultTable) -> ResultTable:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.format()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        table.to_json(RESULTS_DIR / f"{name}.json")
+        print()
+        print(text)
+        return table
+
+    return _record
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,76 @@
+"""Design-space exploration (Section V style).
+
+Sweeps the VCC design space — coset count, kernel source (generated vs
+stored), and kernel width — and reports, for each configuration, the
+encoder hardware cost (area / energy / delay from the Fig. 6 model) next
+to the dynamic-energy saving it achieves on encrypted data.  This is the
+trade-off table an architect would use to pick a configuration, and it
+shows why the paper settles on VCC(64, 256, 16): savings saturate while
+the hardware stays cheap.
+
+Run with ``python examples/design_space_exploration.py``.
+"""
+
+from __future__ import annotations
+
+from repro.coding.base import WordContext
+from repro.coding.cost import EnergyCost
+from repro.core.config import VCCConfig
+from repro.core.vcc import VCCEncoder
+from repro.hardware.synthesis import DesignPoint, estimate_design
+from repro.pcm.cell import CellTechnology
+from repro.pcm.energy import MLCEnergyModel
+from repro.sim.repetition import repeat_metric
+from repro.utils.bitops import random_word
+from repro.utils.rng import make_rng
+
+
+def energy_saving_percent(config: VCCConfig, seed: int, words: int = 150) -> float:
+    """Energy saving of one VCC configuration on random (encrypted) data."""
+    model = MLCEnergyModel()
+    encoder = VCCEncoder(
+        config, cost_function=EnergyCost(CellTechnology.MLC, mlc_model=model), seed=seed
+    )
+    rng = make_rng(seed, f"dse-{config.describe()}")
+    baseline = 0.0
+    encoded = 0.0
+    for _ in range(words):
+        data = random_word(rng, 64)
+        old = random_word(rng, 64)
+        context = WordContext.from_word(old, 64, 2)
+        result = encoder.encode(data, context)
+        baseline += model.word_energy(old, data)
+        encoded += model.word_energy(old, result.codeword) + model.aux_energy(0, result.aux)
+    return 100.0 * (baseline - encoded) / baseline
+
+
+def main() -> None:
+    print(f"{'configuration':42s} {'saving %':>10s} {'area um^2':>12s} {'energy pJ':>10s} {'delay ns':>9s}")
+    for num_cosets in (32, 64, 128, 256):
+        for stored in (False, True):
+            config = VCCConfig.for_cosets(num_cosets, stored_kernels=stored)
+            metric = repeat_metric(
+                lambda seed: energy_saving_percent(config, seed),
+                repetitions=3,
+                base_seed=100,
+                name="energy-saving",
+            )
+            hardware = estimate_design(
+                DesignPoint(style="vcc", num_cosets=num_cosets, stored_kernels=stored)
+            )
+            label = f"VCC(64,{num_cosets},{config.num_kernels})" + (
+                " stored" if stored else " generated"
+            )
+            print(
+                f"{label:42s} {metric.mean:9.1f}±{metric.std:3.1f}"
+                f" {hardware.area_um2:12.0f} {hardware.energy_pj:10.1f} {hardware.delay_ns:9.2f}"
+            )
+    rcc = estimate_design(DesignPoint(style="rcc", num_cosets=256))
+    print(
+        f"{'RCC(64,256) reference encoder':42s} {'—':>10s} {rcc.area_um2:12.0f}"
+        f" {rcc.energy_pj:10.1f} {rcc.delay_ns:9.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

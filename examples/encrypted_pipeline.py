@@ -1,0 +1,68 @@
+"""End-to-end pipeline demo: why encryption breaks biased encodings.
+
+The motivation of the paper in one script: Flip-N-Write saves many bit
+flips on *plaintext* integer data, but once the same lines go through
+counter-mode encryption the bias disappears and FNW's advantage collapses,
+while VCC (random virtual cosets) keeps reducing costly transitions.
+
+The script writes the same synthetic benchmark trace three ways —
+unencrypted FNW, encrypted FNW, encrypted VCC — and reports bit changes
+and MLC write energy for each.
+
+Run with ``python examples/encrypted_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+from repro.pcm.cell import CellTechnology
+from repro.sim.harness import TechniqueSpec, build_controller, drive_trace
+from repro.traces.synthetic import generate_trace
+
+
+def run_case(label: str, spec: TechniqueSpec, trace, encrypt: bool, rows: int) -> None:
+    controller = build_controller(
+        spec, rows=rows, technology=CellTechnology.MLC, seed=5, encrypt=encrypt
+    )
+    drive_trace(controller, trace)
+    stats = controller.stats
+    print(
+        f"{label:28s}  bits changed {stats.bits_changed:8d}"
+        f"  write energy {stats.total_energy_pj/1e6:8.3f} uJ"
+    )
+
+
+def main() -> None:
+    rows = 96
+    # deepsjeng writes small integers: heavily biased plaintext.
+    trace = generate_trace("deepsjeng", num_writebacks=200, memory_lines=rows, seed=4)
+
+    print("same trace, three write paths:\n")
+    run_case(
+        "plaintext + FNW",
+        TechniqueSpec(encoder="fnw", cost="bit-changes", label="fnw"),
+        trace,
+        encrypt=False,
+        rows=rows,
+    )
+    run_case(
+        "encrypted + FNW",
+        TechniqueSpec(encoder="fnw", cost="bit-changes", label="fnw"),
+        trace,
+        encrypt=True,
+        rows=rows,
+    )
+    run_case(
+        "encrypted + VCC(64,256,16)",
+        TechniqueSpec(encoder="vcc", cost="energy-then-saw", num_cosets=256, label="vcc"),
+        trace,
+        encrypt=True,
+        rows=rows,
+    )
+    print(
+        "\nEncryption erases the data bias FNW relies on; VCC recovers the"
+        "\nsavings because its virtual cosets are effective on unbiased data."
+    )
+
+
+if __name__ == "__main__":
+    main()

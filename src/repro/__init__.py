@@ -1,0 +1,70 @@
+"""repro — a reproduction of "Virtual Coset Coding for Encrypted Non-Volatile
+Memories with Multi-Level Cells" (HPCA 2022).
+
+The package is organised bottom-up:
+
+* substrates — :mod:`repro.crypto` (counter-mode encryption),
+  :mod:`repro.pcm` (MLC/SLC PCM cells, energy, endurance, fault maps,
+  array), :mod:`repro.ecc` (SECDED, ECP), :mod:`repro.traces` (synthetic
+  SPEC-like writeback workloads), :mod:`repro.hardware` and
+  :mod:`repro.perf` (encoder hardware and system timing models);
+* encodings — :mod:`repro.coding` (baselines: DBI, FNW, Flipcy, BCC, RCC)
+  and :mod:`repro.core` (the paper's Virtual Coset Coding);
+* integration — :mod:`repro.memctrl` (the encrypt -> encode -> write
+  memory controller) and :mod:`repro.sim` / :mod:`repro.experiments`
+  (the per-figure experiment harness).
+
+Quick start::
+
+    from repro import VCCConfig, VCCEncoder, WordContext
+    from repro.coding.cost import EnergyCost
+
+    encoder = VCCEncoder(VCCConfig.for_cosets(256), cost_function=EnergyCost())
+    context = WordContext.from_word(old_word=0x0, word_bits=64, bits_per_cell=2)
+    encoded = encoder.encode(0xDEADBEEFCAFEF00D, context)
+    assert encoder.decode(encoded.codeword, encoded.aux) == 0xDEADBEEFCAFEF00D
+"""
+
+from repro.coding import (
+    BCCEncoder,
+    DBIEncoder,
+    EncodedWord,
+    Encoder,
+    FNWEncoder,
+    FlipcyEncoder,
+    RCCEncoder,
+    UnencodedEncoder,
+    WordContext,
+    make_encoder,
+)
+from repro.core import VCCConfig, VCCEncoder
+from repro.memctrl import ControllerConfig, MemoryController
+from repro.pcm import CellTechnology, EnduranceModel, FaultMap, MLCEnergyModel, PCMArray
+from repro.traces import Trace, generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCCEncoder",
+    "CellTechnology",
+    "ControllerConfig",
+    "DBIEncoder",
+    "EncodedWord",
+    "Encoder",
+    "EnduranceModel",
+    "FNWEncoder",
+    "FaultMap",
+    "FlipcyEncoder",
+    "MLCEnergyModel",
+    "MemoryController",
+    "PCMArray",
+    "RCCEncoder",
+    "Trace",
+    "UnencodedEncoder",
+    "VCCConfig",
+    "VCCEncoder",
+    "WordContext",
+    "__version__",
+    "generate_trace",
+    "make_encoder",
+]

@@ -1,0 +1,65 @@
+"""Data-encoding techniques evaluated by the paper.
+
+The package defines the encoder and cost-function interfaces shared by the
+whole repository (:mod:`repro.coding.base`, :mod:`repro.coding.cost`) and
+implements every baseline technique the paper compares against:
+
+* :class:`~repro.coding.unencoded.UnencodedEncoder` — writeback as-is;
+* :class:`~repro.coding.dbi.DBIEncoder` — data block inversion;
+* :class:`~repro.coding.fnw.FNWEncoder` — Flip-N-Write at configurable
+  sub-block granularity;
+* :class:`~repro.coding.flipcy.FlipcyEncoder` — identity / 1's complement /
+  2's complement selection;
+* :class:`~repro.coding.bcc.BCCEncoder` — biased coset coding (the
+  analytical "BCC" of Section III);
+* :class:`~repro.coding.rcc.RCCEncoder` — random coset coding with stored
+  full-length random cosets.
+
+The paper's own contribution, Virtual Coset Coding, lives in
+:mod:`repro.core` and implements the same :class:`~repro.coding.base.Encoder`
+interface so simulators can swap techniques freely.
+"""
+
+from repro.coding.base import EncodedWord, Encoder, WordContext, words_to_cell_matrix
+from repro.coding.cost import (
+    BitChangeCost,
+    CellChangeCost,
+    CostFunction,
+    EnergyCost,
+    LexicographicCost,
+    OnesCost,
+    SawCost,
+    energy_then_saw,
+    saw_then_energy,
+)
+from repro.coding.unencoded import UnencodedEncoder
+from repro.coding.dbi import DBIEncoder
+from repro.coding.fnw import FNWEncoder
+from repro.coding.flipcy import FlipcyEncoder
+from repro.coding.bcc import BCCEncoder
+from repro.coding.rcc import RCCEncoder
+from repro.coding.registry import available_encoders, make_encoder
+
+__all__ = [
+    "BCCEncoder",
+    "BitChangeCost",
+    "CellChangeCost",
+    "CostFunction",
+    "DBIEncoder",
+    "EncodedWord",
+    "Encoder",
+    "EnergyCost",
+    "FNWEncoder",
+    "FlipcyEncoder",
+    "LexicographicCost",
+    "OnesCost",
+    "RCCEncoder",
+    "SawCost",
+    "UnencodedEncoder",
+    "WordContext",
+    "available_encoders",
+    "energy_then_saw",
+    "make_encoder",
+    "saw_then_energy",
+    "words_to_cell_matrix",
+]

@@ -1,0 +1,251 @@
+"""Encoder and write-context interfaces shared by every technique.
+
+All techniques in this repository — the baselines in :mod:`repro.coding`
+and Virtual Coset Coding in :mod:`repro.core` — expose the same tiny
+interface so the simulators can iterate over them uniformly:
+
+* :class:`WordContext` describes what the memory controller knows about
+  the target location at write time (the current cell values read back by
+  the read-modify-write step and, when a fault-tracking mechanism is
+  assumed, which of those cells are stuck);
+* :class:`Encoder.encode` maps an n-bit data word plus its context to an
+  :class:`EncodedWord` (codeword + auxiliary bits + achieved cost);
+* :class:`Encoder.decode` recovers the original data from the codeword and
+  auxiliary bits alone (faults aside, ``decode(encode(d)) == d``).
+
+Costs are evaluated through the :class:`repro.coding.cost.CostFunction`
+interface at *cell* granularity, which lets the same encoder minimise
+written '1's, bit changes, MLC write energy, stuck-at-wrong cells, or
+lexicographic combinations of those.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.pcm.array import word_to_cells
+from repro.pcm.cell import CellTechnology
+
+__all__ = ["WordContext", "EncodedWord", "Encoder", "words_to_cell_matrix"]
+
+
+def words_to_cell_matrix(words: Sequence[int], word_bits: int, bits_per_cell: int) -> np.ndarray:
+    """Convert candidate words to a ``(len(words), cells)`` cell-value matrix.
+
+    Used by encoders to evaluate many candidate codewords against a cost
+    function in one vectorised call.  Cell 0 holds the most significant
+    bits of each word, matching :func:`repro.pcm.array.word_to_cells`.
+    """
+    cells = word_bits // bits_per_cell
+    mask = (1 << bits_per_cell) - 1
+    if word_bits <= 64:
+        values = np.fromiter((int(w) for w in words), dtype=np.uint64, count=len(words))
+        shifts = np.array(
+            [bits_per_cell * (cells - 1 - index) for index in range(cells)], dtype=np.uint64
+        )
+        matrix = (values[:, None] >> shifts[None, :]) & np.uint64(mask)
+        return matrix.astype(np.uint8)
+    matrix = np.empty((len(words), cells), dtype=np.uint8)
+    for row, word in enumerate(words):
+        for index in range(cells):
+            shift = bits_per_cell * (cells - 1 - index)
+            matrix[row, index] = (word >> shift) & mask
+    return matrix
+
+
+@dataclass(frozen=True)
+class WordContext:
+    """Write-time knowledge about the target word location.
+
+    Attributes
+    ----------
+    old_cells:
+        Current cell values at the target location (read-modify-write).
+        Length is ``word_bits // bits_per_cell``.
+    stuck_mask:
+        Optional boolean mask aligned with ``old_cells``; True marks cells
+        that are stuck (their value cannot be changed).  A stuck cell's
+        value is its entry in ``old_cells``.
+    bits_per_cell:
+        1 for SLC, 2 for MLC.
+    old_aux:
+        Previously stored auxiliary bits for this word (used to charge the
+        energy of updating them).
+    """
+
+    old_cells: np.ndarray
+    stuck_mask: Optional[np.ndarray] = None
+    bits_per_cell: int = 2
+    old_aux: int = 0
+
+    def __post_init__(self) -> None:
+        old = np.asarray(self.old_cells, dtype=np.uint8)
+        object.__setattr__(self, "old_cells", old)
+        if self.stuck_mask is not None:
+            mask = np.asarray(self.stuck_mask, dtype=bool)
+            if mask.shape != old.shape:
+                raise ConfigurationError("stuck_mask must match old_cells shape")
+            object.__setattr__(self, "stuck_mask", mask)
+        if self.bits_per_cell not in (1, 2):
+            raise ConfigurationError("bits_per_cell must be 1 (SLC) or 2 (MLC)")
+
+    @property
+    def word_bits(self) -> int:
+        """Width of the word covered by this context, in bits."""
+        return len(self.old_cells) * self.bits_per_cell
+
+    @property
+    def technology(self) -> CellTechnology:
+        """Cell technology implied by ``bits_per_cell``."""
+        return CellTechnology.SLC if self.bits_per_cell == 1 else CellTechnology.MLC
+
+    @property
+    def old_word(self) -> int:
+        """The current contents of the location as a word integer."""
+        word = 0
+        for value in self.old_cells:
+            word = (word << self.bits_per_cell) | int(value)
+        return word
+
+    @classmethod
+    def blank(cls, word_bits: int = 64, bits_per_cell: int = 2) -> "WordContext":
+        """Context for a location whose cells are all zero and fault-free."""
+        cells = word_bits // bits_per_cell
+        return cls(old_cells=np.zeros(cells, dtype=np.uint8), bits_per_cell=bits_per_cell)
+
+    @classmethod
+    def from_word(
+        cls,
+        old_word: int,
+        word_bits: int = 64,
+        bits_per_cell: int = 2,
+        stuck_mask: Optional[np.ndarray] = None,
+        old_aux: int = 0,
+    ) -> "WordContext":
+        """Build a context from the old word value."""
+        cells = word_to_cells(old_word, word_bits, bits_per_cell)
+        return cls(
+            old_cells=cells,
+            stuck_mask=stuck_mask,
+            bits_per_cell=bits_per_cell,
+            old_aux=old_aux,
+        )
+
+
+@dataclass(frozen=True)
+class EncodedWord:
+    """Result of encoding one data word.
+
+    Attributes
+    ----------
+    codeword:
+        The n-bit value to store in the data cells.
+    aux:
+        Value of the auxiliary bits (coset / inversion selector).
+    aux_bits:
+        Number of auxiliary bits used by the technique.
+    cost:
+        Cost of the selected candidate under the cost function used at
+        encode time (includes the auxiliary-bit cost).
+    technique:
+        Name of the encoder that produced this word.
+    """
+
+    codeword: int
+    aux: int
+    aux_bits: int
+    cost: float
+    technique: str
+
+    def __post_init__(self) -> None:
+        if self.aux_bits < 0:
+            raise ConfigurationError("aux_bits must be non-negative")
+        if self.aux < 0 or (self.aux_bits < 64 and self.aux >= (1 << max(self.aux_bits, 1)) and self.aux != 0):
+            raise ConfigurationError(
+                f"aux value {self.aux} does not fit in {self.aux_bits} bits"
+            )
+
+
+class Encoder(abc.ABC):
+    """Common interface of every write-encoding technique.
+
+    Concrete encoders are constructed with a word width, a cell technology,
+    and a :class:`repro.coding.cost.CostFunction`; ``encode`` then selects
+    the candidate codeword minimising that cost for each write.
+    """
+
+    #: Human-readable technique name (overridden by subclasses).
+    name: str = "encoder"
+
+    def __init__(self, word_bits: int, technology: CellTechnology, cost_function) -> None:
+        if word_bits <= 0:
+            raise ConfigurationError("word_bits must be positive")
+        if word_bits % technology.bits_per_cell != 0:
+            raise ConfigurationError("word_bits must hold an integer number of cells")
+        self.word_bits = word_bits
+        self.technology = technology
+        self.bits_per_cell = technology.bits_per_cell
+        self.cells_per_word = word_bits // self.bits_per_cell
+        self.cost_function = cost_function
+
+    # ------------------------------------------------------------ interface
+    @property
+    @abc.abstractmethod
+    def aux_bits(self) -> int:
+        """Number of auxiliary bits stored alongside each codeword."""
+
+    @abc.abstractmethod
+    def encode(self, data: int, context: WordContext) -> EncodedWord:
+        """Encode ``data`` for the location described by ``context``."""
+
+    @abc.abstractmethod
+    def decode(self, codeword: int, aux: int) -> int:
+        """Recover the original data from ``codeword`` and its aux bits."""
+
+    # ------------------------------------------------------------- helpers
+    def _check_data(self, data: int) -> None:
+        if data < 0 or data >= (1 << self.word_bits):
+            raise EncodingError(
+                f"data word {data:#x} does not fit in {self.word_bits} bits"
+            )
+
+    def _check_context(self, context: WordContext) -> None:
+        if context.word_bits != self.word_bits or context.bits_per_cell != self.bits_per_cell:
+            raise EncodingError(
+                "context geometry does not match the encoder "
+                f"(context: {context.word_bits} bits / {context.bits_per_cell} bpc, "
+                f"encoder: {self.word_bits} bits / {self.bits_per_cell} bpc)"
+            )
+
+    def _select_best(self, candidates, auxes, context: WordContext) -> EncodedWord:
+        """Pick the lowest-cost candidate from parallel candidate/aux lists."""
+        if len(candidates) != len(auxes) or not candidates:
+            raise EncodingError("candidate and aux lists must be non-empty and equal length")
+        matrix = words_to_cell_matrix(candidates, self.word_bits, self.bits_per_cell)
+        cell_costs = self.cost_function.cell_costs_matrix(matrix, context)
+        totals = cell_costs.sum(axis=1)
+        totals = totals + np.array(
+            [
+                self.cost_function.aux_cost(aux, context.old_aux, self.aux_bits)
+                for aux in auxes
+            ]
+        )
+        best = int(np.argmin(totals))
+        return EncodedWord(
+            codeword=int(candidates[best]),
+            aux=int(auxes[best]),
+            aux_bits=self.aux_bits,
+            cost=float(totals[best]),
+            technique=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.__class__.__name__}(word_bits={self.word_bits}, "
+            f"technology={self.technology.value}, aux_bits={self.aux_bits})"
+        )

@@ -1,0 +1,254 @@
+"""Cost functions used to select among candidate codewords.
+
+Every encoder in this repository optimises a :class:`CostFunction`.  The
+paper exercises several:
+
+* minimising written '1's (:class:`OnesCost`, the running example of
+  Fig. 3, relevant when the old contents are unknown or all-zero);
+* minimising changed bits (:class:`BitChangeCost`) or changed cells
+  (:class:`CellChangeCost`), the classic Flip-N-Write objective;
+* minimising MLC/SLC write energy against the current cell contents
+  (:class:`EnergyCost`, Table I);
+* minimising stuck-at-wrong cells (:class:`SawCost`);
+* lexicographic combinations — "optimise energy first, SAW second" and
+  vice versa — via :class:`LexicographicCost` (Section VI-B).
+
+Costs are evaluated per cell so the same function can score a whole word,
+a 16-bit sub-block, or a batch of candidates at once.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.coding.base import WordContext
+from repro.errors import ConfigurationError
+from repro.pcm.cell import CellTechnology
+from repro.pcm.energy import MLCEnergyModel, SLCEnergyModel, DEFAULT_MLC_ENERGY, DEFAULT_SLC_ENERGY
+
+__all__ = [
+    "CostFunction",
+    "OnesCost",
+    "BitChangeCost",
+    "CellChangeCost",
+    "EnergyCost",
+    "SawCost",
+    "LexicographicCost",
+    "saw_then_energy",
+    "energy_then_saw",
+]
+
+#: Popcount of every possible cell value (cells hold at most 2 bits).
+_CELL_POPCOUNT = np.array([0, 1, 1, 2], dtype=np.float64)
+
+
+class CostFunction(abc.ABC):
+    """Scores candidate cell values against the write-time context."""
+
+    #: Short name used in result tables.
+    name: str = "cost"
+
+    @abc.abstractmethod
+    def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        """Per-cell costs for a batch of candidates.
+
+        Parameters
+        ----------
+        new_cells:
+            ``(num_candidates, num_cells)`` array of candidate cell values.
+        context:
+            The write-time context (old cell values, stuck mask).  Only the
+            last ``num_cells`` entries of the context are used when the
+            candidate covers a sub-block rather than a whole word; callers
+            slice the context themselves via :meth:`slice_context`.
+        """
+
+    def cell_costs(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        """Per-cell costs for a single candidate (1-D convenience wrapper)."""
+        new_cells = np.asarray(new_cells, dtype=np.uint8)
+        return self.cell_costs_matrix(new_cells[None, :], context)[0]
+
+    def word_cost(self, new_cells: np.ndarray, context: WordContext) -> float:
+        """Total data-cell cost of a single candidate."""
+        return float(self.cell_costs(new_cells, context).sum())
+
+    def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
+        """Cost of storing the auxiliary bits.
+
+        The default charges the Hamming weight of the auxiliary value,
+        matching line 19 of Algorithm 1 (the paper's ones-minimisation
+        example); subclasses override this to charge bit changes or energy.
+        """
+        del old_aux, aux_bits
+        return float(bin(new_aux).count("1"))
+
+    @staticmethod
+    def slice_context(context: WordContext, start: int, stop: int) -> WordContext:
+        """Restrict a context to the cells ``[start, stop)`` of the word."""
+        stuck = context.stuck_mask[start:stop] if context.stuck_mask is not None else None
+        return WordContext(
+            old_cells=context.old_cells[start:stop],
+            stuck_mask=stuck,
+            bits_per_cell=context.bits_per_cell,
+            old_aux=context.old_aux,
+        )
+
+
+class OnesCost(CostFunction):
+    """Number of '1' bits written (the Fig. 3 objective)."""
+
+    name = "ones"
+
+    def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        new = np.asarray(new_cells, dtype=np.int64)
+        return _CELL_POPCOUNT[new]
+
+
+class BitChangeCost(CostFunction):
+    """Number of bits that differ from the current cell contents."""
+
+    name = "bit-changes"
+
+    def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        new = np.asarray(new_cells, dtype=np.int64)
+        old = np.asarray(context.old_cells[-new.shape[1]:], dtype=np.int64)
+        return _CELL_POPCOUNT[new ^ old[None, :]]
+
+    def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
+        del aux_bits
+        return float(bin(new_aux ^ old_aux).count("1"))
+
+
+class CellChangeCost(CostFunction):
+    """Number of cells (symbols) that must be reprogrammed."""
+
+    name = "cell-changes"
+
+    def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        new = np.asarray(new_cells, dtype=np.int64)
+        old = np.asarray(context.old_cells[-new.shape[1]:], dtype=np.int64)
+        return (new != old[None, :]).astype(np.float64)
+
+    def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
+        del aux_bits
+        return float(bin(new_aux ^ old_aux).count("1"))
+
+
+class EnergyCost(CostFunction):
+    """Write energy of the transition from the current to the new cell values."""
+
+    name = "energy"
+
+    def __init__(
+        self,
+        technology: CellTechnology = CellTechnology.MLC,
+        mlc_model: MLCEnergyModel = DEFAULT_MLC_ENERGY,
+        slc_model: SLCEnergyModel = DEFAULT_SLC_ENERGY,
+    ):
+        self.technology = technology
+        self.mlc_model = mlc_model
+        self.slc_model = slc_model
+        if technology is CellTechnology.MLC:
+            self._lut = mlc_model.lut()
+            self._aux_bit_energy = mlc_model.aux_bit_energy_pj
+        else:
+            self._lut = np.array(
+                [
+                    [0.0, slc_model.set_energy_pj],
+                    [slc_model.reset_energy_pj, 0.0],
+                ]
+            )
+            self._aux_bit_energy = slc_model.aux_bit_energy_pj
+
+    def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        if context.bits_per_cell != self.technology.bits_per_cell:
+            raise ConfigurationError(
+                "EnergyCost technology does not match the context's cell technology"
+            )
+        new = np.asarray(new_cells, dtype=np.int64)
+        old = np.asarray(context.old_cells[-new.shape[1]:], dtype=np.int64)
+        return self._lut[old[None, :], new]
+
+    def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
+        del aux_bits
+        changed = bin(new_aux ^ old_aux).count("1")
+        return changed * self._aux_bit_energy
+
+
+class SawCost(CostFunction):
+    """Number of stuck cells whose intended value differs from the stuck value.
+
+    A location without fault information (``context.stuck_mask is None``)
+    costs zero everywhere, so SAW-aware optimisation degrades gracefully to
+    a no-op on healthy rows.
+    """
+
+    name = "saw"
+
+    def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        new = np.asarray(new_cells, dtype=np.int64)
+        if context.stuck_mask is None:
+            return np.zeros(new.shape, dtype=np.float64)
+        old = np.asarray(context.old_cells[-new.shape[1]:], dtype=np.int64)
+        stuck = np.asarray(context.stuck_mask[-new.shape[1]:], dtype=bool)
+        mismatch = (new != old[None, :]) & stuck[None, :]
+        return mismatch.astype(np.float64)
+
+    def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
+        del new_aux, old_aux, aux_bits
+        return 0.0
+
+
+class LexicographicCost(CostFunction):
+    """Combine two cost functions lexicographically (primary, then secondary).
+
+    The combination is realised as ``primary * scale + secondary`` with a
+    ``scale`` chosen large enough that any difference in the primary
+    objective dominates every achievable secondary cost.  The default scale
+    of 1e6 comfortably exceeds the worst-case per-word energy or bit count.
+    """
+
+    def __init__(self, primary: CostFunction, secondary: CostFunction, scale: float = 1.0e6):
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        self.primary = primary
+        self.secondary = secondary
+        self.scale = scale
+        self.name = f"{primary.name}>{secondary.name}"
+
+    def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
+        return (
+            self.primary.cell_costs_matrix(new_cells, context) * self.scale
+            + self.secondary.cell_costs_matrix(new_cells, context)
+        )
+
+    def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
+        return (
+            self.primary.aux_cost(new_aux, old_aux, aux_bits) * self.scale
+            + self.secondary.aux_cost(new_aux, old_aux, aux_bits)
+        )
+
+
+def saw_then_energy(
+    technology: CellTechnology = CellTechnology.MLC,
+    mlc_model: MLCEnergyModel = DEFAULT_MLC_ENERGY,
+    slc_model: SLCEnergyModel = DEFAULT_SLC_ENERGY,
+) -> LexicographicCost:
+    """The paper's "Opt. SAW" objective: SAW cells first, energy second."""
+    return LexicographicCost(
+        SawCost(), EnergyCost(technology, mlc_model=mlc_model, slc_model=slc_model)
+    )
+
+
+def energy_then_saw(
+    technology: CellTechnology = CellTechnology.MLC,
+    mlc_model: MLCEnergyModel = DEFAULT_MLC_ENERGY,
+    slc_model: SLCEnergyModel = DEFAULT_SLC_ENERGY,
+) -> LexicographicCost:
+    """The paper's "Opt. Energy" objective: energy first, SAW cells second."""
+    return LexicographicCost(
+        EnergyCost(technology, mlc_model=mlc_model, slc_model=slc_model), SawCost()
+    )

@@ -1,0 +1,33 @@
+"""Data Block Inversion (DBI).
+
+DBI writes either the data block or its bitwise complement, whichever is
+cheaper, and records the choice in a single auxiliary bit.  It is the
+single-partition special case of Flip-N-Write and is implemented as such.
+"""
+
+from __future__ import annotations
+
+from repro.coding.cost import CostFunction
+from repro.coding.fnw import FNWEncoder
+from repro.pcm.cell import CellTechnology
+
+__all__ = ["DBIEncoder"]
+
+
+class DBIEncoder(FNWEncoder):
+    """Whole-block conditional inversion (1 auxiliary bit per word)."""
+
+    name = "dbi"
+
+    def __init__(
+        self,
+        word_bits: int = 64,
+        technology: CellTechnology = CellTechnology.MLC,
+        cost_function: CostFunction = None,
+    ):
+        super().__init__(
+            word_bits=word_bits,
+            partitions=1,
+            technology=technology,
+            cost_function=cost_function,
+        )

@@ -1,0 +1,109 @@
+"""Factory for building encoders by name.
+
+The experiment harness refers to techniques by the short names used in the
+paper's figures ("unencoded", "dbi", "fnw", "dbi/fnw", "flipcy", "bcc",
+"rcc", "vcc", "vcc-stored").  :func:`make_encoder` turns those names plus a
+handful of shared parameters into configured encoder instances so every
+simulator builds its line-up the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.coding.base import Encoder
+from repro.coding.bcc import BCCEncoder
+from repro.coding.cost import CostFunction
+from repro.coding.dbi import DBIEncoder
+from repro.coding.flipcy import FlipcyEncoder
+from repro.coding.fnw import FNWEncoder
+from repro.coding.rcc import RCCEncoder
+from repro.coding.unencoded import UnencodedEncoder
+from repro.errors import ConfigurationError
+from repro.pcm.cell import CellTechnology
+
+__all__ = ["available_encoders", "make_encoder"]
+
+
+def _make_vcc(stored: bool):
+    # Imported lazily to avoid a circular import (repro.core depends on
+    # repro.coding for the Encoder interface).
+    from repro.core.config import VCCConfig
+    from repro.core.vcc import VCCEncoder
+
+    def factory(
+        word_bits: int,
+        num_cosets: int,
+        technology: CellTechnology,
+        cost_function: Optional[CostFunction],
+        seed: Optional[int],
+    ) -> Encoder:
+        config = VCCConfig.for_cosets(
+            word_bits=word_bits,
+            num_cosets=num_cosets,
+            technology=technology,
+            stored_kernels=stored,
+        )
+        return VCCEncoder(config, cost_function=cost_function, seed=seed)
+
+    return factory
+
+
+def _registry() -> Dict[str, Callable[..., Encoder]]:
+    return {
+        "unencoded": lambda word_bits, num_cosets, technology, cost_function, seed: UnencodedEncoder(
+            word_bits, technology, cost_function
+        ),
+        "dbi": lambda word_bits, num_cosets, technology, cost_function, seed: DBIEncoder(
+            word_bits, technology, cost_function
+        ),
+        "fnw": lambda word_bits, num_cosets, technology, cost_function, seed: FNWEncoder(
+            word_bits, 4, technology, cost_function
+        ),
+        "dbi/fnw": lambda word_bits, num_cosets, technology, cost_function, seed: FNWEncoder(
+            word_bits, 4, technology, cost_function
+        ),
+        "flipcy": lambda word_bits, num_cosets, technology, cost_function, seed: FlipcyEncoder(
+            word_bits, technology, cost_function
+        ),
+        "bcc": lambda word_bits, num_cosets, technology, cost_function, seed: BCCEncoder(
+            word_bits, num_cosets, technology, cost_function
+        ),
+        "rcc": lambda word_bits, num_cosets, technology, cost_function, seed: RCCEncoder(
+            word_bits, num_cosets, technology, cost_function, seed
+        ),
+        "vcc": _make_vcc(stored=False),
+        "vcc-stored": _make_vcc(stored=True),
+    }
+
+
+def available_encoders() -> List[str]:
+    """Names accepted by :func:`make_encoder`."""
+    return sorted(_registry())
+
+
+def make_encoder(
+    name: str,
+    word_bits: int = 64,
+    num_cosets: int = 256,
+    technology: CellTechnology = CellTechnology.MLC,
+    cost_function: Optional[CostFunction] = None,
+    seed: Optional[int] = 12345,
+) -> Encoder:
+    """Build an encoder by its short (figure) name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_encoders` (case-insensitive).
+    word_bits, num_cosets, technology, cost_function, seed:
+        Shared construction parameters; encoders that do not use
+        ``num_cosets`` (e.g. DBI) ignore it.
+    """
+    factories = _registry()
+    key = name.lower()
+    if key not in factories:
+        raise ConfigurationError(
+            f"unknown encoder {name!r}; available: {', '.join(sorted(factories))}"
+        )
+    return factories[key](word_bits, num_cosets, technology, cost_function, seed)

@@ -1,0 +1,47 @@
+"""The unencoded baseline: data is written back exactly as received."""
+
+from __future__ import annotations
+
+from repro.coding.base import EncodedWord, Encoder, WordContext
+from repro.coding.cost import BitChangeCost, CostFunction
+from repro.pcm.array import word_to_cells
+from repro.pcm.cell import CellTechnology
+
+__all__ = ["UnencodedEncoder"]
+
+
+class UnencodedEncoder(Encoder):
+    """Identity encoding — the baseline every figure normalises against.
+
+    The encoder still reports the cost of the write (under the configured
+    cost function) so simulators can account energy and SAW cells uniformly
+    across techniques, but it never transforms the data and needs no
+    auxiliary bits.
+    """
+
+    name = "unencoded"
+
+    def __init__(
+        self,
+        word_bits: int = 64,
+        technology: CellTechnology = CellTechnology.MLC,
+        cost_function: CostFunction = None,
+    ):
+        super().__init__(word_bits, technology, cost_function or BitChangeCost())
+
+    @property
+    def aux_bits(self) -> int:
+        return 0
+
+    def encode(self, data: int, context: WordContext) -> EncodedWord:
+        self._check_data(data)
+        self._check_context(context)
+        cells = word_to_cells(data, self.word_bits, self.bits_per_cell)
+        cost = self.cost_function.word_cost(cells, context)
+        return EncodedWord(
+            codeword=data, aux=0, aux_bits=0, cost=float(cost), technique=self.name
+        )
+
+    def decode(self, codeword: int, aux: int) -> int:
+        del aux
+        return codeword

@@ -1,0 +1,65 @@
+"""Virtual Coset Coding (VCC) — the paper's primary contribution.
+
+The package implements:
+
+* :class:`~repro.core.config.VCCConfig` — the VCC(n, N, r) design space
+  (word width, kernel width, kernel count, stored vs. generated kernels,
+  full-word vs. right-digit-plane operation for MLC);
+* :mod:`~repro.core.kernels` — coset-kernel providers: a stored ROM of
+  random kernels and the Algorithm 2 generator that derives kernels from
+  the (unencoded) left digits of the encrypted data block;
+* :class:`~repro.core.vcc.VCCEncoder` — Algorithm 1: builds and evaluates
+  the 2^p virtual cosets of every kernel in parallel, selects the optimum
+  candidate under an arbitrary cost function, and decodes with a single
+  XOR/XNOR pass;
+* :mod:`~repro.core.analytical` — the closed-form expected-bit-change
+  models of Section III (Eq. (1) for random cosets, Eq. (2) for biased
+  cosets) used to regenerate Fig. 1.
+
+Cost functions are shared with the baseline encoders and re-exported here
+for convenience.
+"""
+
+from repro.coding.cost import (
+    BitChangeCost,
+    CellChangeCost,
+    CostFunction,
+    EnergyCost,
+    LexicographicCost,
+    OnesCost,
+    SawCost,
+    energy_then_saw,
+    saw_then_energy,
+)
+from repro.core.analytical import (
+    expected_bit_changes_bcc,
+    expected_bit_changes_rcc,
+    expected_bit_changes_unencoded,
+    reduction_percent_bcc,
+    reduction_percent_rcc,
+)
+from repro.core.config import VCCConfig
+from repro.core.kernels import GeneratedKernelProvider, KernelProvider, StoredKernelProvider
+from repro.core.vcc import VCCEncoder
+
+__all__ = [
+    "BitChangeCost",
+    "CellChangeCost",
+    "CostFunction",
+    "EnergyCost",
+    "GeneratedKernelProvider",
+    "KernelProvider",
+    "LexicographicCost",
+    "OnesCost",
+    "SawCost",
+    "StoredKernelProvider",
+    "VCCConfig",
+    "VCCEncoder",
+    "energy_then_saw",
+    "expected_bit_changes_bcc",
+    "expected_bit_changes_rcc",
+    "expected_bit_changes_unencoded",
+    "reduction_percent_bcc",
+    "reduction_percent_rcc",
+    "saw_then_energy",
+]

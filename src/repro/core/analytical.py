@@ -1,0 +1,133 @@
+"""Closed-form models of Section III (Eq. (1) and Eq. (2)).
+
+These expressions compare random coset coding (RCC) and biased coset
+coding (BCC) on unbiased (encrypted) data without simulating anything:
+
+* Eq. (1): the expected number of changed bits after choosing the best of
+  N independent random cosets for an n-bit block whose bits each flip with
+  probability ``p = 0.5``;
+* Eq. (2): the expected number of changed bits for biased coset coding,
+  i.e. Flip-N-Write over ``k = log2(N)`` sections (including each
+  section's auxiliary bit).
+
+Both feed Fig. 1, which shows BCC winning for small N and RCC taking over
+from N = 16 onwards.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "expected_bit_changes_unencoded",
+    "expected_bit_changes_rcc",
+    "expected_bit_changes_bcc",
+    "reduction_percent_rcc",
+    "reduction_percent_bcc",
+    "fig1_series",
+]
+
+
+def _validate(n: int, num_cosets: int) -> None:
+    if n <= 0:
+        raise ConfigurationError("block size n must be positive")
+    if num_cosets < 1:
+        raise ConfigurationError("the number of cosets must be at least 1")
+
+
+def expected_bit_changes_unencoded(n: int) -> float:
+    """Expected changed bits when writing a random n-bit block directly."""
+    if n <= 0:
+        raise ConfigurationError("block size n must be positive")
+    return n / 2.0
+
+
+def expected_bit_changes_rcc(n: int, num_cosets: int, p: float = 0.5, include_aux: bool = True) -> float:
+    """Eq. (1): expected changed bits under the best of ``num_cosets`` random cosets.
+
+    Parameters
+    ----------
+    n:
+        Block size in bits.
+    num_cosets:
+        Number of independent random coset candidates N.
+    p:
+        Per-bit change probability (0.5 for encrypted data).
+    include_aux:
+        Add the expected weight of the ``log2 N`` auxiliary bits
+        (``log2(N)/2``), as the paper does when comparing against the
+        unencoded write.
+    """
+    _validate(n, num_cosets)
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError("p must be a probability")
+    # cdf[m] = P(Binomial(n, p) <= m)
+    pmf = [math.comb(n, i) * (p ** i) * ((1.0 - p) ** (n - i)) for i in range(n + 1)]
+    expected = 0.0
+    cumulative = 0.0
+    for m in range(n):
+        cumulative += pmf[m]
+        tail = 1.0 - cumulative  # P(X > m) for a single coset
+        expected += tail ** num_cosets if tail > 0.0 else 0.0
+    if include_aux and num_cosets > 1:
+        expected += math.log2(num_cosets) / 2.0
+    return expected
+
+
+def expected_bit_changes_bcc(n: int, num_cosets: int, include_aux: bool = True) -> float:
+    """Eq. (2): expected changed bits under biased coset coding with N candidates.
+
+    BCC divides the word into ``k = log2 N`` sections of ``n/k`` bits and
+    writes each section directly or inverted.  Each section plus its
+    auxiliary bit behaves like Flip-N-Write over ``n/k + 1`` bits, whose
+    expected cost is ``E[min(X, n/k + 1 - X)]`` for ``X ~ Binomial(n/k+1, 1/2)``.
+    """
+    _validate(n, num_cosets)
+    if num_cosets == 1:
+        return expected_bit_changes_unencoded(n)
+    k = int(round(math.log2(num_cosets)))
+    if (1 << k) != num_cosets:
+        raise ConfigurationError("BCC requires a power-of-two number of cosets")
+    if n % k != 0:
+        raise ConfigurationError(f"block size {n} must be divisible by log2(N) = {k}")
+    section_bits = n // k
+    total_bits = section_bits + 1 if include_aux else section_bits
+    half = section_bits // 2
+    expected_section = 0.0
+    denom = 2.0 ** total_bits
+    for i in range(total_bits + 1):
+        weight = math.comb(total_bits, i) / denom
+        if i <= half:
+            expected_section += i * weight
+        else:
+            expected_section += (total_bits - i) * weight
+    return k * expected_section
+
+
+def reduction_percent_rcc(n: int, num_cosets: int) -> float:
+    """Fig. 1 series: % reduction in changed bits of RCC vs. the unencoded write."""
+    baseline = expected_bit_changes_unencoded(n)
+    return 100.0 * (baseline - expected_bit_changes_rcc(n, num_cosets)) / baseline
+
+
+def reduction_percent_bcc(n: int, num_cosets: int) -> float:
+    """Fig. 1 series: % reduction in changed bits of BCC vs. the unencoded write."""
+    baseline = expected_bit_changes_unencoded(n)
+    return 100.0 * (baseline - expected_bit_changes_bcc(n, num_cosets)) / baseline
+
+
+def fig1_series(n: int = 64, coset_counts: Iterable[int] = (2, 4, 16, 256)) -> List[dict]:
+    """Regenerate the Fig. 1 data: one row per coset count with both series."""
+    rows = []
+    for count in coset_counts:
+        rows.append(
+            {
+                "cosets": count,
+                "bcc_reduction_percent": reduction_percent_bcc(n, count),
+                "rcc_reduction_percent": reduction_percent_rcc(n, count),
+            }
+        )
+    return rows

@@ -1,0 +1,160 @@
+"""Pure-Python AES-128 block cipher.
+
+This is a from-scratch, table-driven implementation of the AES-128 forward
+cipher (FIPS-197).  Only encryption is required: counter-mode encryption
+and decryption both use the forward direction of the block cipher to
+generate the keystream, so the inverse cipher is intentionally omitted.
+
+The implementation favours clarity over speed — it exists to provide a
+faithful counter-mode pad generator for the memory-controller model, not to
+move bulk data.  Bulk experiments that only need *statistically* uniform
+pads can use :class:`repro.crypto.counter_mode.CounterModeEngine` with
+``fast_pad=True`` which swaps in a seeded PRF.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["AES128"]
+
+# Forward S-box from FIPS-197.
+_SBOX = [
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+]
+
+# Round constants for key expansion.
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(byte: int) -> int:
+    """Multiply a GF(2^8) element by x (i.e. by 0x02)."""
+    byte <<= 1
+    if byte & 0x100:
+        byte ^= 0x11B
+    return byte & 0xFF
+
+
+def _mul(a: int, b: int) -> int:
+    """Multiply two GF(2^8) elements with the AES reduction polynomial."""
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result
+
+
+class AES128:
+    """AES-128 forward cipher operating on 16-byte blocks.
+
+    Parameters
+    ----------
+    key:
+        A 16-byte key (``bytes`` or any sequence of 16 integers in
+        ``[0, 255]``).
+    """
+
+    BLOCK_SIZE = 16
+    KEY_SIZE = 16
+    ROUNDS = 10
+
+    def __init__(self, key: Sequence[int]):
+        key_bytes = bytes(key)
+        if len(key_bytes) != self.KEY_SIZE:
+            raise ConfigurationError(
+                f"AES-128 requires a {self.KEY_SIZE}-byte key, got {len(key_bytes)} bytes"
+            )
+        self._round_keys = self._expand_key(key_bytes)
+
+    # ------------------------------------------------------------------ key
+    @staticmethod
+    def _expand_key(key: bytes) -> List[List[int]]:
+        """Expand the cipher key into 11 round keys of 16 bytes each."""
+        words = [list(key[4 * i: 4 * i + 4]) for i in range(4)]
+        for i in range(4, 4 * (AES128.ROUNDS + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        round_keys = []
+        for round_index in range(AES128.ROUNDS + 1):
+            round_key: List[int] = []
+            for word in words[4 * round_index: 4 * round_index + 4]:
+                round_key.extend(word)
+            round_keys.append(round_key)
+        return round_keys
+
+    # ---------------------------------------------------------- round steps
+    @staticmethod
+    def _sub_bytes(state: List[int]) -> None:
+        for i in range(16):
+            state[i] = _SBOX[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: List[int]) -> None:
+        # State is column-major: state[row + 4*col].
+        for row in range(1, 4):
+            rotated = [state[row + 4 * ((col + row) % 4)] for col in range(4)]
+            for col in range(4):
+                state[row + 4 * col] = rotated[col]
+
+    @staticmethod
+    def _mix_columns(state: List[int]) -> None:
+        for col in range(4):
+            a = state[4 * col: 4 * col + 4]
+            state[4 * col + 0] = _mul(a[0], 2) ^ _mul(a[1], 3) ^ a[2] ^ a[3]
+            state[4 * col + 1] = a[0] ^ _mul(a[1], 2) ^ _mul(a[2], 3) ^ a[3]
+            state[4 * col + 2] = a[0] ^ a[1] ^ _mul(a[2], 2) ^ _mul(a[3], 3)
+            state[4 * col + 3] = _mul(a[0], 3) ^ a[1] ^ a[2] ^ _mul(a[3], 2)
+
+    @staticmethod
+    def _add_round_key(state: List[int], round_key: List[int]) -> None:
+        for i in range(16):
+            state[i] ^= round_key[i]
+
+    # -------------------------------------------------------------- public
+    def encrypt_block(self, block: Sequence[int]) -> bytes:
+        """Encrypt a single 16-byte block and return the 16-byte ciphertext."""
+        data = bytes(block)
+        if len(data) != self.BLOCK_SIZE:
+            raise ConfigurationError(
+                f"AES block must be {self.BLOCK_SIZE} bytes, got {len(data)}"
+            )
+        state = list(data)
+        self._add_round_key(state, self._round_keys[0])
+        for round_index in range(1, self.ROUNDS):
+            self._sub_bytes(state)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self._round_keys[round_index])
+        self._sub_bytes(state)
+        self._shift_rows(state)
+        self._add_round_key(state, self._round_keys[self.ROUNDS])
+        return bytes(state)

@@ -1,0 +1,20 @@
+"""Error-correction substrates used as lifetime baselines.
+
+The paper compares its coset techniques against the two standard hard-error
+protection mechanisms for resistive main memory:
+
+* :class:`~repro.ecc.hamming.HammingSecded` — the (72, 64) single-error-
+  correct / double-error-detect Hamming code attached to every 64-bit word;
+* :class:`~repro.ecc.ecp.ECP` — error-correcting pointers, which store the
+  position and correct value of up to ``N`` failed cells per row.
+
+Both implement the :class:`~repro.ecc.base.ErrorCorrector` interface used
+by the lifetime simulator to decide whether a row write with residual
+stuck-at-wrong cells is still recoverable.
+"""
+
+from repro.ecc.base import CorrectionOutcome, ErrorCorrector
+from repro.ecc.ecp import ECP
+from repro.ecc.hamming import HammingSecded
+
+__all__ = ["CorrectionOutcome", "ECP", "ErrorCorrector", "HammingSecded"]

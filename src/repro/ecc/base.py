@@ -1,0 +1,61 @@
+"""Shared interface of the error-correction substrates."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["CorrectionOutcome", "ErrorCorrector"]
+
+
+@dataclass(frozen=True)
+class CorrectionOutcome:
+    """Result of asking a corrector whether a set of cell errors is recoverable.
+
+    Attributes
+    ----------
+    correctable:
+        True when the corrector can recover the intended data.
+    corrected_cells:
+        Number of erroneous cells the corrector repairs.
+    detected_only:
+        True when the errors are detected but not corrected (e.g. a double
+        error under SECDED).
+    """
+
+    correctable: bool
+    corrected_cells: int = 0
+    detected_only: bool = False
+
+
+class ErrorCorrector(abc.ABC):
+    """Decides whether residual stuck-at-wrong cells in a row are recoverable.
+
+    The lifetime simulator expresses a row write's residual errors as the
+    per-word counts of wrong cells; each corrector answers whether its
+    redundancy can recover the row.  This captures the correction *budget*
+    of each scheme (1 bit error per 64-bit word for SECDED, N arbitrary
+    cells per row for ECP) without simulating the parity arithmetic on
+    every write — the full codec implementations are available for unit
+    tests and the encoder-level APIs.
+    """
+
+    #: Technique name used in result tables.
+    name: str = "corrector"
+
+    @abc.abstractmethod
+    def row_outcome(self, wrong_bits_per_word: Sequence[int]) -> CorrectionOutcome:
+        """Judge a row write.
+
+        Parameters
+        ----------
+        wrong_bits_per_word:
+            For each word of the row, the number of *bit* errors left after
+            any encoding technique has done its best.
+        """
+
+    @property
+    def overhead_bits_per_word(self) -> int:
+        """Storage overhead in bits per 64-bit data word (for iso-area notes)."""
+        return 0

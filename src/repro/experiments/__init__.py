@@ -1,0 +1,15 @@
+"""Experiment entry points — one per figure/table of the paper.
+
+Every module exposes a ``run(...) -> ResultTable`` function that regenerates
+the corresponding figure's data series (scaled down where the paper's
+workload sizes are impractical in pure Python; see DESIGN.md).  The
+:mod:`repro.experiments.registry` maps experiment identifiers ("fig1",
+"fig7", "table1", ...) onto those functions, and
+:mod:`repro.experiments.runner` provides a small command-line front end::
+
+    python -m repro.experiments.runner fig7
+"""
+
+from repro.experiments.registry import available_experiments, get_experiment, run_experiment
+
+__all__ = ["available_experiments", "get_experiment", "run_experiment"]

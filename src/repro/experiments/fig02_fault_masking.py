@@ -1,0 +1,21 @@
+"""Fig. 2 — mean observed fault rate vs. number of random coset codes."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.results import ResultTable
+from repro.sim.saw_sim import SawStudyConfig, fault_masking_study
+
+__all__ = ["run"]
+
+
+def run(
+    coset_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    rows: int = 96,
+    num_writes: int = 200,
+    seed: int = 7,
+) -> ResultTable:
+    """Regenerate Fig. 2 on a scaled memory snapshot with a 1e-2 fault rate."""
+    config = SawStudyConfig(rows=rows, num_writes=num_writes, seed=seed)
+    return fault_masking_study(coset_counts=coset_counts, config=config)

@@ -1,0 +1,66 @@
+"""Fig. 3 — the worked VCC(64, 64, 4) ones-minimisation example.
+
+The figure walks a single 64-bit encrypted block through VCC with four
+16-bit stored kernels, minimising the number of written '1's against an
+all-zero memory location.  This module reproduces that walk and reports
+the per-kernel costs and the selected candidate, so the example can be
+checked end-to-end (the regression test asserts the exact codeword and
+auxiliary bits from the figure).
+"""
+
+from __future__ import annotations
+
+from repro.coding.base import WordContext
+from repro.coding.cost import OnesCost
+from repro.core.config import EncodeRegion, VCCConfig
+from repro.core.kernels import StoredKernelProvider
+from repro.core.vcc import VCCEncoder
+from repro.pcm.cell import CellTechnology
+from repro.sim.results import ResultTable
+
+__all__ = ["FIG3_DATA_BLOCK", "FIG3_KERNELS", "build_example_encoder", "run"]
+
+#: The 64-bit encrypted data block of Fig. 3(a).
+FIG3_DATA_BLOCK = int(
+    "1010001011011011" "0101000100100100" "0100011001000101" "1010010100001011", 2
+)
+
+#: The four 16-bit coset kernels of Fig. 3(b).
+FIG3_KERNELS = (
+    int("1010100111011011", 2),
+    int("0100011111110100", 2),
+    int("0011001001100011", 2),
+    int("1010110001000111", 2),
+)
+
+
+def build_example_encoder() -> VCCEncoder:
+    """The exact VCC(64, 64, 4) instance of the worked example."""
+    config = VCCConfig(
+        word_bits=64,
+        kernel_bits=16,
+        num_kernels=4,
+        technology=CellTechnology.MLC,
+        encode_region=EncodeRegion.FULL_WORD,
+        stored_kernels=True,
+    )
+    provider = StoredKernelProvider(16, 4, kernels=FIG3_KERNELS)
+    return VCCEncoder(config, cost_function=OnesCost(), kernel_provider=provider)
+
+
+def run() -> ResultTable:
+    """Encode the Fig. 3 block and report the selected candidate."""
+    encoder = build_example_encoder()
+    context = WordContext.blank(word_bits=64, bits_per_cell=2)
+    encoded = encoder.encode(FIG3_DATA_BLOCK, context)
+    decoded = encoder.decode(encoded.codeword, encoded.aux)
+    table = ResultTable(
+        title="Fig. 3 — worked VCC(64, 64, 4) example (ones minimisation)",
+        columns=["quantity", "value"],
+    )
+    table.append(quantity="data block D", value=f"{FIG3_DATA_BLOCK:016x}")
+    table.append(quantity="selected codeword Xopt", value=f"{encoded.codeword:016x}")
+    table.append(quantity="auxiliary bits (kernel index + flags)", value=f"{encoded.aux:06b}")
+    table.append(quantity="cost (ones incl. aux)", value=encoded.cost)
+    table.append(quantity="decode(Xopt) == D", value=decoded == FIG3_DATA_BLOCK)
+    return table

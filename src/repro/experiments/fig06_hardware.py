@@ -1,0 +1,28 @@
+"""Fig. 6 — encoder area, energy, and delay vs. coset count."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hardware.synthesis import fig6_sweep
+from repro.sim.results import ResultTable
+
+__all__ = ["run"]
+
+
+def run(coset_counts: Sequence[int] = (32, 64, 128, 256)) -> ResultTable:
+    """Regenerate the Fig. 6 sweep from the analytic hardware model."""
+    table = ResultTable(
+        title="Fig. 6 — coset encoder hardware (45 nm analytic model)",
+        columns=["cosets", "design", "area_um2", "energy_pj", "delay_ps"],
+        notes="substitute for the paper's Cadence synthesis flow (see DESIGN.md)",
+    )
+    for estimate in fig6_sweep(coset_counts):
+        table.append(
+            cosets=estimate.design.num_cosets,
+            design=estimate.design.label,
+            area_um2=estimate.area_um2,
+            energy_pj=estimate.energy_pj,
+            delay_ps=estimate.delay_ps,
+        )
+    return table

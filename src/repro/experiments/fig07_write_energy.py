@@ -1,0 +1,21 @@
+"""Fig. 7 — write energy of RCC / VCC / VCC-stored / unencoded vs. coset count."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.energy_sim import EnergyStudyConfig, random_data_energy_study
+from repro.sim.results import ResultTable
+
+__all__ = ["run"]
+
+
+def run(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    rows: int = 96,
+    num_writes: int = 250,
+    seed: int = 2022,
+) -> ResultTable:
+    """Regenerate the Fig. 7 comparison on a scaled-down random workload."""
+    config = EnergyStudyConfig(rows=rows, num_writes=num_writes, seed=seed)
+    return random_data_energy_study(coset_counts=coset_counts, config=config)

@@ -1,0 +1,21 @@
+"""Fig. 8 — SAW cell improvement vs. coset cardinality."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.results import ResultTable
+from repro.sim.saw_sim import SawStudyConfig, saw_vs_coset_count_study
+
+__all__ = ["run"]
+
+
+def run(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    rows: int = 96,
+    num_writes: int = 200,
+    seed: int = 7,
+) -> ResultTable:
+    """Regenerate Fig. 8 on a scaled memory snapshot with a 1e-2 fault rate."""
+    config = SawStudyConfig(rows=rows, num_writes=num_writes, seed=seed)
+    return saw_vs_coset_count_study(coset_counts=coset_counts, config=config)

@@ -1,0 +1,27 @@
+"""Fig. 9 — per-benchmark write energy under both cost-function orderings."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.energy_sim import DEFAULT_BENCHMARKS, EnergyStudyConfig, benchmark_energy_study
+from repro.sim.results import ResultTable
+
+__all__ = ["run"]
+
+
+def run(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    num_cosets: int = 256,
+    writebacks_per_benchmark: int = 200,
+    rows: int = 96,
+    seed: int = 2022,
+) -> ResultTable:
+    """Regenerate Fig. 9 for the synthetic SPEC-like benchmark traces."""
+    config = EnergyStudyConfig(rows=rows, seed=seed)
+    return benchmark_energy_study(
+        benchmarks=benchmarks,
+        num_cosets=num_cosets,
+        writebacks_per_benchmark=writebacks_per_benchmark,
+        config=config,
+    )

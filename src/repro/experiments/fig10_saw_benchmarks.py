@@ -1,0 +1,27 @@
+"""Fig. 10 — per-benchmark SAW cells: unencoded vs. VCC(64, 256, 16)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.results import ResultTable
+from repro.sim.saw_sim import DEFAULT_BENCHMARKS, SawStudyConfig, benchmark_saw_study
+
+__all__ = ["run"]
+
+
+def run(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    num_cosets: int = 256,
+    writebacks_per_benchmark: int = 150,
+    rows: int = 96,
+    seed: int = 7,
+) -> ResultTable:
+    """Regenerate Fig. 10 for the synthetic SPEC-like benchmark traces."""
+    config = SawStudyConfig(rows=rows, seed=seed)
+    return benchmark_saw_study(
+        benchmarks=benchmarks,
+        num_cosets=num_cosets,
+        writebacks_per_benchmark=writebacks_per_benchmark,
+        config=config,
+    )

@@ -1,0 +1,31 @@
+"""Fig. 11 — per-benchmark writes-to-failure for every protection technique."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.lifetime_sim import (
+    DEFAULT_BENCHMARKS,
+    DEFAULT_LIFETIME_TECHNIQUES,
+    LifetimeStudyConfig,
+    lifetime_study,
+)
+from repro.sim.results import ResultTable
+
+__all__ = ["run"]
+
+
+def run(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    num_cosets: int = 256,
+    config: Optional[LifetimeStudyConfig] = None,
+    repetitions: int = 1,
+) -> ResultTable:
+    """Regenerate Fig. 11 on the scaled-down memory/endurance configuration."""
+    return lifetime_study(
+        benchmarks=benchmarks,
+        techniques=DEFAULT_LIFETIME_TECHNIQUES,
+        num_cosets=num_cosets,
+        config=config or LifetimeStudyConfig(),
+        repetitions=repetitions,
+    )

@@ -1,0 +1,28 @@
+"""Fig. 12 — mean writes-to-failure vs. coset count for every technique."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sim.lifetime_sim import (
+    DEFAULT_LIFETIME_TECHNIQUES,
+    LifetimeStudyConfig,
+    mean_lifetime_by_coset_count,
+)
+from repro.sim.results import ResultTable
+
+__all__ = ["run"]
+
+
+def run(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    benchmarks: Sequence[str] = ("lbm", "mcf"),
+    config: Optional[LifetimeStudyConfig] = None,
+) -> ResultTable:
+    """Regenerate Fig. 12 on the scaled-down memory/endurance configuration."""
+    return mean_lifetime_by_coset_count(
+        coset_counts=coset_counts,
+        benchmarks=benchmarks,
+        techniques=DEFAULT_LIFETIME_TECHNIQUES,
+        config=config or LifetimeStudyConfig(),
+    )

@@ -1,0 +1,61 @@
+"""Registry mapping experiment identifiers to their entry points."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig01_coding_analysis,
+    fig02_fault_masking,
+    fig03_worked_example,
+    fig06_hardware,
+    fig07_write_energy,
+    fig08_saw_cosets,
+    fig09_energy_benchmarks,
+    fig10_saw_benchmarks,
+    fig11_lifetime_benchmarks,
+    fig12_lifetime_cosets,
+    fig13_ipc,
+    table1_energy_model,
+    table2_system,
+)
+from repro.sim.results import ResultTable
+
+__all__ = ["available_experiments", "get_experiment", "run_experiment"]
+
+_REGISTRY: Dict[str, Callable[..., ResultTable]] = {
+    "fig1": fig01_coding_analysis.run,
+    "fig2": fig02_fault_masking.run,
+    "fig3": fig03_worked_example.run,
+    "fig6": fig06_hardware.run,
+    "fig7": fig07_write_energy.run,
+    "fig8": fig08_saw_cosets.run,
+    "fig9": fig09_energy_benchmarks.run,
+    "fig10": fig10_saw_benchmarks.run,
+    "fig11": fig11_lifetime_benchmarks.run,
+    "fig12": fig12_lifetime_cosets.run,
+    "fig13": fig13_ipc.run,
+    "table1": table1_energy_model.run,
+    "table2": table2_system.run,
+}
+
+
+def available_experiments() -> List[str]:
+    """Identifiers accepted by :func:`run_experiment`."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(identifier: str) -> Callable[..., ResultTable]:
+    """Return the ``run`` callable for an experiment identifier."""
+    key = identifier.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown experiment {identifier!r}; available: {', '.join(available_experiments())}"
+        )
+    return _REGISTRY[key]
+
+
+def run_experiment(identifier: str, **kwargs) -> ResultTable:
+    """Run one experiment by identifier, passing ``kwargs`` to its entry point."""
+    return get_experiment(identifier)(**kwargs)

@@ -1,0 +1,60 @@
+"""Command-line front end for the experiment registry.
+
+Usage::
+
+    python -m repro.experiments.runner --list
+    python -m repro.experiments.runner fig1 fig7
+    python -m repro.experiments.runner all --json-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.experiments.registry import available_experiments, run_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the requested experiments and print their tables."""
+    parser = argparse.ArgumentParser(description="Regenerate the paper's figures and tables")
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment identifiers (e.g. fig1 fig7 table1) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments and exit")
+    parser.add_argument(
+        "--json-dir",
+        type=Path,
+        default=None,
+        help="also write each result table as JSON into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in available_experiments():
+            print(f"  {name}")
+        return 0
+
+    names = args.experiments
+    if len(names) == 1 and names[0].lower() == "all":
+        names = available_experiments()
+
+    for name in names:
+        table = run_experiment(name)
+        print(table.format())
+        print()
+        if args.json_dir is not None:
+            args.json_dir.mkdir(parents=True, exist_ok=True)
+            table.to_json(args.json_dir / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    sys.exit(main())

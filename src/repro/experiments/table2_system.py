@@ -1,0 +1,30 @@
+"""Table II — architecture parameters of the performance study."""
+
+from __future__ import annotations
+
+from repro.perf.config import TABLE_II_SYSTEM, SystemConfig
+from repro.sim.results import ResultTable
+
+__all__ = ["run"]
+
+
+def run(system: SystemConfig = TABLE_II_SYSTEM) -> ResultTable:
+    """Render the Table II system configuration used by the Fig. 13 model."""
+    table = ResultTable(
+        title="Table II — architecture parameters for the performance study",
+        columns=["parameter", "value"],
+    )
+    table.append(parameter="cores (out-of-order)", value=system.cores)
+    table.append(parameter="issue width", value=system.issue_width)
+    table.append(parameter="frequency (GHz)", value=system.frequency_ghz)
+    table.append(parameter="L1 (KiB inst + data)", value=f"{system.l1_kib}+{system.l1_kib}")
+    table.append(parameter="L2 per core (KiB)", value=system.l2_kib_per_core)
+    table.append(parameter="cache block (B)", value=system.cache_block_bytes)
+    table.append(parameter="main memory (GiB, MLC PCM)", value=system.memory_gib)
+    table.append(parameter="row size (bits)", value=system.row_bits)
+    table.append(parameter="word size (bits)", value=system.word_bits)
+    table.append(parameter="channels", value=system.channels)
+    table.append(parameter="ranks per channel", value=system.ranks_per_channel)
+    table.append(parameter="banks per rank", value=system.banks_per_rank)
+    table.append(parameter="baseline access delay (ns)", value=system.base_access_delay_ns)
+    return table

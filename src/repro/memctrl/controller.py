@@ -1,0 +1,347 @@
+"""The memory controller: encrypt, encode, write, and the inverse read path.
+
+The controller owns the per-line write counters (via the counter-mode
+engine), the per-word auxiliary bits produced by the encoder, and the
+accounting of write energy / bit changes / stuck-at-wrong cells.  It is the
+single integration point the simulators drive: one
+:meth:`MemoryController.write_line` call per trace record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.base import EncodedWord, Encoder, WordContext
+from repro.crypto.counter_mode import CounterModeEngine
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.memctrl.config import ControllerConfig
+from repro.pcm.array import PCMArray, cells_to_word, word_to_cells
+from repro.pcm.cell import CellTechnology
+from repro.pcm.energy import DEFAULT_MLC_ENERGY, DEFAULT_SLC_ENERGY, MLCEnergyModel, SLCEnergyModel
+from repro.pcm.faultrepo import FaultRepository
+from repro.pcm.stats import WriteStats
+from repro.pcm.wearlevel import StartGapWearLeveler
+
+__all__ = ["LineWriteResult", "MemoryController"]
+
+#: Accepted values for the controller's ``fault_knowledge`` parameter.
+FAULT_KNOWLEDGE_MODES = ("oracle", "discovered", "none")
+
+
+@dataclass(frozen=True)
+class LineWriteResult:
+    """Accounting for one cache-line write.
+
+    Attributes
+    ----------
+    address:
+        Line address written.
+    row_index:
+        Array row the line mapped to.
+    data_energy_pj / aux_energy_pj:
+        Write energy spent on the data cells and on the auxiliary bits.
+    cells_changed / bits_changed:
+        How many cells (and bits) actually changed state in the array.
+    saw_cells:
+        Stuck-at-wrong cells left after encoding (cells whose stored value
+        differs from the intended codeword value).
+    saw_bits_per_word:
+        Per-word count of wrong *bits*, used by the ECC substrates to judge
+        whether the row is still recoverable.
+    newly_stuck_cells:
+        Cells that exceeded their endurance during this write.
+    """
+
+    address: int
+    row_index: int
+    data_energy_pj: float
+    aux_energy_pj: float
+    cells_changed: int
+    bits_changed: int
+    saw_cells: int
+    saw_bits_per_word: Tuple[int, ...]
+    newly_stuck_cells: int
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Total energy of the line write including auxiliary bits."""
+        return self.data_energy_pj + self.aux_energy_pj
+
+
+class MemoryController:
+    """Drives the encrypt -> encode -> write pipeline against a PCM array.
+
+    Parameters
+    ----------
+    array:
+        Target :class:`repro.pcm.array.PCMArray`.
+    encoder:
+        Word-level encoding technique (any :class:`repro.coding.base.Encoder`).
+    config:
+        Line/word geometry and whether encryption is enabled.
+    encryption:
+        Counter-mode engine; created on demand when ``config.encrypt`` and
+        none is supplied.
+    mlc_energy / slc_energy:
+        Energy models used for *accounting* the writes that actually happen
+        (independent of whatever cost function the encoder optimises).
+    use_fault_context:
+        Backwards-compatible switch: ``False`` is equivalent to
+        ``fault_knowledge="none"``.
+    fault_knowledge:
+        How the encoder learns about stuck cells: ``"oracle"`` (the array's
+        ground truth, the paper's assumption of an ideal fault repository),
+        ``"discovered"`` (a :class:`repro.pcm.faultrepo.FaultRepository`
+        populated by write-verify mismatches), or ``"none"``.
+    wear_leveler:
+        Optional Start-Gap wear leveler.  When present, line addresses are
+        first mapped to logical rows and then rotated onto physical rows;
+        the array must provide ``wear_leveler.physical_rows_required`` rows.
+    """
+
+    def __init__(
+        self,
+        array: PCMArray,
+        encoder: Encoder,
+        config: Optional[ControllerConfig] = None,
+        encryption: Optional[CounterModeEngine] = None,
+        mlc_energy: MLCEnergyModel = DEFAULT_MLC_ENERGY,
+        slc_energy: SLCEnergyModel = DEFAULT_SLC_ENERGY,
+        use_fault_context: bool = True,
+        fault_knowledge: Optional[str] = None,
+        wear_leveler: Optional[StartGapWearLeveler] = None,
+    ):
+        self.config = config or ControllerConfig()
+        if array.word_bits != self.config.word_bits:
+            raise ConfigurationError("array word size does not match controller config")
+        if array.row_bits != self.config.line_bits:
+            raise ConfigurationError(
+                "controller assumes one cache line per array row "
+                f"(line {self.config.line_bits} bits vs row {array.row_bits} bits)"
+            )
+        if encoder.word_bits != self.config.word_bits:
+            raise ConfigurationError("encoder word size does not match controller config")
+        if encoder.technology is not array.technology:
+            raise ConfigurationError("encoder and array cell technologies differ")
+        self.array = array
+        self.encoder = encoder
+        self.mlc_energy = mlc_energy
+        self.slc_energy = slc_energy
+        if fault_knowledge is None:
+            fault_knowledge = "oracle" if use_fault_context else "none"
+        if fault_knowledge not in FAULT_KNOWLEDGE_MODES:
+            raise ConfigurationError(
+                f"fault_knowledge must be one of {FAULT_KNOWLEDGE_MODES}, got {fault_knowledge!r}"
+            )
+        self.fault_knowledge = fault_knowledge
+        self.use_fault_context = fault_knowledge != "none"
+        self.fault_repository = (
+            FaultRepository(array.rows, array.cells_per_row)
+            if fault_knowledge == "discovered"
+            else None
+        )
+        self.wear_leveler = wear_leveler
+        if wear_leveler is not None and array.rows < wear_leveler.physical_rows_required:
+            raise ConfigurationError(
+                "the array must provide at least "
+                f"{wear_leveler.physical_rows_required} rows for Start-Gap "
+                f"wear leveling, got {array.rows}"
+            )
+        if self.config.encrypt:
+            self.encryption = encryption or CounterModeEngine(
+                line_bits=self.config.line_bits, word_bits=self.config.word_bits
+            )
+        else:
+            self.encryption = None
+        self.stats = WriteStats()
+        # Auxiliary bits stored per (row, word); modelled as living in a
+        # dedicated side region (the SECDED-budget bits of Section V).
+        self._aux_store: Dict[Tuple[int, int], int] = {}
+        self._energy_lut = (
+            self.mlc_energy.lut()
+            if array.technology is CellTechnology.MLC
+            else np.array(
+                [
+                    [0.0, self.slc_energy.set_energy_pj],
+                    [self.slc_energy.reset_energy_pj, 0.0],
+                ]
+            )
+        )
+        self._aux_bit_energy = (
+            self.mlc_energy.aux_bit_energy_pj
+            if array.technology is CellTechnology.MLC
+            else self.slc_energy.aux_bit_energy_pj
+        )
+
+    # ------------------------------------------------------------- mapping
+    def row_for_address(self, address: int) -> int:
+        """Map a line address onto a physical array row.
+
+        Without wear leveling this is a direct modulo mapping; with
+        Start-Gap enabled the logical row is additionally rotated onto its
+        current physical position.
+        """
+        if address < 0:
+            raise MemoryModelError("addresses must be non-negative")
+        if self.wear_leveler is None:
+            return address % self.array.rows
+        logical = address % self.wear_leveler.rows
+        return self.wear_leveler.physical_row(logical)
+
+    # --------------------------------------------------------------- write
+    def write_line(self, address: int, plaintext_words: Sequence[int]) -> LineWriteResult:
+        """Encrypt, encode, and write one cache line."""
+        if address < 0:
+            raise MemoryModelError("addresses must be non-negative")
+        words = list(plaintext_words)
+        if len(words) != self.config.words_per_line:
+            raise ConfigurationError(
+                f"expected {self.config.words_per_line} words per line, got {len(words)}"
+            )
+        if self.encryption is not None:
+            encrypted = list(self.encryption.encrypt_line(address, words).words)
+        else:
+            encrypted = [int(w) for w in words]
+
+        row_index = self.row_for_address(address)
+        old_row = self.array.read_row(row_index)
+        stuck_row = self._stuck_knowledge(row_index)
+        cells_per_word = self.array.cells_per_word
+
+        intended_row = old_row.copy()
+        new_auxes: List[int] = []
+        aux_energy = 0.0
+        for word_index, data_word in enumerate(encrypted):
+            start = word_index * cells_per_word
+            stop = start + cells_per_word
+            old_aux = self._aux_store.get((row_index, word_index), 0)
+            context = WordContext(
+                old_cells=old_row[start:stop],
+                stuck_mask=None if stuck_row is None else stuck_row[start:stop],
+                bits_per_cell=self.array.bits_per_cell,
+                old_aux=old_aux,
+            )
+            encoded = self.encoder.encode(data_word, context)
+            intended_row[start:stop] = word_to_cells(
+                encoded.codeword, self.config.word_bits, self.array.bits_per_cell
+            )
+            new_auxes.append(encoded.aux)
+            aux_energy += self._aux_bit_energy * bin(encoded.aux ^ old_aux).count("1")
+
+        result = self.array.write_row(row_index, intended_row)
+        data_energy = float(
+            self._energy_lut[old_row.astype(np.int64), intended_row.astype(np.int64)].sum()
+        )
+        bits_changed = self._count_changed_bits(result.old_cells, result.stored_cells)
+        saw_bits_per_word = self._saw_bits_per_word(result.stored_cells, intended_row)
+
+        for word_index, aux in enumerate(new_auxes):
+            self._aux_store[(row_index, word_index)] = aux
+
+        if self.fault_repository is not None:
+            # The write-verify step exposes cells that did not take the
+            # intended value; record them for the next write to this row.
+            self.fault_repository.observe_write(row_index, intended_row, result.stored_cells)
+        if self.wear_leveler is not None:
+            movement = self.wear_leveler.record_write()
+            if movement is not None:
+                self._migrate_row(*movement)
+
+        line_result = LineWriteResult(
+            address=address,
+            row_index=row_index,
+            data_energy_pj=data_energy,
+            aux_energy_pj=aux_energy,
+            cells_changed=result.cells_changed,
+            bits_changed=bits_changed,
+            saw_cells=result.saw_count,
+            saw_bits_per_word=saw_bits_per_word,
+            newly_stuck_cells=result.newly_stuck,
+        )
+        self._accumulate(line_result)
+        return line_result
+
+    # ---------------------------------------------------------------- read
+    def read_line(self, address: int) -> List[int]:
+        """Read, decode, and decrypt one cache line.
+
+        Stuck-at-wrong cells propagate into the returned plaintext exactly
+        as they would in hardware; callers compare against the written data
+        to measure residual corruption.
+        """
+        row_index = self.row_for_address(address)
+        decoded_words: List[int] = []
+        for word_index in range(self.config.words_per_line):
+            codeword = self.array.read_word(row_index, word_index)
+            aux = self._aux_store.get((row_index, word_index), 0)
+            decoded_words.append(self.encoder.decode(codeword, aux))
+        if self.encryption is None:
+            return decoded_words
+        counter = self.encryption.counter_for(address)
+        pad = self.encryption.pad_words(address, counter)
+        mask = (1 << self.config.word_bits) - 1
+        return [(w ^ p) & mask for w, p in zip(decoded_words, pad)]
+
+    # ------------------------------------------------------------ internals
+    def _stuck_knowledge(self, row_index: int) -> Optional[np.ndarray]:
+        """The stuck-cell mask the encoder is allowed to see for this row."""
+        if self.fault_knowledge == "oracle":
+            return self.array.stuck_info(row_index)
+        if self.fault_knowledge == "discovered":
+            return self.fault_repository.stuck_mask(row_index)
+        return None
+
+    def _migrate_row(self, source_row: int, destination_row: int) -> None:
+        """Copy one row for a Start-Gap movement (a genuine, wearing write)."""
+        contents = self.array.read_row(source_row)
+        result = self.array.write_row(destination_row, contents)
+        self.stats.rows_written += 1
+        self.stats.cells_changed += result.cells_changed
+        self.stats.bits_changed += self._count_changed_bits(result.old_cells, result.stored_cells)
+        self.stats.data_energy_pj += float(
+            self._energy_lut[
+                result.old_cells.astype(np.int64), result.intended_cells.astype(np.int64)
+            ].sum()
+        )
+        # The auxiliary bits of the migrated row travel with the data.
+        for word_index in range(self.config.words_per_line):
+            self._aux_store[(destination_row, word_index)] = self._aux_store.get(
+                (source_row, word_index), 0
+            )
+        if self.fault_repository is not None:
+            self.fault_repository.observe_write(
+                destination_row, result.intended_cells, result.stored_cells
+            )
+
+    def _count_changed_bits(self, old_cells: np.ndarray, new_cells: np.ndarray) -> int:
+        xor = old_cells.astype(np.int64) ^ new_cells.astype(np.int64)
+        if self.array.bits_per_cell == 1:
+            return int(np.count_nonzero(xor))
+        popcount = np.array([0, 1, 1, 2], dtype=np.int64)
+        return int(popcount[xor].sum())
+
+    def _saw_bits_per_word(
+        self, stored_cells: np.ndarray, intended_cells: np.ndarray
+    ) -> Tuple[int, ...]:
+        popcount = np.array([0, 1, 1, 2], dtype=np.int64)
+        xor = stored_cells.astype(np.int64) ^ intended_cells.astype(np.int64)
+        wrong_bits = popcount[xor] if self.array.bits_per_cell == 2 else (xor != 0).astype(np.int64)
+        cells_per_word = self.array.cells_per_word
+        per_word = []
+        for word_index in range(self.config.words_per_line):
+            start = word_index * cells_per_word
+            per_word.append(int(wrong_bits[start: start + cells_per_word].sum()))
+        return tuple(per_word)
+
+    def _accumulate(self, line: LineWriteResult) -> None:
+        self.stats.words_written += self.config.words_per_line
+        self.stats.rows_written += 1
+        self.stats.bits_changed += line.bits_changed
+        self.stats.cells_changed += line.cells_changed
+        self.stats.data_energy_pj += line.data_energy_pj
+        self.stats.aux_energy_pj += line.aux_energy_pj
+        self.stats.saw_cells += line.saw_cells
+        self.stats.saw_words += sum(1 for w in line.saw_bits_per_word if w)

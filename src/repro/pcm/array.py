@@ -1,0 +1,296 @@
+"""Sparse PCM array model with wear, stuck-at behaviour, and SAW accounting.
+
+The array stores cell values (bits for SLC, 2-bit symbols for MLC) for a
+memory organised as ``rows`` x ``row_bits``.  It supports the two
+operating modes the paper's experiments need:
+
+* **snapshot mode** — a pre-generated :class:`repro.pcm.faultmap.FaultMap`
+  marks a fixed set of cells as stuck before the run and no wear
+  accumulates (Figs. 2, 8, 9, 10);
+* **lifetime mode** — every cell receives an endurance drawn from an
+  :class:`repro.pcm.endurance.EnduranceModel`; each state-changing write
+  increments the cell's wear and the cell becomes stuck at its current
+  value once the wear reaches the endurance (Figs. 11, 12).
+
+Writes go through :meth:`PCMArray.write_row` (or the word-granularity
+convenience :meth:`PCMArray.write_word`), which applies the stuck-cell
+semantics — a stuck cell silently keeps its value — and reports which
+intended cell values could not be stored (stuck-at-wrong, SAW).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.pcm.cell import CellTechnology
+from repro.pcm.endurance import EnduranceModel
+from repro.pcm.faultmap import FaultMap
+from repro.utils.rng import make_rng
+from repro.utils.validation import require, require_divisible
+
+__all__ = ["PCMArray", "RowWriteResult", "word_to_cells", "cells_to_word"]
+
+
+def word_to_cells(word: int, word_bits: int, bits_per_cell: int) -> np.ndarray:
+    """Convert a word integer into an array of cell values (MSB cell first)."""
+    require_divisible(word_bits, bits_per_cell, "word_bits must be a multiple of bits_per_cell")
+    cells = word_bits // bits_per_cell
+    mask = (1 << bits_per_cell) - 1
+    values = np.empty(cells, dtype=np.uint8)
+    for index in range(cells):
+        shift = bits_per_cell * (cells - 1 - index)
+        values[index] = (word >> shift) & mask
+    return values
+
+
+def cells_to_word(cells: Sequence[int], bits_per_cell: int) -> int:
+    """Inverse of :func:`word_to_cells`."""
+    word = 0
+    mask = (1 << bits_per_cell) - 1
+    for value in cells:
+        value = int(value)
+        if value < 0 or value > mask:
+            raise ConfigurationError(
+                f"cell value {value} does not fit in {bits_per_cell} bits"
+            )
+        word = (word << bits_per_cell) | value
+    return word
+
+
+@dataclass
+class RowWriteResult:
+    """Outcome of a single row write.
+
+    Attributes
+    ----------
+    old_cells:
+        Cell values before the write.
+    intended_cells:
+        The values the caller asked to store.
+    stored_cells:
+        The values actually present after the write (stuck cells keep
+        their stuck value).
+    changed_mask:
+        Boolean mask of cells whose stored value changed.
+    saw_mask:
+        Boolean mask of stuck cells whose stored value differs from the
+        intended value (stuck-at-wrong).
+    newly_stuck:
+        Number of cells that exceeded their endurance during this write
+        (always 0 in snapshot mode).
+    """
+
+    old_cells: np.ndarray
+    intended_cells: np.ndarray
+    stored_cells: np.ndarray
+    changed_mask: np.ndarray
+    saw_mask: np.ndarray
+    newly_stuck: int = 0
+
+    @property
+    def cells_changed(self) -> int:
+        """Number of cells whose stored value changed."""
+        return int(self.changed_mask.sum())
+
+    @property
+    def saw_count(self) -> int:
+        """Number of stuck-at-wrong cells produced by this write."""
+        return int(self.saw_mask.sum())
+
+
+class PCMArray:
+    """A rows x cells PCM array with stuck-at and wear semantics.
+
+    Parameters
+    ----------
+    rows:
+        Number of rows in the array.
+    row_bits:
+        Row width in bits (default 512, one cache line per row).
+    technology:
+        :class:`CellTechnology.SLC` or :class:`CellTechnology.MLC`.
+    fault_map:
+        Optional pre-generated stuck-at fault map (snapshot mode).
+    endurance_model:
+        Optional endurance model (lifetime mode).  May be combined with a
+        fault map, in which case the map's cells start out stuck.
+    seed:
+        Seed controlling the random initial contents and the endurance
+        samples.
+    word_bits:
+        Word granularity used by :meth:`read_word` / :meth:`write_word`.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        row_bits: int = 512,
+        technology: CellTechnology = CellTechnology.MLC,
+        fault_map: Optional[FaultMap] = None,
+        endurance_model: Optional[EnduranceModel] = None,
+        seed: Optional[int] = 0,
+        word_bits: int = 64,
+    ):
+        require(rows > 0, "rows must be positive")
+        require(row_bits > 0, "row_bits must be positive")
+        require_divisible(row_bits, technology.bits_per_cell, "row_bits must hold whole cells")
+        require_divisible(row_bits, word_bits, "row_bits must hold whole words")
+        require_divisible(word_bits, technology.bits_per_cell, "word_bits must hold whole cells")
+        self.rows = rows
+        self.row_bits = row_bits
+        self.word_bits = word_bits
+        self.technology = technology
+        self.bits_per_cell = technology.bits_per_cell
+        self.cells_per_row = row_bits // self.bits_per_cell
+        self.cells_per_word = word_bits // self.bits_per_cell
+        self.words_per_row = row_bits // word_bits
+        self.fault_map = fault_map
+        self.endurance_model = endurance_model
+        self.seed = seed
+
+        if fault_map is not None:
+            if fault_map.rows < rows or fault_map.cells_per_row != self.cells_per_row:
+                raise MemoryModelError(
+                    "fault map geometry does not match the array "
+                    f"(map: {fault_map.rows}x{fault_map.cells_per_row}, "
+                    f"array: {rows}x{self.cells_per_row})"
+                )
+
+        rng = make_rng(seed, "pcm-array-init")
+        levels = technology.levels
+        self._cells = rng.integers(0, levels, size=(rows, self.cells_per_row)).astype(np.uint8)
+        self._stuck = np.zeros((rows, self.cells_per_row), dtype=bool)
+
+        if fault_map is not None:
+            for row_index in fault_map.faulty_rows():
+                if row_index >= rows:
+                    continue
+                faults = fault_map.row_faults(row_index)
+                self._stuck[row_index, faults.positions] = True
+                self._cells[row_index, faults.positions] = faults.stuck_values.astype(np.uint8)
+
+        if endurance_model is not None:
+            total_cells = rows * self.cells_per_row
+            lifetimes = endurance_model.sample(total_cells, rng=make_rng(seed, "pcm-endurance"))
+            self._endurance = lifetimes.reshape(rows, self.cells_per_row)
+            self._wear = np.zeros((rows, self.cells_per_row), dtype=np.int64)
+        else:
+            self._endurance = None
+            self._wear = None
+
+    # ---------------------------------------------------------------- reads
+    def read_row(self, row_index: int) -> np.ndarray:
+        """Return a copy of the current cell values of ``row_index``."""
+        self._check_row(row_index)
+        return self._cells[row_index].copy()
+
+    def read_word(self, row_index: int, word_index: int) -> int:
+        """Return the word at ``(row_index, word_index)`` as an integer."""
+        cells = self.read_word_cells(row_index, word_index)
+        return cells_to_word(cells, self.bits_per_cell)
+
+    def read_word_cells(self, row_index: int, word_index: int) -> np.ndarray:
+        """Return a copy of the cells backing one word."""
+        self._check_row(row_index)
+        self._check_word(word_index)
+        start = word_index * self.cells_per_word
+        return self._cells[row_index, start: start + self.cells_per_word].copy()
+
+    def stuck_info(self, row_index: int) -> np.ndarray:
+        """Return the boolean stuck mask of a row (copy)."""
+        self._check_row(row_index)
+        return self._stuck[row_index].copy()
+
+    def word_stuck_info(self, row_index: int, word_index: int) -> np.ndarray:
+        """Return the stuck mask of the cells backing one word (copy)."""
+        self._check_row(row_index)
+        self._check_word(word_index)
+        start = word_index * self.cells_per_word
+        return self._stuck[row_index, start: start + self.cells_per_word].copy()
+
+    # --------------------------------------------------------------- writes
+    def write_row(self, row_index: int, intended_cells: Sequence[int]) -> RowWriteResult:
+        """Write a full row of cell values, honouring stuck cells and wear.
+
+        Parameters
+        ----------
+        row_index:
+            Target row.
+        intended_cells:
+            ``cells_per_row`` cell values the caller wants stored.
+        """
+        self._check_row(row_index)
+        intended = np.asarray(intended_cells, dtype=np.uint8)
+        if intended.shape != (self.cells_per_row,):
+            raise MemoryModelError(
+                f"expected {self.cells_per_row} cell values, got shape {intended.shape}"
+            )
+        if intended.max(initial=0) >= self.technology.levels:
+            raise MemoryModelError("cell value outside the technology's level range")
+
+        old = self._cells[row_index].copy()
+        stuck = self._stuck[row_index]
+        stored = np.where(stuck, old, intended)
+        changed = stored != old
+
+        newly_stuck = 0
+        if self._wear is not None:
+            wear_row = self._wear[row_index]
+            wear_row[changed] += 1
+            exceeded = (~stuck) & (wear_row >= self._endurance[row_index])
+            newly_stuck = int(exceeded.sum())
+            if newly_stuck:
+                self._stuck[row_index] |= exceeded
+
+        self._cells[row_index] = stored
+        saw_mask = self._stuck[row_index] & (self._cells[row_index] != intended)
+        return RowWriteResult(
+            old_cells=old,
+            intended_cells=intended,
+            stored_cells=stored.copy(),
+            changed_mask=changed,
+            saw_mask=saw_mask,
+            newly_stuck=newly_stuck,
+        )
+
+    def write_word(self, row_index: int, word_index: int, word: int) -> RowWriteResult:
+        """Write a single word, leaving the rest of the row untouched."""
+        self._check_row(row_index)
+        self._check_word(word_index)
+        intended_row = self._cells[row_index].copy()
+        start = word_index * self.cells_per_word
+        intended_row[start: start + self.cells_per_word] = word_to_cells(
+            word, self.word_bits, self.bits_per_cell
+        )
+        return self.write_row(row_index, intended_row)
+
+    # ---------------------------------------------------------- diagnostics
+    def stuck_cell_count(self) -> int:
+        """Total number of stuck cells in the array."""
+        return int(self._stuck.sum())
+
+    def wear_of_row(self, row_index: int) -> np.ndarray:
+        """Return a copy of the per-cell wear counters of a row."""
+        self._check_row(row_index)
+        if self._wear is None:
+            return np.zeros(self.cells_per_row, dtype=np.int64)
+        return self._wear[row_index].copy()
+
+    def row_cells(self) -> int:
+        """Number of cells per row (convenience alias)."""
+        return self.cells_per_row
+
+    # ------------------------------------------------------------ internals
+    def _check_row(self, row_index: int) -> None:
+        if not 0 <= row_index < self.rows:
+            raise MemoryModelError(f"row index {row_index} out of range [0, {self.rows})")
+
+    def _check_word(self, word_index: int) -> None:
+        if not 0 <= word_index < self.words_per_row:
+            raise MemoryModelError(
+                f"word index {word_index} out of range [0, {self.words_per_row})"
+            )

@@ -1,0 +1,99 @@
+"""PCM cell definitions.
+
+A PCM cell stores information in the resistance of a chalcogenide element.
+Single-level cells (SLC) discriminate two resistance regions (one bit);
+multi-level cells (MLC) divide the same range into four regions (two bits).
+Following the prototype device used by the paper, the four MLC levels are
+Gray coded so that adjacent resistance levels differ in a single bit:
+
+======  ==============  ======================
+level   resistance      symbol (left, right)
+======  ==============  ======================
+0       lowest (SET)    ``11``
+1       intermediate    ``10``
+2       intermediate    ``00``... (see note)
+======  ==============  ======================
+
+The exact assignment of symbols to resistance levels does not change any
+result in this repository — what matters, and what Table I of the paper
+encodes, is that programming a symbol whose *right digit is one* requires
+the expensive program-and-verify sequence used for intermediate states,
+while the other symbols can be reached with a single SET or RESET pulse.
+The canonical Gray ordering used throughout is ``00 -> 01 -> 11 -> 10``
+(:data:`MLC_GRAY_LEVELS`), i.e. level index ``k`` stores symbol
+``MLC_GRAY_LEVELS[k]``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CellTechnology",
+    "MLC_GRAY_LEVELS",
+    "MLC_SYMBOL_TO_LEVEL",
+    "bits_per_cell",
+    "gray_level_to_symbol",
+    "symbol_to_gray_level",
+    "is_intermediate_symbol",
+]
+
+
+class CellTechnology(enum.Enum):
+    """Supported PCM cell technologies."""
+
+    SLC = "slc"
+    MLC = "mlc"
+
+    @property
+    def bits_per_cell(self) -> int:
+        """Number of logical bits stored per physical cell."""
+        return 1 if self is CellTechnology.SLC else 2
+
+    @property
+    def levels(self) -> int:
+        """Number of distinguishable resistance levels."""
+        return 2 if self is CellTechnology.SLC else 4
+
+
+#: Gray-code sequence of 2-bit symbols ordered from the lowest to the
+#: highest resistance level.  Adjacent levels differ in exactly one bit.
+MLC_GRAY_LEVELS: List[int] = [0b00, 0b01, 0b11, 0b10]
+
+#: Inverse of :data:`MLC_GRAY_LEVELS`: symbol value -> resistance level index.
+MLC_SYMBOL_TO_LEVEL = {symbol: level for level, symbol in enumerate(MLC_GRAY_LEVELS)}
+
+
+def bits_per_cell(technology: CellTechnology) -> int:
+    """Return the number of logical bits stored by one cell."""
+    return technology.bits_per_cell
+
+
+def gray_level_to_symbol(level: int) -> int:
+    """Map a resistance-level index (0..3) to its Gray-coded 2-bit symbol."""
+    if not 0 <= level < len(MLC_GRAY_LEVELS):
+        raise ConfigurationError(f"MLC level must be in [0, 3], got {level}")
+    return MLC_GRAY_LEVELS[level]
+
+
+def symbol_to_gray_level(symbol: int) -> int:
+    """Map a 2-bit symbol to its resistance-level index (0..3)."""
+    if symbol not in MLC_SYMBOL_TO_LEVEL:
+        raise ConfigurationError(f"MLC symbol must be in [0, 3], got {symbol}")
+    return MLC_SYMBOL_TO_LEVEL[symbol]
+
+
+def is_intermediate_symbol(symbol: int) -> bool:
+    """Return True if programming ``symbol`` requires an intermediate level.
+
+    Per Table I of the paper, the expensive transitions are exactly those
+    whose *new* symbol has a right digit of one (symbols ``01`` and ``11``);
+    these correspond to the partially-crystallised intermediate resistance
+    states that need the long program-and-verify sequence.
+    """
+    if symbol not in MLC_SYMBOL_TO_LEVEL:
+        raise ConfigurationError(f"MLC symbol must be in [0, 3], got {symbol}")
+    return bool(symbol & 1)

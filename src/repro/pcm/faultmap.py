@@ -1,0 +1,211 @@
+"""Pre-generated stuck-at fault maps.
+
+Several experiments in the paper (Figs. 2, 8, 9, 10) stress the encoders
+against a memory "snapshot" with an extreme, fixed fault incidence rate of
+1e-2: a fraction of cells is already stuck (at a random symbol) before the
+experiment starts and no additional wear accumulates during the run.  This
+module generates those maps.
+
+Faults are expressed at *cell* granularity: for SLC a cell is one bit, for
+MLC a cell is one 2-bit symbol that is stuck at one of the four levels.
+Optionally, faults can be spatially clustered so that rows containing one
+fault are more likely to contain several (process variation correlates
+weak cells within a row, Section II-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.pcm.cell import CellTechnology
+from repro.utils.rng import make_rng
+from repro.utils.validation import require, require_in_range
+
+__all__ = ["RowFaults", "FaultMap"]
+
+
+@dataclass(frozen=True)
+class RowFaults:
+    """Faulty cells of a single row.
+
+    Attributes
+    ----------
+    positions:
+        Sorted cell indices (within the row) that are stuck.
+    stuck_values:
+        The value each stuck cell holds (bit for SLC, symbol for MLC),
+        aligned with ``positions``.
+    """
+
+    positions: np.ndarray
+    stuck_values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.positions) != len(self.stuck_values):
+            raise ConfigurationError("positions and stuck_values must have equal length")
+
+    @property
+    def count(self) -> int:
+        """Number of faulty cells in the row."""
+        return int(len(self.positions))
+
+    def in_word(self, word_index: int, cells_per_word: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the faults that fall inside one word of the row.
+
+        Parameters
+        ----------
+        word_index:
+            Index of the word within the row.
+        cells_per_word:
+            Number of cells per word (64 for SLC words, 32 for MLC words).
+
+        Returns
+        -------
+        tuple
+            ``(local_positions, stuck_values)`` where positions are
+            relative to the start of the word.
+        """
+        start = word_index * cells_per_word
+        end = start + cells_per_word
+        mask = (self.positions >= start) & (self.positions < end)
+        return self.positions[mask] - start, self.stuck_values[mask]
+
+
+class FaultMap:
+    """A sparse map of stuck-at cells for a memory of ``rows`` x ``cells_per_row``.
+
+    Parameters
+    ----------
+    rows:
+        Number of memory rows covered by the map.
+    cells_per_row:
+        Cells per row (256 for a 512-bit MLC row, 512 for a 512-bit SLC row).
+    technology:
+        Cell technology; determines the range of stuck values.
+    fault_rate:
+        Probability that any given cell is stuck (paper: 1e-2 for the
+        stress-test snapshots).
+    clustering:
+        Spatial-correlation knob in ``[0, 1)``.  Zero gives independent
+        faults; larger values concentrate the same total number of faults
+        into fewer rows, mimicking correlated process variation.
+    stuck_values:
+        Which values a failed cell can be stuck at.  ``"extremes"`` (the
+        default) restricts MLC cells to the two end-of-range resistance
+        states of the Gray sequence (the physical stuck-at-SET /
+        stuck-at-RESET failure modes of Section II-A); ``"any"`` allows any
+        level, which models mid-range drift failures.  SLC cells always
+        stick at 0 or 1.
+    seed:
+        Seed for the map; two maps built with the same parameters and seed
+        are identical.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cells_per_row: int,
+        technology: CellTechnology = CellTechnology.MLC,
+        fault_rate: float = 1e-2,
+        clustering: float = 0.0,
+        stuck_values: str = "extremes",
+        seed: Optional[int] = 0,
+    ):
+        require(rows > 0, "rows must be positive")
+        require(cells_per_row > 0, "cells_per_row must be positive")
+        require_in_range(fault_rate, 0.0, 1.0, "fault_rate")
+        require_in_range(clustering, 0.0, 0.999, "clustering")
+        require(stuck_values in ("extremes", "any"), "stuck_values must be 'extremes' or 'any'")
+        self.rows = rows
+        self.cells_per_row = cells_per_row
+        self.technology = technology
+        self.fault_rate = fault_rate
+        self.clustering = clustering
+        self.stuck_values = stuck_values
+        self.seed = seed
+        self._rows: Dict[int, RowFaults] = {}
+        self._generate()
+
+    # ------------------------------------------------------------ creation
+    def _generate(self) -> None:
+        rng = make_rng(self.seed, "faultmap")
+        total_cells = self.rows * self.cells_per_row
+        expected_faults = int(round(total_cells * self.fault_rate))
+        if expected_faults == 0:
+            return
+        max_value = self.technology.levels
+        if self.clustering <= 0.0:
+            # Independent faults: draw the number per row from a binomial.
+            fault_counts = rng.binomial(self.cells_per_row, self.fault_rate, size=self.rows)
+        else:
+            # Concentrate the same expected number of faults into a subset
+            # of "weak" rows.
+            weak_fraction = max(1.0 - self.clustering, 1.0 / self.rows)
+            weak_rows = max(1, int(round(self.rows * weak_fraction)))
+            per_weak_row_rate = min(1.0, self.fault_rate / weak_fraction)
+            fault_counts = np.zeros(self.rows, dtype=np.int64)
+            weak_indices = rng.choice(self.rows, size=weak_rows, replace=False)
+            fault_counts[weak_indices] = rng.binomial(
+                self.cells_per_row, per_weak_row_rate, size=weak_rows
+            )
+        if self.technology is CellTechnology.MLC and self.stuck_values == "extremes":
+            # Physical stuck-at faults land in the extreme resistance states
+            # (full SET / full RESET), i.e. the two ends of the Gray level
+            # sequence.
+            from repro.pcm.cell import MLC_GRAY_LEVELS
+
+            allowed_values = np.array([MLC_GRAY_LEVELS[0], MLC_GRAY_LEVELS[-1]], dtype=np.int64)
+        else:
+            allowed_values = np.arange(max_value, dtype=np.int64)
+        for row_index in np.nonzero(fault_counts)[0]:
+            count = int(fault_counts[row_index])
+            positions = np.sort(
+                rng.choice(self.cells_per_row, size=count, replace=False)
+            ).astype(np.int64)
+            stuck_values = allowed_values[
+                rng.integers(0, len(allowed_values), size=count)
+            ].astype(np.int64)
+            self._rows[int(row_index)] = RowFaults(positions=positions, stuck_values=stuck_values)
+
+    # -------------------------------------------------------------- access
+    def row_faults(self, row_index: int) -> RowFaults:
+        """Return the faults of ``row_index`` (possibly empty)."""
+        if not 0 <= row_index < self.rows:
+            raise MemoryModelError(
+                f"row index {row_index} outside fault map with {self.rows} rows"
+            )
+        if row_index in self._rows:
+            return self._rows[row_index]
+        empty = np.empty(0, dtype=np.int64)
+        return RowFaults(positions=empty, stuck_values=empty)
+
+    def has_faults(self, row_index: int) -> bool:
+        """Return True if ``row_index`` contains at least one stuck cell."""
+        return row_index in self._rows
+
+    def faulty_rows(self) -> Iterator[int]:
+        """Iterate over the indices of rows that contain faults."""
+        return iter(sorted(self._rows))
+
+    @property
+    def total_faults(self) -> int:
+        """Total number of stuck cells in the map."""
+        return sum(faults.count for faults in self._rows.values())
+
+    @property
+    def observed_fault_rate(self) -> float:
+        """Fraction of cells that are stuck (empirical rate of the map)."""
+        return self.total_faults / float(self.rows * self.cells_per_row)
+
+    def stuck_array(self, row_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Dense per-cell view of one row: ``(is_stuck, stuck_value)`` arrays."""
+        faults = self.row_faults(row_index)
+        is_stuck = np.zeros(self.cells_per_row, dtype=bool)
+        stuck_value = np.zeros(self.cells_per_row, dtype=np.int64)
+        is_stuck[faults.positions] = True
+        stuck_value[faults.positions] = faults.stuck_values
+        return is_stuck, stuck_value

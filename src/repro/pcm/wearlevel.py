@@ -1,0 +1,108 @@
+"""Start-Gap wear leveling.
+
+The paper's lifetime methodology cites Start-Gap (Qureshi et al., MICRO
+2009) as the standard way PCM main memories spread writes across rows: one
+spare ("gap") row is kept unused, and after every ``gap_write_interval``
+serviced writes the row adjacent to the gap is copied into it, so the gap
+walks through the array and the logical-to-physical mapping slowly rotates.
+Hot logical rows therefore do not keep hammering the same physical cells.
+
+The model here tracks the exact logical/physical permutation and reports
+every gap movement as a ``(source, destination)`` physical-row copy so the
+memory controller can perform the migration as a genuine (wearing) write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError, MemoryModelError
+
+__all__ = ["StartGapWearLeveler"]
+
+
+class StartGapWearLeveler:
+    """Start-Gap logical-to-physical row remapping.
+
+    Parameters
+    ----------
+    rows:
+        Number of *logical* rows exposed to the controller.  The physical
+        array must provide ``rows + 1`` rows (the extra one is the gap).
+    gap_write_interval:
+        Number of serviced writes between gap movements (Qureshi et al.
+        use 100; smaller values level more aggressively at a higher
+        write-amplification cost).
+    """
+
+    def __init__(self, rows: int, gap_write_interval: int = 100):
+        if rows <= 0:
+            raise ConfigurationError("rows must be positive")
+        if gap_write_interval <= 0:
+            raise ConfigurationError("gap_write_interval must be positive")
+        self.rows = rows
+        self.gap_write_interval = gap_write_interval
+        #: logical row -> physical row (initially the identity).
+        self._logical_to_physical: Dict[int, int] = {row: row for row in range(rows)}
+        #: physical row -> logical row (the gap has no entry).
+        self._physical_to_logical: Dict[int, int] = {row: row for row in range(rows)}
+        #: Physical index of the gap (initially the spare row at the end).
+        self._gap = rows
+        #: Writes serviced since the last gap movement.
+        self._writes_since_move = 0
+        #: Total gap movements (each movement copies one row in hardware).
+        self.gap_moves = 0
+
+    # ------------------------------------------------------------- mapping
+    @property
+    def physical_rows_required(self) -> int:
+        """Physical rows needed to host ``rows`` logical rows plus the gap."""
+        return self.rows + 1
+
+    def physical_row(self, logical_row: int) -> int:
+        """Translate a logical row index to its current physical row."""
+        if not 0 <= logical_row < self.rows:
+            raise MemoryModelError(
+                f"logical row {logical_row} out of range [0, {self.rows})"
+            )
+        return self._logical_to_physical[logical_row]
+
+    @property
+    def gap_position(self) -> int:
+        """Current physical position of the gap row."""
+        return self._gap
+
+    # -------------------------------------------------------------- writes
+    def record_write(self) -> Optional[Tuple[int, int]]:
+        """Account one serviced write; move the gap when the interval elapses.
+
+        Returns ``None`` when the gap did not move, otherwise the pair
+        ``(source_physical_row, destination_physical_row)`` describing the
+        row copy hardware performs: the row in the physical slot just below
+        the gap (wrapping around the array) moves into the gap's old
+        position, and that slot becomes the new gap.
+        """
+        self._writes_since_move += 1
+        if self._writes_since_move < self.gap_write_interval:
+            return None
+        self._writes_since_move = 0
+        self.gap_moves += 1
+        total = self.rows + 1
+        source = (self._gap - 1) % total
+        destination = self._gap
+        logical = self._physical_to_logical.pop(source)
+        self._physical_to_logical[destination] = logical
+        self._logical_to_physical[logical] = destination
+        self._gap = source
+        return (source, destination)
+
+    # --------------------------------------------------------- diagnostics
+    def mapping_snapshot(self) -> Dict[int, int]:
+        """Return a copy of the current logical -> physical mapping."""
+        return dict(self._logical_to_physical)
+
+    def write_amplification(self, total_writes: int) -> float:
+        """Extra writes caused by gap movement, as a fraction of ``total_writes``."""
+        if total_writes <= 0:
+            return 0.0
+        return self.gap_moves / total_writes

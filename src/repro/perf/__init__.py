@@ -1,0 +1,15 @@
+"""System-performance model (Table II, Fig. 13).
+
+The paper measures IPC with the SNIPER full-system simulator.  This
+package substitutes an analytic timing model
+(:mod:`repro.perf.timing`) parameterised by the Table II system
+(:mod:`repro.perf.config`): the only difference between techniques is the
+extra read-modify-write encoding latency they add to each dirty-line
+writeback, so normalised IPC follows from each benchmark's writeback rate
+and the encoder delay reported by the hardware model.
+"""
+
+from repro.perf.config import SystemConfig, TABLE_II_SYSTEM
+from repro.perf.timing import PerformanceModel, PerformanceResult
+
+__all__ = ["PerformanceModel", "PerformanceResult", "SystemConfig", "TABLE_II_SYSTEM"]

@@ -1,0 +1,63 @@
+"""Architecture parameters of the performance study (Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SystemConfig", "TABLE_II_SYSTEM"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The simulated system of Table II.
+
+    Attributes mirror the table: a 4-core, 4-issue out-of-order CPU at
+    1 GHz with private L1/L2 caches, and a 2 GiB MLC PCM main memory with
+    512-bit rows, two channels, one rank per channel, and eight banks per
+    rank, with a baseline access delay of 84 ns.
+    """
+
+    cores: int = 4
+    issue_width: int = 4
+    frequency_ghz: float = 1.0
+    l1_kib: int = 32
+    l2_kib_per_core: int = 256
+    cache_block_bytes: int = 64
+    row_bits: int = 512
+    word_bits: int = 64
+    memory_gib: int = 2
+    channels: int = 2
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    base_access_delay_ns: float = 84.0
+    baseline_ipc: float = 1.0
+    #: Fraction of the extra writeback occupancy that ends up stalling the
+    #: core (writes are mostly off the critical path; contention exposes a
+    #: portion of the added latency).
+    write_stall_exposure: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.issue_width <= 0:
+            raise ConfigurationError("cores and issue_width must be positive")
+        if self.frequency_ghz <= 0:
+            raise ConfigurationError("frequency_ghz must be positive")
+        if self.base_access_delay_ns <= 0:
+            raise ConfigurationError("base_access_delay_ns must be positive")
+        if not 0.0 <= self.write_stall_exposure <= 1.0:
+            raise ConfigurationError("write_stall_exposure must be in [0, 1]")
+
+    @property
+    def total_banks(self) -> int:
+        """Total number of independent PCM banks."""
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def cycle_ns(self) -> float:
+        """CPU cycle time in nanoseconds."""
+        return 1.0 / self.frequency_ghz
+
+
+#: The exact configuration of Table II.
+TABLE_II_SYSTEM = SystemConfig()

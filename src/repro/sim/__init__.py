@@ -1,0 +1,45 @@
+"""Experiment simulators.
+
+Each module drives the memory-controller pipeline against the PCM array
+model for one family of experiments:
+
+* :mod:`repro.sim.energy_sim` — dynamic write energy (Figs. 7 and 9);
+* :mod:`repro.sim.saw_sim` — stuck-at-wrong mitigation against a fixed
+  fault-map snapshot (Figs. 2, 8, 10);
+* :mod:`repro.sim.lifetime_sim` — wear-out lifetime with per-cell
+  endurance (Figs. 11 and 12);
+* :mod:`repro.sim.results` — the result containers and table formatting
+  shared by the experiment entry points and the benchmark harness.
+"""
+
+from repro.sim.results import ResultTable
+from repro.sim.energy_sim import (
+    EnergyStudyConfig,
+    benchmark_energy_study,
+    random_data_energy_study,
+)
+from repro.sim.saw_sim import (
+    SawStudyConfig,
+    benchmark_saw_study,
+    fault_masking_study,
+    saw_vs_coset_count_study,
+)
+from repro.sim.lifetime_sim import LifetimeStudyConfig, lifetime_study, mean_lifetime_by_coset_count
+from repro.sim.repetition import RepeatedMetric, aggregate_columns, repeat_metric
+
+__all__ = [
+    "EnergyStudyConfig",
+    "LifetimeStudyConfig",
+    "RepeatedMetric",
+    "ResultTable",
+    "SawStudyConfig",
+    "aggregate_columns",
+    "repeat_metric",
+    "benchmark_energy_study",
+    "benchmark_saw_study",
+    "fault_masking_study",
+    "lifetime_study",
+    "mean_lifetime_by_coset_count",
+    "random_data_energy_study",
+    "saw_vs_coset_count_study",
+]

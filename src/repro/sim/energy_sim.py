@@ -1,0 +1,184 @@
+"""Dynamic write-energy studies (Figs. 7 and 9).
+
+Two experiments share this module:
+
+* :func:`random_data_energy_study` — the preliminary study of Section V-B
+  (Fig. 7): uniformly random data is written repeatedly to a small MLC
+  memory and the total write energy of RCC, VCC with generated kernels,
+  VCC with stored kernels, and the unencoded baseline is compared across
+  coset counts.
+* :func:`benchmark_energy_study` — the full evaluation of Section VI-B
+  (Fig. 9): encrypted writeback traces of the SPEC-like benchmarks are
+  written to a memory with a fixed 1e-2 stuck-at fault snapshot, and the
+  write energy of VCC / RCC under both cost-function orderings
+  ("Opt. Energy" = energy first, SAW second; "Opt. SAW" = the reverse) is
+  compared with the unencoded baseline.  Energy accounting includes the
+  auxiliary bits, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.pcm.cell import CellTechnology
+from repro.pcm.faultmap import FaultMap
+from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines, drive_trace
+from repro.sim.results import ResultTable
+from repro.traces.spec import list_benchmarks
+from repro.traces.synthetic import generate_trace
+from repro.utils.rng import derive_seed
+
+__all__ = ["EnergyStudyConfig", "random_data_energy_study", "benchmark_energy_study"]
+
+#: Benchmarks used by default in the per-benchmark studies (a subset keeps
+#: pure-Python runtimes reasonable; pass ``benchmarks=list_benchmarks()``
+#: for the full suite).
+DEFAULT_BENCHMARKS = ("lbm", "mcf", "bwaves", "fotonik3d", "xalancbmk", "xz")
+
+
+@dataclass(frozen=True)
+class EnergyStudyConfig:
+    """Shared knobs of the energy studies (scaled down from the paper).
+
+    The paper writes 100,000 random lines to a 2 GB memory; the defaults
+    here use a far smaller memory and write count so the study runs in
+    seconds of pure Python while preserving the relative energy savings.
+    """
+
+    rows: int = 128
+    num_writes: int = 400
+    word_bits: int = 64
+    line_bits: int = 512
+    technology: CellTechnology = CellTechnology.MLC
+    fault_rate: float = 1e-2
+    seed: int = 2022
+
+
+def random_data_energy_study(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    config: EnergyStudyConfig = EnergyStudyConfig(),
+) -> ResultTable:
+    """Fig. 7: write energy of RCC / VCC-generated / VCC-stored / unencoded.
+
+    Returns a table with one row per (coset count, technique) holding the
+    total write energy (data + auxiliary bits) and the saving relative to
+    the unencoded baseline.
+    """
+    table = ResultTable(
+        title="Fig. 7 — write energy vs. coset count (random data, MLC PCM)",
+        columns=["cosets", "technique", "total_energy_pj", "saving_percent"],
+        notes="scaled-down memory/write count; savings are relative to unencoded",
+    )
+    techniques = [
+        TechniqueSpec(encoder="unencoded", cost="energy", label="Unencoded"),
+        TechniqueSpec(encoder="rcc", cost="energy", label="RCC"),
+        TechniqueSpec(encoder="vcc", cost="energy", label="VCC-Generated"),
+        TechniqueSpec(encoder="vcc-stored", cost="energy", label="VCC-Stored"),
+    ]
+    for cosets in coset_counts:
+        baseline_energy: Optional[float] = None
+        for spec in techniques:
+            spec_with_count = TechniqueSpec(
+                encoder=spec.encoder, cost=spec.cost, num_cosets=cosets, label=spec.label
+            )
+            controller = build_controller(
+                spec_with_count,
+                rows=config.rows,
+                technology=config.technology,
+                word_bits=config.word_bits,
+                line_bits=config.line_bits,
+                seed=derive_seed(config.seed, f"fig7-{spec.label}-{cosets}"),
+                encrypt=True,
+            )
+            drive_random_lines(
+                controller,
+                config.num_writes,
+                seed=derive_seed(config.seed, f"fig7-writes-{cosets}"),
+            )
+            energy = controller.stats.total_energy_pj
+            if spec.encoder == "unencoded":
+                baseline_energy = energy
+            saving = (
+                0.0
+                if baseline_energy in (None, 0.0)
+                else 100.0 * (baseline_energy - energy) / baseline_energy
+            )
+            table.append(
+                cosets=cosets,
+                technique=spec.label,
+                total_energy_pj=energy,
+                saving_percent=saving,
+            )
+    return table
+
+
+def benchmark_energy_study(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    num_cosets: int = 256,
+    writebacks_per_benchmark: int = 300,
+    config: EnergyStudyConfig = EnergyStudyConfig(),
+) -> ResultTable:
+    """Fig. 9: per-benchmark write energy for both cost-function orderings.
+
+    For each benchmark the table holds the unencoded baseline, VCC and RCC
+    optimising energy first ("Opt. Energy") and SAW first ("Opt. SAW"),
+    against a memory snapshot with a fixed stuck-at fault rate.
+    """
+    table = ResultTable(
+        title="Fig. 9 — per-benchmark write energy (fixed 1e-2 fault snapshot, MLC PCM)",
+        columns=["benchmark", "technique", "total_energy_pj", "saving_percent"],
+        notes="VCC/RCC use {} cosets; energy includes auxiliary bits".format(num_cosets),
+    )
+    techniques = [
+        TechniqueSpec(encoder="unencoded", cost="energy", label="Unencoded"),
+        TechniqueSpec(encoder="vcc", cost="energy-then-saw", num_cosets=num_cosets, label="VCC Opt. Energy"),
+        TechniqueSpec(encoder="vcc", cost="saw-then-energy", num_cosets=num_cosets, label="VCC Opt. SAW"),
+        TechniqueSpec(encoder="rcc", cost="energy-then-saw", num_cosets=num_cosets, label="RCC Opt. Energy"),
+        TechniqueSpec(encoder="rcc", cost="saw-then-energy", num_cosets=num_cosets, label="RCC Opt. SAW"),
+    ]
+    cells_per_row = config.line_bits // config.technology.bits_per_cell
+    for benchmark in benchmarks:
+        trace = generate_trace(
+            benchmark,
+            num_writebacks=writebacks_per_benchmark,
+            memory_lines=config.rows,
+            line_bits=config.line_bits,
+            word_bits=config.word_bits,
+            seed=derive_seed(config.seed, f"fig9-trace-{benchmark}"),
+        )
+        fault_map = FaultMap(
+            rows=config.rows,
+            cells_per_row=cells_per_row,
+            technology=config.technology,
+            fault_rate=config.fault_rate,
+            seed=derive_seed(config.seed, f"fig9-faults-{benchmark}"),
+        )
+        baseline_energy: Optional[float] = None
+        for spec in techniques:
+            controller = build_controller(
+                spec,
+                rows=config.rows,
+                technology=config.technology,
+                word_bits=config.word_bits,
+                line_bits=config.line_bits,
+                fault_map=fault_map,
+                seed=derive_seed(config.seed, f"fig9-{benchmark}-{spec.label}"),
+                encrypt=True,
+            )
+            drive_trace(controller, trace)
+            energy = controller.stats.total_energy_pj
+            if spec.encoder == "unencoded":
+                baseline_energy = energy
+            saving = (
+                0.0
+                if baseline_energy in (None, 0.0)
+                else 100.0 * (baseline_energy - energy) / baseline_energy
+            )
+            table.append(
+                benchmark=benchmark,
+                technique=spec.label,
+                total_energy_pj=energy,
+                saving_percent=saving,
+            )
+    return table

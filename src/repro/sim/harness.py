@@ -1,0 +1,176 @@
+"""Shared plumbing for the experiment simulators.
+
+Every experiment builds the same stack — fault map / endurance model,
+PCM array, encoder (by registry name with a cost function), memory
+controller — and then drives it with either random lines or a synthetic
+benchmark trace.  This module centralises that construction so the
+per-figure simulators stay small and uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.cost import (
+    BitChangeCost,
+    CellChangeCost,
+    CostFunction,
+    EnergyCost,
+    OnesCost,
+    SawCost,
+    energy_then_saw,
+    saw_then_energy,
+)
+from repro.coding.registry import make_encoder
+from repro.errors import ConfigurationError, SimulationError
+from repro.memctrl.config import ControllerConfig
+from repro.memctrl.controller import MemoryController
+from repro.pcm.array import PCMArray
+from repro.pcm.cell import CellTechnology
+from repro.pcm.endurance import EnduranceModel
+from repro.pcm.energy import DEFAULT_MLC_ENERGY, MLCEnergyModel
+from repro.pcm.faultmap import FaultMap
+from repro.traces.trace import Trace
+from repro.utils.bitops import random_word
+from repro.utils.rng import make_rng
+
+__all__ = ["TechniqueSpec", "build_controller", "drive_random_lines", "drive_trace", "make_cost"]
+
+#: Cost-function spellings accepted by :class:`TechniqueSpec.cost`.
+_COST_NAMES = (
+    "bit-changes",
+    "cell-changes",
+    "ones",
+    "energy",
+    "saw",
+    "energy-then-saw",
+    "saw-then-energy",
+)
+
+
+def make_cost(
+    name: str,
+    technology: CellTechnology = CellTechnology.MLC,
+    mlc_energy: MLCEnergyModel = DEFAULT_MLC_ENERGY,
+) -> CostFunction:
+    """Build a cost function from its short name."""
+    key = name.lower()
+    if key == "bit-changes":
+        return BitChangeCost()
+    if key == "cell-changes":
+        return CellChangeCost()
+    if key == "ones":
+        return OnesCost()
+    if key == "energy":
+        return EnergyCost(technology, mlc_model=mlc_energy)
+    if key == "saw":
+        return SawCost()
+    if key == "energy-then-saw":
+        return energy_then_saw(technology, mlc_model=mlc_energy)
+    if key == "saw-then-energy":
+        return saw_then_energy(technology, mlc_model=mlc_energy)
+    raise ConfigurationError(f"unknown cost function {name!r}; expected one of {_COST_NAMES}")
+
+
+@dataclass(frozen=True)
+class TechniqueSpec:
+    """One technique line in an experiment.
+
+    Attributes
+    ----------
+    encoder:
+        Registry name (``unencoded``, ``dbi``, ``fnw``, ``dbi/fnw``,
+        ``flipcy``, ``bcc``, ``rcc``, ``vcc``, ``vcc-stored``).
+    cost:
+        Cost-function name from :func:`make_cost`.
+    num_cosets:
+        Coset-candidate count for coset techniques.
+    label:
+        Display label; defaults to the encoder name.
+    corrector:
+        Optional lifetime-study correction budget: ``None`` (any residual
+        wrong bit kills the row), ``"secded"`` or ``"ecp3"``.
+    """
+
+    encoder: str
+    cost: str = "energy-then-saw"
+    num_cosets: int = 256
+    label: str = ""
+    corrector: Optional[str] = None
+
+    def display_name(self) -> str:
+        """Label used in result tables."""
+        return self.label or self.encoder
+
+
+def build_controller(
+    spec: TechniqueSpec,
+    rows: int,
+    technology: CellTechnology = CellTechnology.MLC,
+    word_bits: int = 64,
+    line_bits: int = 512,
+    fault_map: Optional[FaultMap] = None,
+    endurance_model: Optional[EnduranceModel] = None,
+    seed: int = 0,
+    encrypt: bool = True,
+    use_fault_context: bool = True,
+    mlc_energy: MLCEnergyModel = DEFAULT_MLC_ENERGY,
+) -> MemoryController:
+    """Build the full array + encoder + controller stack for one technique."""
+    cost = make_cost(spec.cost, technology, mlc_energy)
+    encoder = make_encoder(
+        spec.encoder,
+        word_bits=word_bits,
+        num_cosets=spec.num_cosets,
+        technology=technology,
+        cost_function=cost,
+        seed=seed,
+    )
+    array = PCMArray(
+        rows=rows,
+        row_bits=line_bits,
+        technology=technology,
+        fault_map=fault_map,
+        endurance_model=endurance_model,
+        seed=seed,
+        word_bits=word_bits,
+    )
+    return MemoryController(
+        array=array,
+        encoder=encoder,
+        config=ControllerConfig(line_bits=line_bits, word_bits=word_bits, encrypt=encrypt),
+        mlc_energy=mlc_energy,
+        use_fault_context=use_fault_context,
+    )
+
+
+def drive_random_lines(
+    controller: MemoryController,
+    num_lines: int,
+    address_space: Optional[int] = None,
+    seed: int = 0,
+) -> None:
+    """Write ``num_lines`` uniformly random cache lines to random addresses."""
+    if num_lines < 0:
+        raise SimulationError("num_lines must be non-negative")
+    rng = make_rng(seed, "random-lines")
+    words_per_line = controller.config.words_per_line
+    address_space = address_space or controller.array.rows
+    for _ in range(num_lines):
+        address = int(rng.integers(0, address_space))
+        words = [random_word(rng, controller.config.word_bits) for _ in range(words_per_line)]
+        controller.write_line(address, words)
+
+
+def drive_trace(controller: MemoryController, trace: Trace, repetitions: int = 1) -> None:
+    """Replay a writeback trace through the controller ``repetitions`` times."""
+    if repetitions < 0:
+        raise SimulationError("repetitions must be non-negative")
+    if trace.word_bits != controller.config.word_bits:
+        raise SimulationError("trace word size does not match the controller")
+    for _ in range(repetitions):
+        for record in trace:
+            controller.write_line(record.address, list(record.words))

@@ -1,0 +1,101 @@
+"""Repetition / aggregation helpers for stochastic experiments.
+
+The paper reports every simulated number as the average of five runs with
+distinct fault-map or endurance permutations.  This module provides the
+equivalent machinery for the repository's experiments: run a seeded
+experiment callable several times, collect a named metric, and report the
+mean, standard deviation, and a normal-approximation confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["RepeatedMetric", "repeat_metric", "aggregate_columns"]
+
+
+@dataclass(frozen=True)
+class RepeatedMetric:
+    """Summary statistics of one metric across experiment repetitions."""
+
+    name: str
+    values: tuple
+    mean: float
+    std: float
+    ci95_low: float
+    ci95_high: float
+
+    @property
+    def repetitions(self) -> int:
+        """Number of repetitions aggregated."""
+        return len(self.values)
+
+
+def _summarise(name: str, values: Sequence[float]) -> RepeatedMetric:
+    if not values:
+        raise SimulationError("cannot summarise an empty set of repetitions")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+        std = math.sqrt(variance)
+        half_width = 1.96 * std / math.sqrt(count)
+    else:
+        std = 0.0
+        half_width = 0.0
+    return RepeatedMetric(
+        name=name,
+        values=tuple(float(v) for v in values),
+        mean=mean,
+        std=std,
+        ci95_low=mean - half_width,
+        ci95_high=mean + half_width,
+    )
+
+
+def repeat_metric(
+    experiment: Callable[[int], float],
+    repetitions: int = 5,
+    base_seed: int = 0,
+    name: str = "metric",
+) -> RepeatedMetric:
+    """Run ``experiment(seed)`` for several seeds and summarise its result.
+
+    Parameters
+    ----------
+    experiment:
+        Callable mapping a seed to a scalar metric (e.g. total energy,
+        writes-to-failure).
+    repetitions:
+        Number of independent runs (the paper uses five).
+    base_seed:
+        First seed; runs use ``base_seed, base_seed + 1, ...``.
+    name:
+        Metric name recorded in the summary.
+    """
+    if repetitions <= 0:
+        raise SimulationError("repetitions must be positive")
+    values = [float(experiment(base_seed + index)) for index in range(repetitions)]
+    return _summarise(name, values)
+
+
+def aggregate_columns(rows: Sequence[Dict[str, float]], columns: Sequence[str]) -> Dict[str, RepeatedMetric]:
+    """Summarise selected numeric columns across a list of result rows.
+
+    Useful for collapsing per-benchmark rows of a
+    :class:`repro.sim.results.ResultTable` into the per-technique means the
+    paper quotes in its text (e.g. "22-28 % average energy saving").
+    """
+    summaries: Dict[str, RepeatedMetric] = {}
+    for column in columns:
+        values: List[float] = []
+        for row in rows:
+            if column not in row:
+                raise SimulationError(f"row is missing column {column!r}")
+            values.append(float(row[column]))
+        summaries[column] = _summarise(column, values)
+    return summaries

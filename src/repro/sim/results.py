@@ -1,0 +1,88 @@
+"""Result containers shared by the experiment harness.
+
+Experiments return a :class:`ResultTable`: an ordered list of homogeneous
+row dictionaries plus enough metadata to print the same rows/series the
+paper's figures report.  The class deliberately stays close to a plain
+list of dicts so benchmark code and tests can assert on values directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import SimulationError
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """An ordered collection of result rows for one experiment."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def append(self, **values: Any) -> None:
+        """Append a row; every configured column must be supplied."""
+        missing = [column for column in self.columns if column not in values]
+        if missing:
+            raise SimulationError(f"row is missing columns: {missing}")
+        self.rows.append({column: values[column] for column in self.columns})
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise SimulationError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def filter(self, **criteria: Any) -> List[Dict[str, Any]]:
+        """Rows whose values match all the given column=value criteria."""
+        out = []
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                out.append(row)
+        return out
+
+    def to_json(self, path: Union[str, Path, None] = None) -> str:
+        """Serialise the table (optionally also writing it to ``path``)."""
+        payload = json.dumps(
+            {"title": self.title, "columns": list(self.columns), "rows": self.rows, "notes": self.notes},
+            indent=2,
+            default=float,
+        )
+        if path is not None:
+            Path(path).write_text(payload, encoding="utf-8")
+        return payload
+
+    def format(self, float_digits: int = 4) -> str:
+        """Render a fixed-width text table (what the benches print)."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.{float_digits}g}"
+            return str(value)
+
+        header = list(self.columns)
+        body = [[fmt(row[column]) for column in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title]
+        lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+        lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+        for line in body:
+            lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(header))))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Workload traces: last-level-cache writeback streams.
+
+The paper drives its simulations with writeback traces (address + evicted
+cache-line data) captured below the LLC for the most memory-intensive
+SPEC CPU 2017 benchmarks.  Those traces are not redistributable, so this
+package provides a synthetic substitute:
+
+* :mod:`repro.traces.spec` — named profiles for a representative subset of
+  the SPECspeed 2017 Integer and Floating Point benchmarks, each with its
+  own write intensity, working-set size, address locality, and value
+  composition;
+* :mod:`repro.traces.synthetic` — a generator that turns a profile into a
+  concrete :class:`~repro.traces.trace.Trace` of line writebacks.
+
+Because every line is encrypted with a fresh counter-mode pad before it
+reaches the encoders, the *data* the encoders see is uniformly random for
+any source; what the profiles preserve is the differing write volume and
+address locality across benchmarks, which is what differentiates the
+per-benchmark energy and lifetime results.
+"""
+
+from repro.traces.trace import Trace, WritebackRecord
+from repro.traces.spec import BenchmarkProfile, SPEC_2017_PROFILES, get_profile, list_benchmarks
+from repro.traces.synthetic import SyntheticTraceGenerator, generate_trace
+
+__all__ = [
+    "BenchmarkProfile",
+    "SPEC_2017_PROFILES",
+    "SyntheticTraceGenerator",
+    "Trace",
+    "WritebackRecord",
+    "generate_trace",
+    "get_profile",
+    "list_benchmarks",
+]

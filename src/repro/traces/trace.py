@@ -1,0 +1,143 @@
+"""Trace containers and (de)serialisation.
+
+A trace is an ordered sequence of :class:`WritebackRecord` objects, each a
+dirty cache line evicted from the last-level cache: the line-aligned
+address and the plaintext line contents as fixed-width words.  Traces can
+be saved to and loaded from a compact JSON-lines format so experiments can
+be re-run on identical inputs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TraceError
+
+__all__ = ["WritebackRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class WritebackRecord:
+    """One dirty-line eviction from the LLC to main memory.
+
+    Attributes
+    ----------
+    address:
+        Line index (line-aligned address divided by the line size).
+    words:
+        Plaintext contents of the line as a tuple of word integers.
+    """
+
+    address: int
+    words: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise TraceError(f"address must be non-negative, got {self.address}")
+        if not self.words:
+            raise TraceError("a writeback record needs at least one data word")
+        object.__setattr__(self, "words", tuple(int(w) for w in self.words))
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of writeback records plus workload metadata."""
+
+    name: str
+    records: List[WritebackRecord] = field(default_factory=list)
+    line_bits: int = 512
+    word_bits: int = 64
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.line_bits <= 0 or self.word_bits <= 0:
+            raise TraceError("line_bits and word_bits must be positive")
+        if self.line_bits % self.word_bits != 0:
+            raise TraceError("line_bits must be a multiple of word_bits")
+
+    # ------------------------------------------------------------ protocol
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[WritebackRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> WritebackRecord:
+        return self.records[index]
+
+    @property
+    def words_per_line(self) -> int:
+        """Number of words per cache line."""
+        return self.line_bits // self.word_bits
+
+    # ------------------------------------------------------------ mutation
+    def append(self, record: WritebackRecord) -> None:
+        """Append one record, validating its geometry."""
+        if len(record.words) != self.words_per_line:
+            raise TraceError(
+                f"record has {len(record.words)} words, trace expects {self.words_per_line}"
+            )
+        word_limit = 1 << self.word_bits
+        for word in record.words:
+            if word < 0 or word >= word_limit:
+                raise TraceError(f"word {word:#x} does not fit in {self.word_bits} bits")
+        self.records.append(record)
+
+    # --------------------------------------------------------------- stats
+    def unique_addresses(self) -> int:
+        """Number of distinct line addresses touched by the trace."""
+        return len({record.address for record in self.records})
+
+    def writes_per_address(self) -> dict:
+        """Histogram of writes per line address."""
+        histogram: dict = {}
+        for record in self.records:
+            histogram[record.address] = histogram.get(record.address, 0) + 1
+        return histogram
+
+    # ----------------------------------------------------------------- I/O
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path`` in JSON-lines format."""
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            header = {
+                "name": self.name,
+                "line_bits": self.line_bits,
+                "word_bits": self.word_bits,
+                "metadata": self.metadata,
+            }
+            handle.write(json.dumps(header) + "\n")
+            for record in self.records:
+                handle.write(
+                    json.dumps(
+                        {"a": record.address, "w": [format(w, "x") for w in record.words]}
+                    )
+                    + "\n"
+                )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Load a trace previously written by :meth:`save`."""
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        if not lines:
+            raise TraceError(f"trace file {path} is empty")
+        header = json.loads(lines[0])
+        trace = cls(
+            name=header["name"],
+            line_bits=header["line_bits"],
+            word_bits=header["word_bits"],
+            metadata=header.get("metadata", {}),
+        )
+        for line in lines[1:]:
+            payload = json.loads(line)
+            trace.append(
+                WritebackRecord(
+                    address=payload["a"], words=tuple(int(w, 16) for w in payload["w"])
+                )
+            )
+        return trace

@@ -1,0 +1,214 @@
+"""Bit- and symbol-level helpers for fixed-width memory words.
+
+All encoders in this repository operate on fixed-width data blocks (the
+paper uses 64-bit words split into 16-bit sub-blocks, and 2-bit Gray-coded
+MLC symbols).  The helpers here keep that arithmetic in one place:
+
+* words are plain Python ``int`` values at API boundaries;
+* bulk simulation paths use ``numpy`` arrays of ``uint64`` and a 16-bit
+  popcount lookup table (:data:`POPCOUNT16`) for speed;
+* MLC words are viewed either as a sequence of 2-bit symbols
+  (:func:`split_symbols`) or as two bitplanes — the "left" (most
+  significant) digit plane and the "right" (least significant) digit plane
+  (:func:`split_planes`) — which is how Section IV-B of the paper applies
+  VCC to multi-level cells.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "POPCOUNT16",
+    "bits_to_int",
+    "concat_subblocks",
+    "hamming_distance",
+    "hamming_weight",
+    "int_to_bits",
+    "interleave_planes",
+    "merge_symbols",
+    "popcount64_array",
+    "random_word",
+    "split_planes",
+    "split_subblocks",
+    "split_symbols",
+    "to_uint64_array",
+]
+
+#: Lookup table mapping every 16-bit value to its population count.  Used to
+#: vectorise Hamming-weight computations over ``uint64`` arrays.
+POPCOUNT16: np.ndarray = np.array(
+    [bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8
+)
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ConfigurationError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def hamming_weight(value: int) -> int:
+    """Return the number of '1' bits in a non-negative integer."""
+    if value < 0:
+        raise ConfigurationError(f"hamming_weight expects a non-negative value, got {value}")
+    return bin(value).count("1")
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Return the number of bit positions in which ``a`` and ``b`` differ."""
+    return hamming_weight(a ^ b)
+
+
+def popcount64_array(words: np.ndarray) -> np.ndarray:
+    """Vectorised popcount of an array of ``uint64`` words.
+
+    Parameters
+    ----------
+    words:
+        Array of unsigned 64-bit integers (any shape).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of the same shape holding the per-word popcount as ``uint8``
+        promoted to ``int64`` for safe summation.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    total = np.zeros(words.shape, dtype=np.int64)
+    for shift in (0, 16, 32, 48):
+        chunk = (words >> np.uint64(shift)) & np.uint64(0xFFFF)
+        total += POPCOUNT16[chunk.astype(np.uint32)]
+    return total
+
+
+def to_uint64_array(words: Iterable[int]) -> np.ndarray:
+    """Convert an iterable of Python ints (each < 2**64) to a uint64 array."""
+    out = np.fromiter((int(w) & 0xFFFFFFFFFFFFFFFF for w in words), dtype=np.uint64)
+    return out
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Return ``width`` bits of ``value``, most-significant bit first."""
+    if value < 0 or value >= (1 << width):
+        raise ConfigurationError(
+            f"value {value} does not fit in {width} bits"
+        )
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Inverse of :func:`int_to_bits`: interpret ``bits`` MSB-first."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ConfigurationError(f"bits must be 0 or 1, got {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def split_subblocks(value: int, width: int, sub_width: int) -> List[int]:
+    """Split a ``width``-bit word into ``width // sub_width`` sub-blocks.
+
+    Sub-block 0 holds the *most significant* bits, matching the layout of
+    Fig. 3 in the paper where ``d0`` is the left-most partition of ``D``.
+    """
+    if width % sub_width != 0:
+        raise ConfigurationError(
+            f"block width {width} is not a multiple of sub-block width {sub_width}"
+        )
+    if value < 0 or value >= (1 << width):
+        raise ConfigurationError(f"value {value} does not fit in {width} bits")
+    count = width // sub_width
+    sub_mask = mask(sub_width)
+    return [
+        (value >> (sub_width * (count - 1 - index))) & sub_mask
+        for index in range(count)
+    ]
+
+
+def concat_subblocks(subblocks: Sequence[int], sub_width: int) -> int:
+    """Inverse of :func:`split_subblocks` (sub-block 0 is most significant)."""
+    sub_mask = mask(sub_width)
+    value = 0
+    for block in subblocks:
+        if block < 0 or block > sub_mask:
+            raise ConfigurationError(
+                f"sub-block {block} does not fit in {sub_width} bits"
+            )
+        value = (value << sub_width) | block
+    return value
+
+
+def split_symbols(value: int, width: int) -> List[int]:
+    """View a word as a sequence of 2-bit MLC symbols, MSB pair first.
+
+    A ``width``-bit word holds ``width // 2`` symbols; symbol 0 occupies the
+    two most significant bits.  Each symbol is returned as an integer in
+    ``[0, 3]`` whose high bit is the "left" digit and low bit the "right"
+    digit in the paper's terminology.
+    """
+    if width % 2 != 0:
+        raise ConfigurationError(f"MLC words need an even bit width, got {width}")
+    return split_subblocks(value, width, 2)
+
+
+def merge_symbols(symbols: Sequence[int]) -> int:
+    """Inverse of :func:`split_symbols`."""
+    return concat_subblocks(symbols, 2)
+
+
+def split_planes(value: int, width: int) -> Tuple[int, int]:
+    """Split an MLC word into its (left, right) digit bitplanes.
+
+    Returns a pair ``(left_plane, right_plane)`` of ``width // 2``-bit
+    integers.  Bit ``k`` (MSB-first) of each plane is the corresponding
+    digit of symbol ``k``.  This is the decomposition used by the MLC mode
+    of VCC: the right plane is encoded, the left plane seeds the kernel
+    generator (Section IV-B).
+    """
+    symbols = split_symbols(value, width)
+    left = 0
+    right = 0
+    for symbol in symbols:
+        left = (left << 1) | ((symbol >> 1) & 1)
+        right = (right << 1) | (symbol & 1)
+    return left, right
+
+
+def interleave_planes(left: int, right: int, width: int) -> int:
+    """Inverse of :func:`split_planes`.
+
+    ``width`` is the full word width in bits (so each plane is
+    ``width // 2`` bits).
+    """
+    if width % 2 != 0:
+        raise ConfigurationError(f"MLC words need an even bit width, got {width}")
+    half = width // 2
+    if left < 0 or left >= (1 << half) or right < 0 or right >= (1 << half):
+        raise ConfigurationError("bitplane value does not fit in width // 2 bits")
+    value = 0
+    for index in range(half):
+        shift = half - 1 - index
+        left_bit = (left >> shift) & 1
+        right_bit = (right >> shift) & 1
+        value = (value << 2) | (left_bit << 1) | right_bit
+    return value
+
+
+def random_word(rng: np.random.Generator, width: int = 64) -> int:
+    """Draw a uniformly random ``width``-bit word from ``rng``."""
+    if width <= 0:
+        raise ConfigurationError(f"word width must be positive, got {width}")
+    value = 0
+    remaining = width
+    while remaining > 0:
+        chunk = min(remaining, 32)
+        value = (value << chunk) | int(rng.integers(0, 1 << chunk))
+        remaining -= chunk
+    return value

@@ -1,0 +1,55 @@
+"""Deterministic random-number helpers.
+
+Every experiment in the repository is seeded.  To avoid accidentally
+correlated streams (for example, the fault map reusing the same draws as
+the workload generator) the helpers here derive independent child seeds
+from a parent seed and a textual label using ``numpy``'s ``SeedSequence``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = ["derive_seed", "make_rng", "spawn_rngs"]
+
+SeedLike = Union[int, None]
+
+
+def derive_seed(parent_seed: int, label: str) -> int:
+    """Derive a deterministic 63-bit child seed from a parent seed and label.
+
+    The derivation hashes ``(parent_seed, label)`` with SHA-256, so distinct
+    labels give independent streams and the mapping is stable across runs
+    and platforms.
+    """
+    digest = hashlib.sha256(f"{parent_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def make_rng(seed: SeedLike = None, label: Optional[str] = None) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        Parent seed.  ``None`` produces a non-deterministic generator, which
+        is acceptable for exploratory use but every experiment entry point
+        passes an explicit seed.
+    label:
+        Optional label mixed into the seed via :func:`derive_seed` so that
+        different subsystems sharing one experiment seed still receive
+        independent streams.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if label is not None:
+        seed = derive_seed(int(seed), label)
+    return np.random.default_rng(int(seed))
+
+
+def spawn_rngs(seed: int, labels: Sequence[str]) -> List[np.random.Generator]:
+    """Create one independent generator per label from a single parent seed."""
+    return [make_rng(seed, label) for label in labels]

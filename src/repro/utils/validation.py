@@ -1,0 +1,42 @@
+"""Argument-validation helpers used by public constructors.
+
+These helpers raise :class:`repro.errors.ConfigurationError` with a
+descriptive message so misconfigured experiments fail loudly and early.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "require",
+    "require_divisible",
+    "require_in_range",
+    "require_power_of_two",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Require ``value`` to be a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value}")
+
+
+def require_divisible(numerator: int, denominator: int, message: str) -> None:
+    """Require ``numerator`` to be an exact multiple of ``denominator``."""
+    if denominator == 0 or numerator % denominator != 0:
+        raise ConfigurationError(message)
+
+
+def require_in_range(value: Any, low: Any, high: Any, name: str) -> None:
+    """Require ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")

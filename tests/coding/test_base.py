@@ -1,0 +1,75 @@
+"""Tests for the encoder/context interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.coding.base import EncodedWord, WordContext, words_to_cell_matrix
+from repro.errors import ConfigurationError
+from repro.pcm.cell import CellTechnology
+
+
+class TestWordContext:
+    def test_word_bits_derived_from_cells(self):
+        context = WordContext(old_cells=np.zeros(32, dtype=np.uint8), bits_per_cell=2)
+        assert context.word_bits == 64
+
+    def test_technology_property(self):
+        mlc = WordContext(old_cells=np.zeros(4, dtype=np.uint8), bits_per_cell=2)
+        slc = WordContext(old_cells=np.zeros(4, dtype=np.uint8), bits_per_cell=1)
+        assert mlc.technology is CellTechnology.MLC
+        assert slc.technology is CellTechnology.SLC
+
+    def test_old_word_reconstruction(self):
+        context = WordContext(old_cells=np.array([3, 2, 1, 0], dtype=np.uint8), bits_per_cell=2)
+        assert context.old_word == 0b11100100
+
+    def test_from_word_roundtrip(self):
+        word = 0x0123456789ABCDEF
+        context = WordContext.from_word(word, 64, 2)
+        assert context.old_word == word
+
+    def test_blank_is_zero(self):
+        context = WordContext.blank(64, 2)
+        assert context.old_word == 0
+        assert len(context.old_cells) == 32
+
+    def test_stuck_mask_shape_checked(self):
+        with pytest.raises(ConfigurationError):
+            WordContext(
+                old_cells=np.zeros(4, dtype=np.uint8),
+                stuck_mask=np.zeros(3, dtype=bool),
+                bits_per_cell=2,
+            )
+
+    def test_invalid_bits_per_cell(self):
+        with pytest.raises(ConfigurationError):
+            WordContext(old_cells=np.zeros(4, dtype=np.uint8), bits_per_cell=3)
+
+
+class TestEncodedWord:
+    def test_negative_aux_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EncodedWord(codeword=0, aux=0, aux_bits=-1, cost=0.0, technique="x")
+
+    def test_valid_construction(self):
+        word = EncodedWord(codeword=5, aux=1, aux_bits=2, cost=1.5, technique="x")
+        assert word.codeword == 5
+        assert word.aux == 1
+
+
+class TestCellMatrix:
+    def test_mlc_matrix(self):
+        matrix = words_to_cell_matrix([0b11100100, 0b00011011], 8, 2)
+        assert matrix.tolist() == [[3, 2, 1, 0], [0, 1, 2, 3]]
+
+    def test_slc_matrix(self):
+        matrix = words_to_cell_matrix([0b1010], 4, 1)
+        assert matrix.tolist() == [[1, 0, 1, 0]]
+
+    def test_matches_scalar_conversion(self, rng):
+        from repro.pcm.array import word_to_cells
+
+        words = [int(rng.integers(0, 1 << 63)) for _ in range(20)]
+        matrix = words_to_cell_matrix(words, 64, 2)
+        for row, word in zip(matrix, words):
+            assert (row == word_to_cells(word, 64, 2)).all()

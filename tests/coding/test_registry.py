@@ -1,0 +1,60 @@
+"""Tests for the encoder registry/factory."""
+
+import pytest
+
+from repro.coding.cost import EnergyCost
+from repro.coding.registry import available_encoders, make_encoder
+from repro.errors import ConfigurationError
+from repro.pcm.cell import CellTechnology
+
+
+class TestRegistry:
+    def test_all_names_listed(self):
+        names = available_encoders()
+        for expected in ["unencoded", "dbi", "fnw", "dbi/fnw", "flipcy", "bcc", "rcc", "vcc", "vcc-stored"]:
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_encoder("nonexistent")
+
+    def test_case_insensitive(self):
+        assert make_encoder("RCC", num_cosets=32).name == "rcc"
+
+    @pytest.mark.parametrize("name", ["unencoded", "dbi", "fnw", "dbi/fnw", "flipcy", "bcc", "rcc", "vcc", "vcc-stored"])
+    def test_every_encoder_roundtrips(self, name, rng):
+        encoder = make_encoder(name, num_cosets=32)
+        from repro.coding.base import WordContext
+
+        data = int(rng.integers(0, 1 << 63))
+        context = WordContext.from_word(int(rng.integers(0, 1 << 63)), 64, 2)
+        encoded = encoder.encode(data, context)
+        assert encoder.decode(encoded.codeword, encoded.aux) == data
+
+    def test_cost_function_passed_through(self):
+        cost = EnergyCost(CellTechnology.MLC)
+        encoder = make_encoder("rcc", num_cosets=32, cost_function=cost)
+        assert encoder.cost_function is cost
+
+    def test_vcc_uses_requested_coset_count(self):
+        encoder = make_encoder("vcc", num_cosets=128)
+        assert encoder.num_cosets == 128
+
+    def test_vcc_stored_uses_full_word(self):
+        from repro.core.config import EncodeRegion
+
+        encoder = make_encoder("vcc-stored", num_cosets=256)
+        assert encoder.config.encode_region is EncodeRegion.FULL_WORD
+
+    def test_vcc_generated_uses_right_plane(self):
+        from repro.core.config import EncodeRegion
+
+        encoder = make_encoder("vcc", num_cosets=256)
+        assert encoder.config.encode_region is EncodeRegion.RIGHT_PLANE
+
+    def test_aux_budget_matches_secded(self):
+        # Both RCC and VCC with 256 candidates use exactly 8 auxiliary bits
+        # per 64-bit word, matching the SECDED capacity budget of the paper.
+        assert make_encoder("rcc", num_cosets=256).aux_bits == 8
+        assert make_encoder("vcc", num_cosets=256).aux_bits == 8
+        assert make_encoder("vcc-stored", num_cosets=256).aux_bits == 8

@@ -1,0 +1,44 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.base import WordContext
+from repro.pcm.cell import CellTechnology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need random inputs."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def mlc_context(rng) -> WordContext:
+    """A 64-bit MLC word context with random current contents."""
+    return WordContext(
+        old_cells=rng.integers(0, 4, size=32).astype(np.uint8),
+        bits_per_cell=2,
+    )
+
+
+@pytest.fixture
+def slc_context(rng) -> WordContext:
+    """A 64-bit SLC word context with random current contents."""
+    return WordContext(
+        old_cells=rng.integers(0, 2, size=64).astype(np.uint8),
+        bits_per_cell=1,
+    )
+
+
+def random_word64(rng: np.random.Generator) -> int:
+    """A uniformly random 64-bit word."""
+    return int(rng.integers(0, 1 << 32)) << 32 | int(rng.integers(0, 1 << 32))
+
+
+@pytest.fixture
+def word64(rng) -> int:
+    """One random 64-bit data word."""
+    return random_word64(rng)

@@ -1,0 +1,115 @@
+"""Tests for the closed-form Eq. (1)/(2) models."""
+
+import math
+
+import pytest
+
+from repro.core.analytical import (
+    expected_bit_changes_bcc,
+    expected_bit_changes_rcc,
+    expected_bit_changes_unencoded,
+    fig1_series,
+    reduction_percent_bcc,
+    reduction_percent_rcc,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUnencoded:
+    def test_half_the_bits_change(self):
+        assert expected_bit_changes_unencoded(64) == 32.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            expected_bit_changes_unencoded(0)
+
+
+class TestRCC:
+    def test_single_coset_matches_unencoded(self):
+        assert expected_bit_changes_rcc(64, 1, include_aux=False) == pytest.approx(32.0, abs=1e-6)
+
+    def test_monotonically_decreasing_in_cosets(self):
+        values = [expected_bit_changes_rcc(64, n, include_aux=False) for n in (1, 2, 4, 16, 64, 256)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_aux_term_added(self):
+        without = expected_bit_changes_rcc(64, 16, include_aux=False)
+        with_aux = expected_bit_changes_rcc(64, 16, include_aux=True)
+        assert with_aux == pytest.approx(without + 2.0)
+
+    def test_bounded_below_by_zero(self):
+        assert expected_bit_changes_rcc(64, 1 << 16, include_aux=False) > 0.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            expected_bit_changes_rcc(64, 4, p=1.5)
+
+    def test_matches_monte_carlo(self, rng):
+        # Cross-check Eq. (1) against a direct simulation for a small case.
+        n, num_cosets, trials = 16, 8, 3000
+        total = 0
+        for _ in range(trials):
+            data = int(rng.integers(0, 1 << n))
+            best = min(
+                bin(data ^ int(rng.integers(0, 1 << n))).count("1") for _ in range(num_cosets)
+            )
+            total += best
+        simulated = total / trials
+        analytical = expected_bit_changes_rcc(n, num_cosets, include_aux=False)
+        assert abs(simulated - analytical) < 0.15
+
+
+class TestBCC:
+    def test_single_coset_matches_unencoded(self):
+        assert expected_bit_changes_bcc(64, 1) == 32.0
+
+    def test_better_than_unencoded(self):
+        for n_cosets in (2, 4, 16, 256):
+            assert expected_bit_changes_bcc(64, n_cosets) < 32.0
+
+    def test_requires_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            expected_bit_changes_bcc(64, 24)
+
+    def test_requires_divisible_sections(self):
+        with pytest.raises(ConfigurationError):
+            expected_bit_changes_bcc(64, 64)  # log2 = 6 does not divide 64
+
+    def test_matches_monte_carlo(self, rng):
+        # FNW over k sections with the aux bit counted, small case.
+        n, num_cosets, trials = 16, 4, 3000
+        k = 2
+        section = n // k
+        total = 0
+        for _ in range(trials):
+            for _section in range(k):
+                data = int(rng.integers(0, 1 << (section + 1)))
+                ones = bin(data).count("1")
+                total += min(ones, section + 1 - ones)
+        simulated = total / trials
+        analytical = expected_bit_changes_bcc(n, num_cosets)
+        assert abs(simulated - analytical) < 0.2
+
+
+class TestFig1Shape:
+    """The qualitative claims of Fig. 1 must hold."""
+
+    def test_bcc_wins_at_small_counts(self):
+        assert reduction_percent_bcc(64, 2) > reduction_percent_rcc(64, 2)
+        assert reduction_percent_bcc(64, 4) > reduction_percent_rcc(64, 4)
+
+    def test_rcc_wins_at_16_and_above(self):
+        assert reduction_percent_rcc(64, 16) > reduction_percent_bcc(64, 16)
+        assert reduction_percent_rcc(64, 256) > reduction_percent_bcc(64, 256)
+
+    def test_rcc_margin_grows_with_cosets(self):
+        margin_16 = reduction_percent_rcc(64, 16) - reduction_percent_bcc(64, 16)
+        margin_256 = reduction_percent_rcc(64, 256) - reduction_percent_bcc(64, 256)
+        assert margin_256 > margin_16
+
+    def test_series_rows(self):
+        rows = fig1_series()
+        assert [row["cosets"] for row in rows] == [2, 4, 16, 256]
+        for row in rows:
+            assert 0.0 < row["bcc_reduction_percent"] < 100.0
+            assert 0.0 < row["rcc_reduction_percent"] < 100.0

@@ -1,0 +1,100 @@
+"""Tests for the VCC configuration object."""
+
+import pytest
+
+from repro.core.config import EncodeRegion, VCCConfig
+from repro.errors import ConfigurationError
+from repro.pcm.cell import CellTechnology
+
+
+class TestDerivedQuantities:
+    def test_paper_configuration_256(self):
+        config = VCCConfig.for_cosets(256)
+        assert config.num_cosets == 256
+        assert config.num_kernels == 16
+        assert config.partitions == 4
+        assert config.aux_bits == 8
+
+    @pytest.mark.parametrize("num_cosets,expected_kernels", [(32, 2), (64, 4), (128, 8), (256, 16)])
+    def test_evaluation_sweep_kernel_counts(self, num_cosets, expected_kernels):
+        config = VCCConfig.for_cosets(num_cosets)
+        assert config.num_kernels == expected_kernels
+        assert config.num_cosets == num_cosets
+
+    def test_aux_bits_equal_log2_cosets(self):
+        for num_cosets in (16, 32, 64, 128, 256):
+            config = VCCConfig.for_cosets(num_cosets)
+            assert config.aux_bits == num_cosets.bit_length() - 1
+
+    def test_right_plane_halves_encoded_bits(self):
+        config = VCCConfig.for_cosets(256, stored_kernels=False)
+        assert config.encode_region is EncodeRegion.RIGHT_PLANE
+        assert config.encoded_bits == 32
+
+    def test_stored_kernels_use_full_word(self):
+        config = VCCConfig.for_cosets(256, stored_kernels=True)
+        assert config.encode_region is EncodeRegion.FULL_WORD
+        assert config.encoded_bits == 64
+
+    def test_slc_uses_full_word(self):
+        config = VCCConfig.for_cosets(256, technology=CellTechnology.SLC)
+        assert config.encode_region is EncodeRegion.FULL_WORD
+        assert config.stored_kernels
+
+    def test_cells_per_partition(self):
+        config = VCCConfig.for_cosets(256)
+        assert config.cells_per_partition * config.partitions == config.cells_per_word
+
+    def test_describe_mentions_parameters(self):
+        text = VCCConfig.for_cosets(64).describe()
+        assert "N=64" in text and "r=4" in text
+
+    def test_word_32_supported(self):
+        config = VCCConfig.for_cosets(64, word_bits=32)
+        assert config.word_bits == 32
+        assert config.num_cosets == 64
+
+
+class TestValidation:
+    def test_generated_kernels_require_right_plane(self):
+        with pytest.raises(ConfigurationError):
+            VCCConfig(
+                word_bits=64,
+                kernel_bits=16,
+                num_kernels=4,
+                technology=CellTechnology.MLC,
+                encode_region=EncodeRegion.FULL_WORD,
+                stored_kernels=False,
+            )
+
+    def test_right_plane_requires_mlc(self):
+        with pytest.raises(ConfigurationError):
+            VCCConfig(
+                word_bits=64,
+                kernel_bits=16,
+                num_kernels=4,
+                technology=CellTechnology.SLC,
+                encode_region=EncodeRegion.RIGHT_PLANE,
+                stored_kernels=True,
+            )
+
+    def test_kernel_width_must_divide_region(self):
+        with pytest.raises(ConfigurationError):
+            VCCConfig(word_bits=64, kernel_bits=7, num_kernels=4)
+
+    def test_kernel_count_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            VCCConfig(word_bits=64, kernel_bits=8, num_kernels=3)
+
+    def test_for_cosets_rejects_non_multiple(self):
+        with pytest.raises(ConfigurationError):
+            VCCConfig.for_cosets(40)
+
+    def test_for_cosets_rejects_too_small(self):
+        with pytest.raises(ConfigurationError):
+            VCCConfig.for_cosets(8)
+
+    def test_frozen(self):
+        config = VCCConfig.for_cosets(64)
+        with pytest.raises(AttributeError):
+            config.word_bits = 32

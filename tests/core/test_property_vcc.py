@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the VCC encoder and the baselines.
+
+The invariants checked here hold for *every* input, not just the sampled
+regression cases:
+
+* decode(encode(d)) == d for every technique and every data/old-word pair;
+* the auxiliary value always fits in the advertised number of bits;
+* the reported cost of the selected candidate never exceeds the cost of
+  writing the data unencoded (for techniques whose candidate set contains
+  the identity transformation);
+* the generated-kernel MLC variant never modifies the left-digit plane.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.base import WordContext
+from repro.coding.cost import BitChangeCost, EnergyCost, OnesCost
+from repro.coding.registry import make_encoder
+from repro.core.config import VCCConfig
+from repro.core.vcc import VCCEncoder
+from repro.pcm.cell import CellTechnology
+from repro.utils.bitops import split_planes
+
+word64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+class TestRoundTripProperties:
+    @_SETTINGS
+    @given(data=word64, old=word64)
+    def test_vcc_generated_roundtrip(self, data, old):
+        encoder = VCCEncoder(VCCConfig.for_cosets(64, stored_kernels=False), seed=1)
+        encoded = encoder.encode(data, WordContext.from_word(old, 64, 2))
+        assert encoder.decode(encoded.codeword, encoded.aux) == data
+
+    @_SETTINGS
+    @given(data=word64, old=word64)
+    def test_vcc_stored_roundtrip(self, data, old):
+        encoder = VCCEncoder(VCCConfig.for_cosets(64, stored_kernels=True), seed=1)
+        encoded = encoder.encode(data, WordContext.from_word(old, 64, 2))
+        assert encoder.decode(encoded.codeword, encoded.aux) == data
+
+    @_SETTINGS
+    @given(data=word64, old=word64, name=st.sampled_from(["dbi", "fnw", "flipcy", "bcc", "rcc"]))
+    def test_baseline_roundtrip(self, data, old, name):
+        encoder = make_encoder(name, num_cosets=16, cost_function=BitChangeCost(), seed=2)
+        encoded = encoder.encode(data, WordContext.from_word(old, 64, 2))
+        assert encoder.decode(encoded.codeword, encoded.aux) == data
+
+
+class TestStructuralProperties:
+    @_SETTINGS
+    @given(data=word64, old=word64)
+    def test_aux_fits_in_advertised_bits(self, data, old):
+        encoder = VCCEncoder(VCCConfig.for_cosets(128, stored_kernels=True), seed=3)
+        encoded = encoder.encode(data, WordContext.from_word(old, 64, 2))
+        assert 0 <= encoded.aux < (1 << encoder.aux_bits)
+        assert encoded.aux_bits == encoder.aux_bits
+
+    @_SETTINGS
+    @given(data=word64, old=word64)
+    def test_left_plane_preserved_by_generated_kernels(self, data, old):
+        encoder = VCCEncoder(VCCConfig.for_cosets(256, stored_kernels=False), seed=4)
+        encoded = encoder.encode(data, WordContext.from_word(old, 64, 2))
+        assert split_planes(data, 64)[0] == split_planes(encoded.codeword, 64)[0]
+
+    @_SETTINGS
+    @given(data=word64, old=word64)
+    def test_cost_is_non_negative(self, data, old):
+        encoder = VCCEncoder(
+            VCCConfig.for_cosets(64), cost_function=EnergyCost(CellTechnology.MLC), seed=5
+        )
+        encoded = encoder.encode(data, WordContext.from_word(old, 64, 2))
+        assert encoded.cost >= 0.0
+
+    @_SETTINGS
+    @given(data=word64)
+    def test_ones_cost_never_exceeds_unencoded_plus_aux(self, data):
+        # The identity virtual coset is not necessarily in VCC's candidate
+        # set, but the folded XOR/XNOR choice guarantees at most m/2 ones
+        # per partition, so the total can never exceed n/2 + aux bits.
+        encoder = VCCEncoder(
+            VCCConfig.for_cosets(64, stored_kernels=True), cost_function=OnesCost(), seed=6
+        )
+        encoded = encoder.encode(data, WordContext.blank(64, 2))
+        assert encoded.cost <= 32 + encoder.aux_bits
+
+    @_SETTINGS
+    @given(data=word64, old=word64)
+    def test_rcc_no_worse_than_unencoded(self, data, old):
+        cost = BitChangeCost()
+        encoder = make_encoder("rcc", num_cosets=32, cost_function=cost, seed=7)
+        context = WordContext.from_word(old, 64, 2)
+        encoded = encoder.encode(data, context)
+        data_cost = encoded.cost - cost.aux_cost(encoded.aux, 0, encoder.aux_bits)
+        assert data_cost <= bin(data ^ old).count("1")
+
+    @_SETTINGS
+    @given(old=word64)
+    def test_encoding_old_value_is_cheap(self, old):
+        # Writing back exactly what is stored should cost (nearly) nothing
+        # beyond the auxiliary bits under the bit-change objective.
+        cost = BitChangeCost()
+        encoder = VCCEncoder(VCCConfig.for_cosets(64, stored_kernels=True), cost_function=cost, seed=8)
+        context = WordContext.from_word(old, 64, 2)
+        encoded = encoder.encode(old, context)
+        data_cost = encoded.cost - cost.aux_cost(encoded.aux, 0, encoder.aux_bits)
+        assert data_cost <= 32

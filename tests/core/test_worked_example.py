@@ -1,0 +1,57 @@
+"""Regression test against the paper's Fig. 3 worked example."""
+
+from repro.coding.base import WordContext
+from repro.experiments.fig03_worked_example import (
+    FIG3_DATA_BLOCK,
+    FIG3_KERNELS,
+    build_example_encoder,
+    run,
+)
+from repro.utils.bitops import split_subblocks
+
+
+#: Expected output of Fig. 3(e): the encoded 64-bit block.
+FIG3_EXPECTED_CODEWORD = int(
+    "0000101100000000" "0000011100000000" "0001000001100001" "0000110011010000", 2
+)
+
+#: Expected auxiliary bits of Fig. 3(e): kernel index 00, flags 0110.
+FIG3_EXPECTED_AUX = 0b000110
+
+
+class TestFig3:
+    def test_data_block_matches_figure(self):
+        subs = split_subblocks(FIG3_DATA_BLOCK, 64, 16)
+        assert subs[0] == int("1010001011011011", 2)
+        assert subs[3] == int("1010010100001011", 2)
+
+    def test_kernel_zero_costs_match_figure_d1(self):
+        # Fig. 3(d.1) first row: 3, 13, 12, 5 ones.
+        subs = split_subblocks(FIG3_DATA_BLOCK, 64, 16)
+        ones = [bin(sub ^ FIG3_KERNELS[0]).count("1") for sub in subs]
+        assert ones == [3, 13, 12, 5]
+
+    def test_folded_costs_match_figure_d2(self):
+        # Fig. 3(d.2) first row: 3, 3, 4, 5 after using the complement where
+        # the XOR form writes more than m/2 ones.
+        subs = split_subblocks(FIG3_DATA_BLOCK, 64, 16)
+        folded = [min(c, 16 - c) for c in (bin(sub ^ FIG3_KERNELS[0]).count("1") for sub in subs)]
+        assert folded == [3, 3, 4, 5]
+
+    def test_selected_candidate_matches_figure_e(self):
+        encoder = build_example_encoder()
+        encoded = encoder.encode(FIG3_DATA_BLOCK, WordContext.blank(64, 2))
+        assert encoded.codeword == FIG3_EXPECTED_CODEWORD
+        assert encoded.aux == FIG3_EXPECTED_AUX
+        assert encoded.cost == 17  # 3 + 3 + 4 + 5 ones + 2 aux ones
+
+    def test_decode_recovers_data(self):
+        encoder = build_example_encoder()
+        encoded = encoder.encode(FIG3_DATA_BLOCK, WordContext.blank(64, 2))
+        assert encoder.decode(encoded.codeword, encoded.aux) == FIG3_DATA_BLOCK
+
+    def test_run_reports_consistent_table(self):
+        table = run()
+        values = {row["quantity"]: row["value"] for row in table}
+        assert values["decode(Xopt) == D"] is True
+        assert values["selected codeword Xopt"] == f"{FIG3_EXPECTED_CODEWORD:016x}"

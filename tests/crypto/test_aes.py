@@ -1,0 +1,53 @@
+"""Tests for the pure-Python AES-128 implementation."""
+
+import pytest
+
+from repro.crypto.aes import AES128
+from repro.errors import ConfigurationError
+
+
+class TestKnownAnswers:
+    def test_fips197_appendix_b(self):
+        # FIPS-197 Appendix B worked example.
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_fips197_appendix_c1(self):
+        # FIPS-197 Appendix C.1 AES-128 known-answer test.
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+    def test_all_zero_vector(self):
+        # NIST ECB-AES128 with the all-zero key and block.
+        key = bytes(16)
+        plaintext = bytes(16)
+        expected = bytes.fromhex("66e94bd4ef8a2c3b884cfa59ca342b2e")
+        assert AES128(key).encrypt_block(plaintext) == expected
+
+
+class TestInterface:
+    def test_wrong_key_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AES128(b"short")
+
+    def test_wrong_block_length_rejected(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt_block(b"too-short")
+
+    def test_deterministic(self):
+        cipher = AES128(bytes(range(16)))
+        block = bytes(range(16))
+        assert cipher.encrypt_block(block) == cipher.encrypt_block(block)
+
+    def test_different_blocks_differ(self):
+        cipher = AES128(bytes(range(16)))
+        assert cipher.encrypt_block(bytes(16)) != cipher.encrypt_block(bytes([1]) + bytes(15))
+
+    def test_output_length(self):
+        cipher = AES128(bytes(16))
+        assert len(cipher.encrypt_block(bytes(16))) == 16

@@ -1,0 +1,114 @@
+"""Tests for the counter-mode encryption engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.counter_mode import CounterModeEngine, EncryptedLine
+from repro.errors import ConfigurationError
+
+
+def _line(seed: int = 0, words: int = 8, bits: int = 64):
+    rng = np.random.default_rng(seed)
+    return [int(rng.integers(0, 1 << 32)) << 32 | int(rng.integers(0, 1 << 32)) for _ in range(words)]
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt_identity(self):
+        engine = CounterModeEngine(key=b"k")
+        plaintext = _line(1)
+        encrypted = engine.encrypt_line(0x10, plaintext)
+        assert engine.decrypt_line(encrypted) == plaintext
+
+    def test_roundtrip_with_aes_pad(self):
+        engine = CounterModeEngine(key=b"0123456789abcdef", fast_pad=False)
+        plaintext = _line(2)
+        encrypted = engine.encrypt_line(0x20, plaintext)
+        assert engine.decrypt_line(encrypted) == plaintext
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=1 << 40), st.integers(min_value=0, max_value=100))
+    def test_roundtrip_property(self, address, seed):
+        engine = CounterModeEngine(key=b"prop")
+        plaintext = _line(seed)
+        encrypted = engine.encrypt_line(address, plaintext)
+        assert engine.decrypt_line(encrypted) == plaintext
+
+
+class TestCounters:
+    def test_counter_increments_per_write(self):
+        engine = CounterModeEngine()
+        assert engine.counter_for(5) == 0
+        engine.encrypt_line(5, _line())
+        assert engine.counter_for(5) == 1
+        engine.encrypt_line(5, _line())
+        assert engine.counter_for(5) == 2
+
+    def test_counters_per_address(self):
+        engine = CounterModeEngine()
+        engine.encrypt_line(1, _line())
+        engine.encrypt_line(2, _line())
+        assert engine.counter_for(1) == 1
+        assert engine.counter_for(2) == 1
+
+    def test_reset(self):
+        engine = CounterModeEngine()
+        engine.encrypt_line(1, _line())
+        engine.reset_counters()
+        assert engine.counter_for(1) == 0
+
+    def test_rewrites_produce_fresh_pads(self):
+        engine = CounterModeEngine()
+        plaintext = _line(3)
+        first = engine.encrypt_line(9, plaintext)
+        second = engine.encrypt_line(9, plaintext)
+        assert first.words != second.words
+
+
+class TestPadProperties:
+    def test_ciphertext_looks_unbiased(self):
+        engine = CounterModeEngine(key=b"bias-test")
+        ones = 0
+        total_bits = 0
+        for address in range(40):
+            encrypted = engine.encrypt_line(address, [0] * 8)
+            for word in encrypted.words:
+                ones += bin(word).count("1")
+                total_bits += 64
+        # Encrypting all-zero lines exposes the pad; it should be ~50% ones.
+        assert 0.45 < ones / total_bits < 0.55
+
+    def test_pads_differ_across_addresses(self):
+        engine = CounterModeEngine()
+        assert engine.pad_words(1, 1) != engine.pad_words(2, 1)
+
+    def test_pads_differ_across_counters(self):
+        engine = CounterModeEngine()
+        assert engine.pad_words(1, 1) != engine.pad_words(1, 2)
+
+    def test_pad_word_width(self):
+        engine = CounterModeEngine(line_bits=512, word_bits=64)
+        pads = engine.pad_words(0, 1)
+        assert len(pads) == 8
+        assert all(0 <= p < (1 << 64) for p in pads)
+
+
+class TestValidation:
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            CounterModeEngine(line_bits=500, word_bits=64)
+
+    def test_empty_key(self):
+        with pytest.raises(ConfigurationError):
+            CounterModeEngine(key=b"")
+
+    def test_wrong_word_count(self):
+        engine = CounterModeEngine()
+        with pytest.raises(ConfigurationError):
+            engine.encrypt_line(0, [1, 2, 3])
+
+    def test_encrypted_line_is_frozen(self):
+        engine = CounterModeEngine()
+        line = engine.encrypt_line(0, _line())
+        with pytest.raises(AttributeError):
+            line.address = 5

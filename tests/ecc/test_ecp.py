@@ -1,0 +1,88 @@
+"""Tests for error-correcting pointers (ECP)."""
+
+import pytest
+
+from repro.ecc.ecp import ECP
+from repro.errors import ConfigurationError
+
+
+class TestConfiguration:
+    def test_name_includes_entry_count(self):
+        assert ECP(entries_per_row=3).name == "ecp3"
+        assert ECP(entries_per_row=6).name == "ecp6"
+
+    def test_pointer_width(self):
+        assert ECP(row_bits=512).pointer_bits == 9
+
+    def test_overhead_per_word(self):
+        ecp = ECP(entries_per_row=3, row_bits=512)
+        # 3 * (9 + 1) = 30 bits per row over 8 words -> ceil = 4 bits/word.
+        assert ecp.overhead_bits_per_word == 4
+
+    def test_invalid_entries(self):
+        with pytest.raises(ConfigurationError):
+            ECP(entries_per_row=-1)
+
+    def test_invalid_row_bits(self):
+        with pytest.raises(ConfigurationError):
+            ECP(row_bits=0)
+
+
+class TestEntryManagement:
+    def test_record_until_full(self):
+        ecp = ECP(entries_per_row=2, row_bits=64)
+        assert ecp.record_fault(0, 3, 1)
+        assert ecp.record_fault(0, 7, 0)
+        assert not ecp.record_fault(0, 9, 1)
+
+    def test_re_recording_same_cell_updates(self):
+        ecp = ECP(entries_per_row=1, row_bits=64)
+        assert ecp.record_fault(0, 3, 1)
+        assert ecp.record_fault(0, 3, 0)
+        assert ecp.row_state(0).entries[3] == 0
+
+    def test_rows_independent(self):
+        ecp = ECP(entries_per_row=1, row_bits=64)
+        assert ecp.record_fault(0, 3, 1)
+        assert ecp.record_fault(1, 3, 1)
+
+    def test_position_out_of_range(self):
+        ecp = ECP(row_bits=64)
+        with pytest.raises(ConfigurationError):
+            ecp.record_fault(0, 64, 1)
+
+    def test_patch_row_applies_entries(self):
+        ecp = ECP(entries_per_row=2, row_bits=8)
+        ecp.record_fault(0, 2, 1)
+        ecp.record_fault(0, 5, 0)
+        patched = ecp.patch_row(0, [0] * 8)
+        assert patched[2] == 1
+        assert patched[5] == 0
+
+    def test_patch_row_without_entries_is_identity(self):
+        ecp = ECP(row_bits=4)
+        assert ecp.patch_row(7, [1, 0, 1, 0]) == [1, 0, 1, 0]
+
+    def test_patch_row_length_checked(self):
+        ecp = ECP(row_bits=8)
+        with pytest.raises(ConfigurationError):
+            ecp.patch_row(0, [0] * 4)
+
+
+class TestRowPolicy:
+    def test_accepts_up_to_n_errors_anywhere(self):
+        ecp = ECP(entries_per_row=3)
+        assert ecp.row_outcome([3, 0, 0, 0, 0, 0, 0, 0]).correctable
+        assert ecp.row_outcome([1, 1, 1, 0, 0, 0, 0, 0]).correctable
+
+    def test_rejects_more_than_n(self):
+        ecp = ECP(entries_per_row=3)
+        assert not ecp.row_outcome([2, 2, 0, 0, 0, 0, 0, 0]).correctable
+
+    def test_flexibility_exceeds_secded_for_clustered_faults(self):
+        # ECP3 survives 3 errors in the same word, SECDED does not.
+        from repro.ecc.hamming import HammingSecded
+
+        clustered = [3, 0, 0, 0, 0, 0, 0, 0]
+        assert ECP(entries_per_row=3).row_outcome(clustered).correctable
+        assert not HammingSecded().row_outcome(clustered).correctable

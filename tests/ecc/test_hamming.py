@@ -1,0 +1,93 @@
+"""Tests for the Hamming (72, 64) SECDED code."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.hamming import HammingSecded
+from repro.errors import ConfigurationError, UncorrectableError
+
+word64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestGeometry:
+    def test_72_64_code(self):
+        code = HammingSecded()
+        assert code.data_bits == 64
+        assert code.check_bits == 8
+        assert code.overhead_bits_per_word == 8
+
+    def test_smaller_word(self):
+        code = HammingSecded(data_bits=32)
+        assert code.check_bits == 7  # 6 Hamming bits + overall parity
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            HammingSecded(data_bits=0)
+
+
+class TestCodec:
+    def test_clean_word_decodes_unchanged(self):
+        code = HammingSecded()
+        word = code.encode(0x0123456789ABCDEF)
+        data, corrected = code.decode(word.data, word.check)
+        assert data == 0x0123456789ABCDEF
+        assert corrected == 0
+
+    def test_single_data_bit_error_corrected(self):
+        code = HammingSecded()
+        original = 0xDEADBEEFCAFEF00D
+        word = code.encode(original)
+        for position in (0, 5, 31, 63):
+            corrupted = word.data ^ (1 << position)
+            data, corrected = code.decode(corrupted, word.check)
+            assert data == original
+            assert corrected == 1
+
+    def test_single_check_bit_error_tolerated(self):
+        code = HammingSecded()
+        original = 0x0F0F0F0F0F0F0F0F
+        word = code.encode(original)
+        for position in range(code.check_bits):
+            data, corrected = code.decode(word.data, word.check ^ (1 << position))
+            assert data == original
+
+    def test_double_error_detected(self):
+        code = HammingSecded()
+        word = code.encode(0x123456789ABCDEF0)
+        corrupted = word.data ^ 0b11  # two bit errors
+        with pytest.raises(UncorrectableError):
+            code.decode(corrupted, word.check)
+
+    def test_oversized_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HammingSecded().encode(1 << 64)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=word64, position=st.integers(min_value=0, max_value=63))
+    def test_any_single_error_corrected(self, data, position):
+        code = HammingSecded()
+        word = code.encode(data)
+        recovered, corrected = code.decode(word.data ^ (1 << position), word.check)
+        assert recovered == data
+        assert corrected == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=word64)
+    def test_encode_is_deterministic(self, data):
+        code = HammingSecded()
+        assert code.encode(data) == code.encode(data)
+
+
+class TestRowPolicy:
+    def test_accepts_one_error_per_word(self):
+        code = HammingSecded()
+        outcome = code.row_outcome([1, 0, 1, 1, 0, 0, 1, 0])
+        assert outcome.correctable
+        assert outcome.corrected_cells == 4
+
+    def test_rejects_two_errors_in_one_word(self):
+        code = HammingSecded()
+        assert not code.row_outcome([0, 2, 0, 0, 0, 0, 0, 0]).correctable
+
+    def test_clean_row(self):
+        assert HammingSecded().row_outcome([0] * 8).correctable

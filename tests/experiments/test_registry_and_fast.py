@@ -1,0 +1,97 @@
+"""Tests for the experiment registry and the cheap (closed-form) experiments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import available_experiments, get_experiment, run_experiment
+from repro.sim.results import ResultTable
+
+
+class TestRegistry:
+    def test_every_figure_and_table_registered(self):
+        names = available_experiments()
+        for expected in [
+            "fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13", "table1", "table2",
+        ]:
+            assert expected in names
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_identifiers_case_insensitive(self):
+        assert get_experiment("FIG1") is get_experiment("fig1")
+
+
+class TestFastExperiments:
+    def test_fig1_shape(self):
+        table = run_experiment("fig1")
+        assert isinstance(table, ResultTable)
+        rows = {row["cosets"]: row for row in table}
+        assert rows[2]["bcc_reduction_percent"] > rows[2]["rcc_reduction_percent"]
+        assert rows[256]["rcc_reduction_percent"] > rows[256]["bcc_reduction_percent"]
+
+    def test_fig3_reproduces_figure(self):
+        table = run_experiment("fig3")
+        values = {row["quantity"]: row["value"] for row in table}
+        assert values["decode(Xopt) == D"] is True
+        assert values["auxiliary bits (kernel index + flags)"] == "000110"
+
+    def test_table1_structure(self):
+        table = run_experiment("table1")
+        assert len(table) == 4
+        for row in table:
+            old = row["old_state"][2:4]
+            assert row[f"N({old})"] == "-"
+            # Intermediate new states are always "high" unless unchanged.
+            for new in ("01", "11"):
+                if new != old:
+                    assert row[f"N({new})"] == "high"
+
+    def test_table2_lists_parameters(self):
+        table = run_experiment("table2")
+        parameters = dict((row["parameter"], row["value"]) for row in table)
+        assert parameters["baseline access delay (ns)"] == 84.0
+        assert parameters["row size (bits)"] == 512
+
+    def test_fig6_contains_all_series(self):
+        table = run_experiment("fig6", coset_counts=(32, 64))
+        designs = set(table.column("design"))
+        assert designs == {"RCC", "VCC-64", "VCC-64-Stored", "VCC-32", "VCC-32-Stored"}
+
+    def test_fig13_ipc_range(self):
+        table = run_experiment("fig13", benchmarks=["lbm", "xz"], num_cosets=256)
+        for row in table:
+            assert 0.9 < row["normalized_ipc"] <= 1.0
+        vcc = [r["normalized_ipc"] for r in table if r["technique"] == "VCC"]
+        rcc = [r["normalized_ipc"] for r in table if r["technique"] == "RCC"]
+        assert all(v >= r for v, r in zip(vcc, rcc))
+
+    def test_json_export(self, tmp_path):
+        table = run_experiment("fig1")
+        path = tmp_path / "fig1.json"
+        table.to_json(path)
+        assert path.exists()
+
+
+class TestRunnerCli:
+    def test_list_option(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        captured = capsys.readouterr()
+        assert "fig1" in captured.out
+
+    def test_run_single_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig1"]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 1" in captured.out
+
+    def test_run_with_json_dir(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "--json-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.json").exists()

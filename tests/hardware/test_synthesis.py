@@ -1,0 +1,99 @@
+"""Tests for the analytic encoder-hardware model (Fig. 6 shape)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.synthesis import DesignPoint, HardwareEstimate, estimate_design, fig6_sweep
+
+
+def _estimate(style, num_cosets, **kwargs):
+    return estimate_design(DesignPoint(style=style, num_cosets=num_cosets, **kwargs))
+
+
+class TestDesignPoint:
+    def test_labels(self):
+        assert DesignPoint(style="rcc").label == "RCC"
+        assert DesignPoint(style="vcc", word_bits=64, stored_kernels=True).label == "VCC-64-Stored"
+        assert DesignPoint(style="vcc", word_bits=32, stored_kernels=False).label == "VCC-32"
+
+    def test_kernel_count(self):
+        assert DesignPoint(style="vcc", num_cosets=256, partitions=4).num_kernels == 16
+        assert DesignPoint(style="rcc", num_cosets=256).num_kernels == 256
+
+    def test_invalid_style(self):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(style="magic")
+
+    def test_invalid_cosets(self):
+        with pytest.raises(ConfigurationError):
+            DesignPoint(style="rcc", num_cosets=1)
+
+
+class TestFig6Shape:
+    """The qualitative trends of Fig. 6 must hold."""
+
+    def test_rcc_area_exceeds_vcc(self):
+        for num_cosets in (32, 64, 128, 256):
+            assert _estimate("rcc", num_cosets).area_um2 > _estimate("vcc", num_cosets).area_um2
+
+    def test_rcc_area_grows_faster(self):
+        rcc_growth = _estimate("rcc", 256).area_um2 - _estimate("rcc", 32).area_um2
+        vcc_growth = _estimate("vcc", 256).area_um2 - _estimate("vcc", 32).area_um2
+        assert rcc_growth > 5 * vcc_growth
+
+    def test_rcc_energy_order_of_magnitude_higher(self):
+        for num_cosets in (32, 256):
+            assert _estimate("rcc", num_cosets).energy_pj > 5 * _estimate("vcc", num_cosets).energy_pj
+
+    def test_rcc_energy_gap_widens(self):
+        gap_32 = _estimate("rcc", 32).energy_pj - _estimate("vcc", 32).energy_pj
+        gap_256 = _estimate("rcc", 256).energy_pj - _estimate("vcc", 256).energy_pj
+        assert gap_256 > gap_32
+
+    def test_vcc32_costs_more_than_vcc64(self):
+        for num_cosets in (32, 64, 128, 256):
+            assert (
+                _estimate("vcc", num_cosets, word_bits=32).energy_pj
+                > _estimate("vcc", num_cosets, word_bits=64).energy_pj
+            )
+
+    def test_stored_and_generated_are_close(self):
+        for num_cosets in (32, 256):
+            generated = _estimate("vcc", num_cosets, stored_kernels=False)
+            stored = _estimate("vcc", num_cosets, stored_kernels=True)
+            assert stored.area_um2 == pytest.approx(generated.area_um2, rel=0.5)
+            assert stored.delay_ps == pytest.approx(generated.delay_ps, rel=0.05)
+
+    def test_delays_in_nanosecond_range(self):
+        vcc = _estimate("vcc", 256)
+        rcc = _estimate("rcc", 256)
+        assert 1.0 <= vcc.delay_ns <= 2.2
+        assert 2.0 <= rcc.delay_ns <= 3.0
+        assert rcc.delay_ps > vcc.delay_ps
+
+    def test_delay_small_relative_to_access(self):
+        # The encode delay must stay small against the 84 ns array access,
+        # otherwise the Fig. 13 performance conclusion would not hold.
+        assert _estimate("rcc", 256).delay_ns < 0.05 * 84.0
+
+    def test_monotonic_in_cosets(self):
+        for style in ("rcc", "vcc"):
+            areas = [_estimate(style, n).area_um2 for n in (32, 64, 128, 256)]
+            delays = [_estimate(style, n).delay_ps for n in (32, 64, 128, 256)]
+            assert areas == sorted(areas)
+            assert delays == sorted(delays)
+
+
+class TestSweep:
+    def test_sweep_covers_all_designs(self):
+        estimates = fig6_sweep((32, 64))
+        labels = {e.design.label for e in estimates}
+        assert labels == {"RCC", "VCC-64", "VCC-64-Stored", "VCC-32", "VCC-32-Stored"}
+        assert len(estimates) == 10
+
+    def test_sweep_returns_estimates(self):
+        for estimate in fig6_sweep((32,)):
+            assert isinstance(estimate, HardwareEstimate)
+            assert estimate.area_um2 > 0
+            assert estimate.energy_pj > 0
+            assert estimate.delay_ps > 0

@@ -1,0 +1,125 @@
+"""Tests for the controller extensions: fault-knowledge modes and Start-Gap."""
+
+import numpy as np
+import pytest
+
+from repro.coding.cost import saw_then_energy
+from repro.coding.registry import make_encoder
+from repro.errors import ConfigurationError
+from repro.memctrl.config import ControllerConfig
+from repro.memctrl.controller import MemoryController
+from repro.pcm.array import PCMArray
+from repro.pcm.cell import CellTechnology
+from repro.pcm.faultmap import FaultMap
+from repro.pcm.wearlevel import StartGapWearLeveler
+
+
+def _line(rng):
+    return [int(rng.integers(0, 1 << 32)) << 32 | int(rng.integers(0, 1 << 32)) for _ in range(8)]
+
+
+def _controller(rows=16, fault_map=None, fault_knowledge="oracle", wear_leveler=None,
+                encoder_name="vcc-stored", seed=0):
+    encoder = make_encoder(encoder_name, num_cosets=64, cost_function=saw_then_energy(), seed=seed)
+    array = PCMArray(rows=rows, row_bits=512, fault_map=fault_map, seed=seed)
+    return MemoryController(
+        array=array,
+        encoder=encoder,
+        config=ControllerConfig(),
+        fault_knowledge=fault_knowledge,
+        wear_leveler=wear_leveler,
+    )
+
+
+class TestFaultKnowledgeModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _controller(fault_knowledge="psychic")
+
+    def test_none_mode_hides_faults_from_encoder(self, rng):
+        fault_map = FaultMap(rows=16, cells_per_row=256, fault_rate=0.02, seed=1)
+        blind = _controller(fault_map=fault_map, fault_knowledge="none", seed=1)
+        oracle = _controller(fault_map=fault_map, fault_knowledge="oracle", seed=1)
+        for address in range(16):
+            line = _line(rng)
+            blind.write_line(address, line)
+            oracle.write_line(address, line)
+        # Without fault knowledge the encoder cannot mask stuck cells.
+        assert oracle.stats.saw_cells < blind.stats.saw_cells
+
+    def test_discovered_mode_builds_repository(self, rng):
+        fault_map = FaultMap(rows=16, cells_per_row=256, fault_rate=0.02, seed=2)
+        controller = _controller(fault_map=fault_map, fault_knowledge="discovered", seed=2)
+        assert controller.fault_repository is not None
+        for address in range(16):
+            controller.write_line(address, _line(rng))
+        assert controller.fault_repository.total_known_faults() > 0
+
+    def test_discovered_mode_improves_over_repeat_writes(self, rng):
+        # On the first visit to a row the repository knows nothing; after
+        # discovery, subsequent writes can mask the faults, so the SAW rate
+        # of later passes drops towards the oracle level.
+        fault_map = FaultMap(rows=8, cells_per_row=256, fault_rate=0.02, seed=3)
+        controller = _controller(rows=8, fault_map=fault_map, fault_knowledge="discovered", seed=3)
+        first_pass = 0
+        for address in range(8):
+            first_pass += controller.write_line(address, _line(rng)).saw_cells
+        later_pass = 0
+        for address in range(8):
+            later_pass += controller.write_line(address, _line(rng)).saw_cells
+        assert later_pass < first_pass
+
+    def test_use_fault_context_false_maps_to_none(self):
+        encoder = make_encoder("unencoded")
+        array = PCMArray(rows=4, row_bits=512, seed=0)
+        controller = MemoryController(array=array, encoder=encoder, use_fault_context=False)
+        assert controller.fault_knowledge == "none"
+
+
+class TestStartGapIntegration:
+    def test_requires_spare_row(self):
+        leveler = StartGapWearLeveler(rows=16)
+        with pytest.raises(ConfigurationError):
+            _controller(rows=16, wear_leveler=leveler)
+
+    def test_addresses_spread_across_physical_rows(self, rng):
+        leveler = StartGapWearLeveler(rows=8, gap_write_interval=4)
+        controller = _controller(rows=9, wear_leveler=leveler, encoder_name="unencoded")
+        physical_rows = set()
+        for _ in range(80):
+            controller.write_line(0, _line(rng))
+            physical_rows.add(controller.row_for_address(0))
+        # The hot logical row migrates across several physical rows.
+        assert len(physical_rows) >= 3
+
+    def test_gap_moves_add_migration_writes(self, rng):
+        leveler = StartGapWearLeveler(rows=8, gap_write_interval=2)
+        controller = _controller(rows=9, wear_leveler=leveler, encoder_name="unencoded")
+        writes = 10
+        for _ in range(writes):
+            controller.write_line(1, _line(rng))
+        # Every gap movement performs one extra row write.
+        assert controller.stats.rows_written == writes + leveler.gap_moves
+        assert leveler.gap_moves > 0
+
+    def test_wear_spread_improves_with_leveling(self, rng):
+        # Hammer one logical row; with Start-Gap the wear spreads over more
+        # physical rows than without.
+        from repro.pcm.endurance import EnduranceModel
+
+        def max_row_wear(wear_leveler, rows):
+            encoder = make_encoder("unencoded", cost_function=saw_then_energy())
+            array = PCMArray(
+                rows=rows, row_bits=512, seed=4,
+                endurance_model=EnduranceModel(mean_writes=10_000, coefficient_of_variation=0.0),
+            )
+            controller = MemoryController(
+                array=array, encoder=encoder, wear_leveler=wear_leveler
+            )
+            for _ in range(120):
+                controller.write_line(0, _line(rng))
+            return max(array.wear_of_row(r).max() for r in range(rows))
+
+        unlevelled = max_row_wear(None, rows=9)
+        levelled = max_row_wear(StartGapWearLeveler(rows=8, gap_write_interval=4), rows=9)
+        assert levelled < unlevelled

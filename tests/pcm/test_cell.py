@@ -1,0 +1,63 @@
+"""Tests for the PCM cell definitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pcm.cell import (
+    CellTechnology,
+    MLC_GRAY_LEVELS,
+    gray_level_to_symbol,
+    is_intermediate_symbol,
+    symbol_to_gray_level,
+)
+
+
+class TestCellTechnology:
+    def test_bits_per_cell(self):
+        assert CellTechnology.SLC.bits_per_cell == 1
+        assert CellTechnology.MLC.bits_per_cell == 2
+
+    def test_levels(self):
+        assert CellTechnology.SLC.levels == 2
+        assert CellTechnology.MLC.levels == 4
+
+
+class TestGrayCoding:
+    def test_sequence_covers_all_symbols(self):
+        assert sorted(MLC_GRAY_LEVELS) == [0, 1, 2, 3]
+
+    def test_adjacent_levels_differ_in_one_bit(self):
+        for a, b in zip(MLC_GRAY_LEVELS, MLC_GRAY_LEVELS[1:]):
+            assert bin(a ^ b).count("1") == 1
+
+    def test_level_symbol_roundtrip(self):
+        for level in range(4):
+            assert symbol_to_gray_level(gray_level_to_symbol(level)) == level
+
+    def test_extreme_levels_have_right_digit_zero(self):
+        # The stuck-at-SET / stuck-at-RESET states are the cheap-to-program
+        # end states in Table I (right digit 0).
+        assert MLC_GRAY_LEVELS[0] & 1 == 0
+        assert MLC_GRAY_LEVELS[-1] & 1 == 0
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gray_level_to_symbol(4)
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            symbol_to_gray_level(7)
+
+
+class TestIntermediateSymbols:
+    def test_right_digit_one_is_intermediate(self):
+        assert is_intermediate_symbol(0b01)
+        assert is_intermediate_symbol(0b11)
+
+    def test_right_digit_zero_is_not(self):
+        assert not is_intermediate_symbol(0b00)
+        assert not is_intermediate_symbol(0b10)
+
+    def test_invalid_symbol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            is_intermediate_symbol(5)

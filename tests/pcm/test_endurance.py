@@ -1,0 +1,71 @@
+"""Tests for the endurance (wear-out) model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pcm.endurance import EnduranceModel
+
+
+class TestSampling:
+    def test_mean_approximately_respected(self):
+        model = EnduranceModel(mean_writes=10_000, coefficient_of_variation=0.2)
+        lifetimes = model.sample(20_000, seed=1)
+        assert abs(lifetimes.mean() - 10_000) / 10_000 < 0.02
+
+    def test_spread_approximately_respected(self):
+        model = EnduranceModel(mean_writes=10_000, coefficient_of_variation=0.2)
+        lifetimes = model.sample(20_000, seed=1)
+        assert abs(lifetimes.std() - 2_000) / 2_000 < 0.05
+
+    def test_minimum_enforced(self):
+        model = EnduranceModel(mean_writes=5, coefficient_of_variation=2.0, minimum_writes=1)
+        lifetimes = model.sample(5_000, seed=2)
+        assert lifetimes.min() >= 1
+
+    def test_deterministic_with_seed(self):
+        model = EnduranceModel(mean_writes=100)
+        assert (model.sample(100, seed=3) == model.sample(100, seed=3)).all()
+
+    def test_zero_count(self):
+        assert len(EnduranceModel().sample(0, seed=0)) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel().sample(-1, seed=0)
+
+    def test_integer_dtype(self):
+        lifetimes = EnduranceModel(mean_writes=50).sample(10, seed=4)
+        assert lifetimes.dtype == np.int64
+
+
+class TestValidation:
+    def test_non_positive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel(mean_writes=0)
+
+    def test_negative_cov_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel(coefficient_of_variation=-0.1)
+
+    def test_minimum_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel(minimum_writes=0)
+
+    def test_std_property(self):
+        model = EnduranceModel(mean_writes=1000, coefficient_of_variation=0.3)
+        assert model.std_writes == pytest.approx(300.0)
+
+
+class TestScaling:
+    def test_scaled_mean(self):
+        model = EnduranceModel(mean_writes=1.0e8).scaled(1e-5)
+        assert model.mean_writes == pytest.approx(1.0e3)
+
+    def test_scaled_keeps_cov(self):
+        model = EnduranceModel(coefficient_of_variation=0.25).scaled(0.5)
+        assert model.coefficient_of_variation == 0.25
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceModel().scaled(0.0)

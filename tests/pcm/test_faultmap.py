@@ -1,0 +1,133 @@
+"""Tests for the stuck-at fault map."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.pcm.cell import CellTechnology, MLC_GRAY_LEVELS
+from repro.pcm.faultmap import FaultMap
+
+
+class TestGeneration:
+    def test_observed_rate_close_to_requested(self):
+        fault_map = FaultMap(rows=400, cells_per_row=256, fault_rate=1e-2, seed=1)
+        assert abs(fault_map.observed_fault_rate - 1e-2) < 2.5e-3
+
+    def test_zero_rate_produces_no_faults(self):
+        fault_map = FaultMap(rows=50, cells_per_row=256, fault_rate=0.0, seed=1)
+        assert fault_map.total_faults == 0
+
+    def test_deterministic_given_seed(self):
+        a = FaultMap(rows=50, cells_per_row=128, fault_rate=0.01, seed=9)
+        b = FaultMap(rows=50, cells_per_row=128, fault_rate=0.01, seed=9)
+        assert a.total_faults == b.total_faults
+        for row in a.faulty_rows():
+            assert (a.row_faults(row).positions == b.row_faults(row).positions).all()
+
+    def test_different_seeds_differ(self):
+        a = FaultMap(rows=50, cells_per_row=256, fault_rate=0.02, seed=1)
+        b = FaultMap(rows=50, cells_per_row=256, fault_rate=0.02, seed=2)
+        positions_a = {(r, tuple(a.row_faults(r).positions)) for r in a.faulty_rows()}
+        positions_b = {(r, tuple(b.row_faults(r).positions)) for r in b.faulty_rows()}
+        assert positions_a != positions_b
+
+    def test_positions_sorted_and_unique(self):
+        fault_map = FaultMap(rows=100, cells_per_row=256, fault_rate=0.05, seed=3)
+        for row in fault_map.faulty_rows():
+            positions = fault_map.row_faults(row).positions
+            assert (np.diff(positions) > 0).all()
+
+    def test_mlc_extreme_stuck_values(self):
+        fault_map = FaultMap(
+            rows=100, cells_per_row=256, fault_rate=0.05, seed=3, stuck_values="extremes"
+        )
+        allowed = {MLC_GRAY_LEVELS[0], MLC_GRAY_LEVELS[-1]}
+        for row in fault_map.faulty_rows():
+            assert set(fault_map.row_faults(row).stuck_values.tolist()) <= allowed
+
+    def test_mlc_any_stuck_values_cover_all_levels(self):
+        fault_map = FaultMap(
+            rows=200, cells_per_row=256, fault_rate=0.05, seed=3, stuck_values="any"
+        )
+        seen = set()
+        for row in fault_map.faulty_rows():
+            seen |= set(fault_map.row_faults(row).stuck_values.tolist())
+        assert seen == {0, 1, 2, 3}
+
+    def test_slc_stuck_values_binary(self):
+        fault_map = FaultMap(
+            rows=100,
+            cells_per_row=512,
+            technology=CellTechnology.SLC,
+            fault_rate=0.05,
+            seed=4,
+        )
+        for row in fault_map.faulty_rows():
+            assert set(fault_map.row_faults(row).stuck_values.tolist()) <= {0, 1}
+
+
+class TestClustering:
+    def test_clustering_concentrates_faults(self):
+        spread = FaultMap(rows=200, cells_per_row=256, fault_rate=0.01, clustering=0.0, seed=5)
+        packed = FaultMap(rows=200, cells_per_row=256, fault_rate=0.01, clustering=0.8, seed=5)
+        assert len(list(packed.faulty_rows())) < len(list(spread.faulty_rows()))
+
+    def test_clustering_keeps_total_rate_similar(self):
+        packed = FaultMap(rows=400, cells_per_row=256, fault_rate=0.01, clustering=0.8, seed=6)
+        assert abs(packed.observed_fault_rate - 0.01) < 5e-3
+
+
+class TestAccess:
+    def test_row_without_faults_is_empty(self):
+        fault_map = FaultMap(rows=10, cells_per_row=64, fault_rate=0.0, seed=1)
+        faults = fault_map.row_faults(3)
+        assert faults.count == 0
+
+    def test_out_of_range_row_rejected(self):
+        fault_map = FaultMap(rows=10, cells_per_row=64, fault_rate=0.0, seed=1)
+        with pytest.raises(MemoryModelError):
+            fault_map.row_faults(10)
+
+    def test_stuck_array_dense_view(self):
+        fault_map = FaultMap(rows=20, cells_per_row=64, fault_rate=0.1, seed=7)
+        for row in fault_map.faulty_rows():
+            is_stuck, values = fault_map.stuck_array(row)
+            faults = fault_map.row_faults(row)
+            assert is_stuck.sum() == faults.count
+            assert (values[faults.positions] == faults.stuck_values).all()
+
+    def test_in_word_slicing(self):
+        fault_map = FaultMap(rows=20, cells_per_row=64, fault_rate=0.2, seed=8)
+        for row in fault_map.faulty_rows():
+            faults = fault_map.row_faults(row)
+            reassembled = []
+            for word in range(2):
+                positions, values = faults.in_word(word, 32)
+                assert ((positions >= 0) & (positions < 32)).all()
+                reassembled.extend((positions + word * 32).tolist())
+            assert reassembled == faults.positions.tolist()
+
+    def test_has_faults(self):
+        fault_map = FaultMap(rows=30, cells_per_row=256, fault_rate=0.05, seed=9)
+        for row in fault_map.faulty_rows():
+            assert fault_map.has_faults(row)
+
+
+class TestValidation:
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultMap(rows=10, cells_per_row=64, fault_rate=1.5)
+
+    def test_bad_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultMap(rows=0, cells_per_row=64)
+
+    def test_bad_stuck_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultMap(rows=10, cells_per_row=64, stuck_values="weird")
+
+    def test_mismatched_rowfaults_rejected(self):
+        from repro.pcm.faultmap import RowFaults
+
+        with pytest.raises(ConfigurationError):
+            RowFaults(positions=np.array([1, 2]), stuck_values=np.array([1]))

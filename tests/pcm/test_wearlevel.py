@@ -1,0 +1,73 @@
+"""Tests for Start-Gap wear leveling."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.pcm.wearlevel import StartGapWearLeveler
+
+
+class TestMapping:
+    def test_initial_mapping_is_identity(self):
+        leveler = StartGapWearLeveler(rows=8)
+        assert leveler.mapping_snapshot() == {i: i for i in range(8)}
+
+    def test_physical_rows_required(self):
+        assert StartGapWearLeveler(rows=8).physical_rows_required == 9
+
+    def test_mapping_is_injective_at_all_times(self):
+        leveler = StartGapWearLeveler(rows=8, gap_write_interval=1)
+        for _ in range(100):
+            leveler.record_write()
+            mapping = leveler.mapping_snapshot()
+            assert len(set(mapping.values())) == len(mapping)
+            assert all(0 <= p <= 8 for p in mapping.values())
+            # The gap row is never mapped.
+            assert leveler.gap_position not in mapping.values()
+
+    def test_out_of_range_logical_row(self):
+        with pytest.raises(MemoryModelError):
+            StartGapWearLeveler(rows=4).physical_row(4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            StartGapWearLeveler(rows=0)
+        with pytest.raises(ConfigurationError):
+            StartGapWearLeveler(rows=4, gap_write_interval=0)
+
+
+class TestGapMovement:
+    def test_gap_moves_after_interval(self):
+        leveler = StartGapWearLeveler(rows=4, gap_write_interval=3)
+        assert leveler.record_write() is None
+        assert leveler.record_write() is None
+        movement = leveler.record_write()
+        assert movement == (3, 4)
+        assert leveler.gap_position == 3
+
+    def test_gap_wraps_around_the_array(self):
+        leveler = StartGapWearLeveler(rows=3, gap_write_interval=1)
+        movements = [leveler.record_write() for _ in range(4)]
+        # Three movements bring the gap to 0; the fourth wraps it to the top
+        # by copying the row at the top physical slot down into position 0.
+        assert movements[:3] == [(2, 3), (1, 2), (0, 1)]
+        assert movements[3] == (3, 0)
+        assert leveler.gap_position == 3
+
+    def test_rotation_changes_hot_row_placement(self):
+        leveler = StartGapWearLeveler(rows=8, gap_write_interval=1)
+        placements = set()
+        for _ in range(9 * 8):
+            placements.add(leveler.physical_row(0))
+            leveler.record_write()
+        # Over a full rotation, logical row 0 visits many physical rows.
+        assert len(placements) > 4
+
+    def test_write_amplification(self):
+        leveler = StartGapWearLeveler(rows=8, gap_write_interval=10)
+        for _ in range(100):
+            leveler.record_write()
+        assert leveler.gap_moves == 10
+        assert leveler.write_amplification(100) == pytest.approx(0.1)
+
+    def test_write_amplification_zero_writes(self):
+        assert StartGapWearLeveler(rows=8).write_amplification(0) == 0.0

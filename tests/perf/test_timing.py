@@ -1,0 +1,81 @@
+"""Tests for the Table II system config and the Fig. 13 IPC model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.config import SystemConfig, TABLE_II_SYSTEM
+from repro.perf.timing import PerformanceModel
+
+
+class TestSystemConfig:
+    def test_table_ii_values(self):
+        system = TABLE_II_SYSTEM
+        assert system.cores == 4
+        assert system.issue_width == 4
+        assert system.frequency_ghz == 1.0
+        assert system.row_bits == 512
+        assert system.memory_gib == 2
+        assert system.base_access_delay_ns == 84.0
+
+    def test_total_banks(self):
+        assert TABLE_II_SYSTEM.total_banks == 16
+
+    def test_invalid_exposure(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(write_stall_exposure=1.5)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(frequency_ghz=0.0)
+
+
+class TestPerformanceModel:
+    def test_zero_delay_means_unit_ipc(self):
+        model = PerformanceModel()
+        result = model.normalized_ipc("lbm", 0.0, "baseline")
+        assert result.normalized_ipc == pytest.approx(1.0)
+
+    def test_ipc_decreases_with_delay(self):
+        model = PerformanceModel()
+        fast = model.normalized_ipc("lbm", 1.0)
+        slow = model.normalized_ipc("lbm", 3.0)
+        assert slow.normalized_ipc < fast.normalized_ipc
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerformanceModel().normalized_ipc("lbm", -1.0)
+
+    def test_write_intensive_benchmarks_hurt_more(self):
+        model = PerformanceModel()
+        lbm = model.normalized_ipc("lbm", 2.0)     # 30 writebacks / kinst
+        xz = model.normalized_ipc("xz", 2.0)       # 6 writebacks / kinst
+        assert lbm.normalized_ipc < xz.normalized_ipc
+
+    def test_impact_stays_small(self):
+        # The paper's headline: even RCC's 2.6 ns encode delay costs < 3%
+        # on average and VCC < 2%.
+        model = PerformanceModel()
+        results = model.sweep({"VCC": 1.8, "RCC": 2.6})
+        vcc = [r.normalized_ipc for r in results if r.technique == "VCC"]
+        rcc = [r.normalized_ipc for r in results if r.technique == "RCC"]
+        assert sum(vcc) / len(vcc) > 0.98
+        assert sum(rcc) / len(rcc) > 0.97
+        assert min(rcc) > 0.9
+
+    def test_rcc_never_faster_than_vcc(self):
+        model = PerformanceModel()
+        results = model.sweep({"VCC": 1.8, "RCC": 2.6})
+        by_benchmark = {}
+        for result in results:
+            by_benchmark.setdefault(result.benchmark, {})[result.technique] = result.normalized_ipc
+        for values in by_benchmark.values():
+            assert values["RCC"] <= values["VCC"]
+
+    def test_sweep_covers_requested_benchmarks(self):
+        model = PerformanceModel()
+        results = model.sweep({"VCC": 1.8}, benchmarks=["lbm", "mcf"])
+        assert {r.benchmark for r in results} == {"lbm", "mcf"}
+
+    def test_slowdown_percent_consistent(self):
+        result = PerformanceModel().normalized_ipc("mcf", 2.0, "x")
+        assert result.slowdown_percent == pytest.approx((1.0 / result.normalized_ipc - 1.0) * 100.0)

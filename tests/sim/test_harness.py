@@ -1,0 +1,88 @@
+"""Tests for the shared simulation harness."""
+
+import pytest
+
+from repro.coding.cost import BitChangeCost, EnergyCost, LexicographicCost, OnesCost, SawCost
+from repro.errors import ConfigurationError, SimulationError
+from repro.pcm.cell import CellTechnology
+from repro.pcm.faultmap import FaultMap
+from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines, drive_trace, make_cost
+from repro.traces.synthetic import generate_trace
+
+
+class TestMakeCost:
+    @pytest.mark.parametrize(
+        "name,expected_type",
+        [
+            ("bit-changes", BitChangeCost),
+            ("ones", OnesCost),
+            ("energy", EnergyCost),
+            ("saw", SawCost),
+            ("energy-then-saw", LexicographicCost),
+            ("saw-then-energy", LexicographicCost),
+        ],
+    )
+    def test_names_map_to_types(self, name, expected_type):
+        assert isinstance(make_cost(name), expected_type)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cost("maximise-entropy")
+
+    def test_lexicographic_ordering(self):
+        assert make_cost("saw-then-energy").name == "saw>energy"
+        assert make_cost("energy-then-saw").name == "energy>saw"
+
+
+class TestTechniqueSpec:
+    def test_display_name_defaults_to_encoder(self):
+        assert TechniqueSpec(encoder="rcc").display_name() == "rcc"
+
+    def test_display_name_uses_label(self):
+        assert TechniqueSpec(encoder="rcc", label="RCC Opt. SAW").display_name() == "RCC Opt. SAW"
+
+
+class TestBuildController:
+    def test_builds_requested_encoder(self):
+        controller = build_controller(
+            TechniqueSpec(encoder="rcc", num_cosets=32), rows=8, seed=1
+        )
+        assert controller.encoder.name == "rcc"
+        assert controller.array.rows == 8
+
+    def test_fault_map_attached(self):
+        fault_map = FaultMap(rows=8, cells_per_row=256, fault_rate=0.05, seed=2)
+        controller = build_controller(
+            TechniqueSpec(encoder="unencoded"), rows=8, fault_map=fault_map, seed=2
+        )
+        assert controller.array.stuck_cell_count() == fault_map.total_faults
+
+    def test_encryption_flag(self):
+        encrypted = build_controller(TechniqueSpec(encoder="unencoded"), rows=4, encrypt=True)
+        plain = build_controller(TechniqueSpec(encoder="unencoded"), rows=4, encrypt=False)
+        assert encrypted.encryption is not None
+        assert plain.encryption is None
+
+
+class TestDrivers:
+    def test_drive_random_lines_accumulates(self):
+        controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8, seed=3)
+        drive_random_lines(controller, 10, seed=3)
+        assert controller.stats.rows_written == 10
+
+    def test_drive_random_lines_negative_rejected(self):
+        controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8)
+        with pytest.raises(SimulationError):
+            drive_random_lines(controller, -1)
+
+    def test_drive_trace(self):
+        controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=32, seed=4)
+        trace = generate_trace("xz", 15, memory_lines=32, seed=4)
+        drive_trace(controller, trace, repetitions=2)
+        assert controller.stats.rows_written == 30
+
+    def test_drive_trace_word_size_checked(self):
+        controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8)
+        trace = generate_trace("xz", 5, memory_lines=8, word_bits=32, line_bits=512, seed=5)
+        with pytest.raises(SimulationError):
+            drive_trace(controller, trace)

@@ -1,0 +1,119 @@
+"""Tests for the lifetime simulator (Figs. 11 and 12), run at tiny scale."""
+
+import pytest
+
+from repro.sim.harness import TechniqueSpec
+from repro.sim.lifetime_sim import (
+    DEFAULT_LIFETIME_TECHNIQUES,
+    LifetimeStudyConfig,
+    _row_failure,
+    lifetime_study,
+    simulate_lifetime,
+)
+
+#: A deliberately tiny configuration: small memory, short endurance, short
+#: trace.  Lifetimes are a few hundred writes, so the whole module runs in
+#: well under a minute while still exercising wear, stuck cells, masking,
+#: and the 4-row failure criterion.
+_TINY = LifetimeStudyConfig(
+    rows=24,
+    mean_endurance_writes=24,
+    trace_writebacks=120,
+    max_line_writes=20_000,
+    seed=21,
+)
+
+
+@pytest.fixture(scope="module")
+def lifetimes():
+    """Writes-to-failure of the main techniques on one benchmark."""
+    specs = {
+        "unencoded": TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded"),
+        "secded": TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="SECDED", corrector="secded"),
+        "ecp3": TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="ECP3", corrector="ecp3"),
+        "flipcy": TechniqueSpec(encoder="flipcy", cost="saw-then-energy", num_cosets=256, label="Flipcy"),
+        "dbi/fnw": TechniqueSpec(encoder="dbi/fnw", cost="saw-then-energy", num_cosets=256, label="DBI/FNW"),
+        "vcc": TechniqueSpec(encoder="vcc-stored", cost="saw-then-energy", num_cosets=256, label="VCC"),
+        "rcc": TechniqueSpec(encoder="rcc", cost="saw-then-energy", num_cosets=256, label="RCC"),
+    }
+    return {name: simulate_lifetime(spec, "lbm", _TINY) for name, spec in specs.items()}
+
+
+class TestFailureCriteria:
+    def test_coset_rows_fail_on_any_residual_error(self):
+        spec = TechniqueSpec(encoder="vcc")
+        assert _row_failure(spec, [0, 0, 1, 0, 0, 0, 0, 0], 512)
+        assert not _row_failure(spec, [0] * 8, 512)
+
+    def test_secded_tolerates_one_per_word(self):
+        spec = TechniqueSpec(encoder="unencoded", corrector="secded")
+        assert not _row_failure(spec, [1, 1, 0, 1, 0, 0, 0, 0], 512)
+        assert _row_failure(spec, [2, 0, 0, 0, 0, 0, 0, 0], 512)
+
+    def test_ecp_tolerates_three_per_row(self):
+        spec = TechniqueSpec(encoder="unencoded", corrector="ecp3")
+        assert not _row_failure(spec, [2, 1, 0, 0, 0, 0, 0, 0], 512)
+        assert _row_failure(spec, [2, 2, 0, 0, 0, 0, 0, 0], 512)
+
+    def test_unknown_corrector_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            _row_failure(TechniqueSpec(encoder="unencoded", corrector="raid"), [1], 512)
+
+
+class TestLifetimeOrdering:
+    """The qualitative ordering of Figs. 11/12 must hold."""
+
+    def test_everything_eventually_fails(self, lifetimes):
+        for value in lifetimes.values():
+            assert 0 < value < _TINY.max_line_writes
+
+    def test_secded_at_least_unencoded(self, lifetimes):
+        assert lifetimes["secded"] >= lifetimes["unencoded"]
+
+    def test_ecp_at_least_unencoded(self, lifetimes):
+        assert lifetimes["ecp3"] >= lifetimes["unencoded"]
+
+    def test_flipcy_close_to_unencoded(self, lifetimes):
+        assert lifetimes["flipcy"] <= lifetimes["unencoded"] * 1.3
+
+    def test_vcc_beats_simple_protection(self, lifetimes):
+        assert lifetimes["vcc"] > lifetimes["unencoded"]
+        assert lifetimes["vcc"] > lifetimes["flipcy"]
+        assert lifetimes["vcc"] >= lifetimes["dbi/fnw"]
+
+    def test_vcc_improvement_is_substantial(self, lifetimes):
+        # The paper reports >= 50% over unencoded; allow slack at tiny scale.
+        assert lifetimes["vcc"] >= lifetimes["unencoded"] * 1.3
+
+    def test_rcc_and_vcc_comparable(self, lifetimes):
+        assert lifetimes["vcc"] >= lifetimes["rcc"] * 0.7
+
+    def test_deterministic(self):
+        spec = TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded")
+        assert simulate_lifetime(spec, "lbm", _TINY) == simulate_lifetime(spec, "lbm", _TINY)
+
+    def test_repetition_changes_seed(self):
+        spec = TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded")
+        base = simulate_lifetime(spec, "lbm", _TINY, seed_offset=0)
+        other = simulate_lifetime(spec, "lbm", _TINY, seed_offset=1)
+        assert base != other
+
+
+class TestLifetimeStudyTable:
+    def test_table_structure(self):
+        table = lifetime_study(
+            benchmarks=("lbm",),
+            techniques=(
+                TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded"),
+                TechniqueSpec(encoder="vcc-stored", cost="saw-then-energy", label="VCC"),
+            ),
+            num_cosets=64,
+            config=_TINY,
+        )
+        assert len(table) == 2
+        unencoded = table.filter(technique="Unencoded")[0]
+        vcc = table.filter(technique="VCC")[0]
+        assert unencoded["improvement_vs_unencoded"] == 0.0
+        assert vcc["improvement_vs_unencoded"] > 0.0

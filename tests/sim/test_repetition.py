@@ -1,0 +1,67 @@
+"""Tests for the repetition/aggregation helpers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.repetition import RepeatedMetric, aggregate_columns, repeat_metric
+
+
+class TestRepeatMetric:
+    def test_runs_requested_repetitions(self):
+        seen = []
+
+        def experiment(seed):
+            seen.append(seed)
+            return float(seed)
+
+        metric = repeat_metric(experiment, repetitions=4, base_seed=10)
+        assert seen == [10, 11, 12, 13]
+        assert metric.repetitions == 4
+
+    def test_mean_and_std(self):
+        metric = repeat_metric(lambda seed: float(seed), repetitions=3, base_seed=1)
+        assert metric.mean == pytest.approx(2.0)
+        assert metric.std == pytest.approx(1.0)
+
+    def test_confidence_interval_brackets_mean(self):
+        metric = repeat_metric(lambda seed: float(seed % 5), repetitions=10, base_seed=0)
+        assert metric.ci95_low <= metric.mean <= metric.ci95_high
+
+    def test_single_repetition_has_zero_spread(self):
+        metric = repeat_metric(lambda seed: 7.5, repetitions=1)
+        assert metric.std == 0.0
+        assert metric.ci95_low == metric.ci95_high == 7.5
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(SimulationError):
+            repeat_metric(lambda seed: 0.0, repetitions=0)
+
+    def test_deterministic_experiment_has_zero_std(self):
+        metric = repeat_metric(lambda seed: 3.0, repetitions=5)
+        assert metric.std == 0.0
+        assert metric.values == (3.0,) * 5
+
+
+class TestAggregateColumns:
+    def test_aggregates_selected_columns(self):
+        rows = [{"a": 1.0, "b": 10.0}, {"a": 3.0, "b": 30.0}]
+        summary = aggregate_columns(rows, ["a", "b"])
+        assert summary["a"].mean == pytest.approx(2.0)
+        assert summary["b"].mean == pytest.approx(20.0)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_columns([{"a": 1.0}], ["b"])
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(SimulationError):
+            aggregate_columns([], ["a"])
+
+    def test_works_with_result_table_rows(self):
+        from repro.sim.results import ResultTable
+
+        table = ResultTable(title="t", columns=["technique", "saving"])
+        table.append(technique="vcc", saving=25.0)
+        table.append(technique="vcc", saving=27.0)
+        summary = aggregate_columns(table.rows, ["saving"])
+        assert summary["saving"].mean == pytest.approx(26.0)

@@ -1,0 +1,57 @@
+"""Tests for the result-table container."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.results import ResultTable
+
+
+def _table():
+    table = ResultTable(title="demo", columns=["name", "value"])
+    table.append(name="a", value=1.0)
+    table.append(name="b", value=2.5)
+    return table
+
+
+class TestResultTable:
+    def test_append_and_len(self):
+        assert len(_table()) == 2
+
+    def test_missing_column_rejected(self):
+        table = ResultTable(title="demo", columns=["name", "value"])
+        with pytest.raises(SimulationError):
+            table.append(name="only-name")
+
+    def test_column_access(self):
+        assert _table().column("name") == ["a", "b"]
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SimulationError):
+            _table().column("nope")
+
+    def test_filter(self):
+        rows = _table().filter(name="a")
+        assert len(rows) == 1
+        assert rows[0]["value"] == 1.0
+
+    def test_iteration(self):
+        assert [row["name"] for row in _table()] == ["a", "b"]
+
+    def test_format_contains_title_and_values(self):
+        text = _table().format()
+        assert "demo" in text
+        assert "2.5" in text
+
+    def test_format_with_notes(self):
+        table = ResultTable(title="t", columns=["x"], notes="important caveat")
+        table.append(x=1)
+        assert "important caveat" in table.format()
+
+    def test_to_json_roundtrip(self, tmp_path):
+        path = tmp_path / "table.json"
+        payload = _table().to_json(path)
+        parsed = json.loads(payload)
+        assert parsed["title"] == "demo"
+        assert json.loads(path.read_text())["rows"][1]["name"] == "b"

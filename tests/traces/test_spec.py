@@ -1,0 +1,58 @@
+"""Tests for the SPEC-like benchmark profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.spec import BenchmarkProfile, SPEC_2017_PROFILES, get_profile, list_benchmarks
+
+
+class TestProfiles:
+    def test_at_least_ten_benchmarks(self):
+        assert len(list_benchmarks()) >= 10
+
+    def test_both_suites_present(self):
+        suites = {profile.suite for profile in SPEC_2017_PROFILES.values()}
+        assert suites == {"int", "fp"}
+
+    def test_all_value_models_valid(self):
+        for profile in SPEC_2017_PROFILES.values():
+            assert profile.value_model in {"integer", "float", "pointer", "text", "mixed"}
+
+    def test_write_intensities_differ(self):
+        intensities = {p.writebacks_per_kilo_instruction for p in SPEC_2017_PROFILES.values()}
+        assert len(intensities) > 5
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("LBM").name == "lbm"
+        assert get_profile("cactubssn").name == "cactuBSSN"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("not-a-benchmark")
+
+    def test_listing_sorted(self):
+        names = list_benchmarks()
+        assert names == sorted(names)
+
+
+class TestProfileValidation:
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile(
+                name="x", suite="int", writebacks_per_kilo_instruction=0,
+                working_set_lines=10, hot_fraction=0.5, hot_weight=0.5, value_model="integer",
+            )
+
+    def test_bad_hot_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile(
+                name="x", suite="int", writebacks_per_kilo_instruction=1,
+                working_set_lines=10, hot_fraction=0.0, hot_weight=0.5, value_model="integer",
+            )
+
+    def test_bad_value_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkProfile(
+                name="x", suite="int", writebacks_per_kilo_instruction=1,
+                working_set_lines=10, hot_fraction=0.5, hot_weight=0.5, value_model="video",
+            )

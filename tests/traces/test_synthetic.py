@@ -1,0 +1,100 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.spec import get_profile
+from repro.traces.synthetic import SyntheticTraceGenerator, generate_trace
+
+
+class TestGeneration:
+    def test_record_count_and_geometry(self):
+        trace = generate_trace("lbm", num_writebacks=50, memory_lines=128, seed=1)
+        assert len(trace) == 50
+        assert trace.words_per_line == 8
+        for record in trace:
+            assert len(record.words) == 8
+            assert 0 <= record.address < 128
+
+    def test_deterministic_per_seed(self):
+        a = generate_trace("mcf", 30, seed=7)
+        b = generate_trace("mcf", 30, seed=7)
+        assert [r.address for r in a] == [r.address for r in b]
+        assert [r.words for r in a] == [r.words for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace("mcf", 30, seed=7)
+        b = generate_trace("mcf", 30, seed=8)
+        assert [r.words for r in a] != [r.words for r in b]
+
+    def test_working_set_clipped_to_memory(self):
+        trace = generate_trace("bwaves", 200, memory_lines=32, seed=2)
+        assert trace.unique_addresses() <= 32
+
+    def test_zero_writebacks(self):
+        assert len(generate_trace("xz", 0, seed=3)) == 0
+
+    def test_profile_object_accepted(self):
+        generator = SyntheticTraceGenerator(get_profile("lbm"), memory_lines=64, seed=4)
+        assert len(generator.generate(10)) == 10
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTraceGenerator(12345, memory_lines=64)
+
+    def test_metadata_recorded(self):
+        trace = generate_trace("lbm", 10, seed=5)
+        assert trace.metadata["suite"] == "fp"
+        assert trace.metadata["seed"] == 5
+
+
+class TestLocality:
+    def test_hot_addresses_receive_more_writes(self):
+        trace = generate_trace("mcf", 2000, memory_lines=256, seed=6)
+        histogram = trace.writes_per_address()
+        counts = sorted(histogram.values(), reverse=True)
+        hot_share = sum(counts[: max(1, len(counts) // 10)]) / sum(counts)
+        # mcf concentrates ~75% of its traffic on ~10% of its working set.
+        assert hot_share > 0.4
+
+    def test_uniform_benchmark_less_concentrated(self):
+        concentrated = generate_trace("mcf", 2000, memory_lines=256, seed=7)
+        spread = generate_trace("xz", 2000, memory_lines=256, seed=7)
+
+        def top_decile_share(trace):
+            counts = sorted(trace.writes_per_address().values(), reverse=True)
+            return sum(counts[: max(1, len(counts) // 10)]) / sum(counts)
+
+        assert top_decile_share(concentrated) > top_decile_share(spread)
+
+
+class TestValueModels:
+    @pytest.mark.parametrize("bench_name,expected_bias", [("deepsjeng", True), ("xz", False)])
+    def test_integer_data_is_biased(self, bench_name, expected_bias):
+        trace = generate_trace(bench_name, 100, seed=8)
+        ones = sum(bin(word).count("1") for record in trace for word in record.words)
+        total = sum(64 for record in trace for _ in record.words)
+        ratio = ones / total
+        if expected_bias:
+            assert ratio < 0.42  # small integers: mostly-zero high bits
+        else:
+            assert 0.3 < ratio < 0.7
+
+    def test_pointer_words_share_high_bits(self):
+        trace = generate_trace("mcf", 20, seed=9)
+        tops = {word >> 40 for record in trace for word in record.words}
+        assert len(tops) <= 4
+
+    def test_text_words_are_printable_ascii(self):
+        trace = generate_trace("xalancbmk", 20, seed=10)
+        for record in trace:
+            for word in record.words:
+                for shift in range(0, 64, 8):
+                    byte = (word >> shift) & 0xFF
+                    assert 0x20 <= byte < 0x7F
+
+    def test_float_words_cluster_exponents(self):
+        trace = generate_trace("bwaves", 50, seed=11)
+        exponents = {(word >> 52) & 0x7FF for record in trace for word in record.words}
+        assert len(exponents) < 20

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.rng."""
+
+from repro.utils import rng as rng_mod
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert rng_mod.derive_seed(1, "a") == rng_mod.derive_seed(1, "a")
+
+    def test_label_changes_seed(self):
+        assert rng_mod.derive_seed(1, "a") != rng_mod.derive_seed(1, "b")
+
+    def test_parent_changes_seed(self):
+        assert rng_mod.derive_seed(1, "a") != rng_mod.derive_seed(2, "a")
+
+    def test_non_negative_63_bit(self):
+        for seed in range(20):
+            child = rng_mod.derive_seed(seed, "label")
+            assert 0 <= child < (1 << 63)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = rng_mod.make_rng(5, "x").integers(0, 1 << 30, size=10)
+        b = rng_mod.make_rng(5, "x").integers(0, 1 << 30, size=10)
+        assert (a == b).all()
+
+    def test_different_labels_different_streams(self):
+        a = rng_mod.make_rng(5, "x").integers(0, 1 << 30, size=10)
+        b = rng_mod.make_rng(5, "y").integers(0, 1 << 30, size=10)
+        assert not (a == b).all()
+
+    def test_none_seed_returns_generator(self):
+        generator = rng_mod.make_rng(None)
+        assert generator.integers(0, 10) in range(10)
+
+
+class TestSpawn:
+    def test_one_per_label(self):
+        generators = rng_mod.spawn_rngs(3, ["a", "b", "c"])
+        assert len(generators) == 3
+
+    def test_streams_independent(self):
+        a, b = rng_mod.spawn_rngs(3, ["a", "b"])
+        assert not (a.integers(0, 1 << 30, size=8) == b.integers(0, 1 << 30, size=8)).all()

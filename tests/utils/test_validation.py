@@ -1,0 +1,49 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils import validation
+
+
+class TestRequire:
+    def test_passes(self):
+        validation.require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ConfigurationError, match="broken"):
+            validation.require(False, "broken")
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 256, 1 << 20])
+    def test_accepts_powers(self, value):
+        validation.require_power_of_two(value, "value")
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 255])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ConfigurationError):
+            validation.require_power_of_two(value, "value")
+
+
+class TestDivisible:
+    def test_accepts_multiple(self):
+        validation.require_divisible(64, 16, "should divide")
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ConfigurationError):
+            validation.require_divisible(64, 12, "does not divide")
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ConfigurationError):
+            validation.require_divisible(64, 0, "zero")
+
+
+class TestInRange:
+    def test_accepts_bounds(self):
+        validation.require_in_range(0.0, 0.0, 1.0, "x")
+        validation.require_in_range(1.0, 0.0, 1.0, "x")
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            validation.require_in_range(1.5, 0.0, 1.0, "x")
