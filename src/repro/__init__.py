@@ -14,47 +14,59 @@ The package is organised bottom-up:
   memory controller) and :mod:`repro.sim` / :mod:`repro.experiments`
   (the per-figure experiment harness).
 
-Quick start::
+Quick start — encoders are resolved by short name through the plugin
+registry, and the hot path operates on whole cache lines::
 
-    from repro import VCCConfig, VCCEncoder, WordContext
+    from repro import LineContext, make_encoder
     from repro.coding.cost import EnergyCost
 
-    encoder = VCCEncoder(VCCConfig.for_cosets(256), cost_function=EnergyCost())
-    context = WordContext.from_word(old_word=0x0, word_bits=64, bits_per_cell=2)
-    encoded = encoder.encode(0xDEADBEEFCAFEF00D, context)
-    assert encoder.decode(encoded.codeword, encoded.aux) == 0xDEADBEEFCAFEF00D
+    encoder = make_encoder("vcc", num_cosets=256, cost_function=EnergyCost())
+    context = LineContext.blank(words_per_line=8, word_bits=64, bits_per_cell=2)
+    line = [0xDEADBEEFCAFEF00D] * 8
+    encoded = encoder.encode_line(line, context)
+    assert encoder.decode_line(encoded.codewords, encoded.auxes) == line
+
+The word-granular API (:meth:`Encoder.encode` with a :class:`WordContext`)
+remains available; ``encode_line`` falls back to it for encoders that only
+implement the scalar interface.
 """
 
 from repro.coding import (
     BCCEncoder,
     DBIEncoder,
+    EncodedLine,
     EncodedWord,
     Encoder,
     FNWEncoder,
     FlipcyEncoder,
+    LineContext,
     RCCEncoder,
     UnencodedEncoder,
     WordContext,
+    available_encoders,
     make_encoder,
+    register_encoder,
 )
 from repro.core import VCCConfig, VCCEncoder
 from repro.memctrl import ControllerConfig, MemoryController
 from repro.pcm import CellTechnology, EnduranceModel, FaultMap, MLCEnergyModel, PCMArray
 from repro.traces import Trace, generate_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BCCEncoder",
     "CellTechnology",
     "ControllerConfig",
     "DBIEncoder",
+    "EncodedLine",
     "EncodedWord",
     "Encoder",
     "EnduranceModel",
     "FNWEncoder",
     "FaultMap",
     "FlipcyEncoder",
+    "LineContext",
     "MLCEnergyModel",
     "MemoryController",
     "PCMArray",
@@ -65,6 +77,8 @@ __all__ = [
     "VCCEncoder",
     "WordContext",
     "__version__",
+    "available_encoders",
     "generate_trace",
     "make_encoder",
+    "register_encoder",
 ]

@@ -18,9 +18,26 @@ implements every baseline technique the paper compares against:
 The paper's own contribution, Virtual Coset Coding, lives in
 :mod:`repro.core` and implements the same :class:`~repro.coding.base.Encoder`
 interface so simulators can swap techniques freely.
+
+Every technique registers itself with the decorator-driven plugin registry
+(:func:`~repro.coding.registry.register_encoder`); simulators and external
+code resolve techniques by short name through
+:func:`~repro.coding.registry.make_encoder`.  The line-granularity batch
+interface (:class:`~repro.coding.base.LineContext`,
+:meth:`~repro.coding.base.Encoder.encode_line`) is the memory controller's
+hot path; all builtins implement it with vectorised cost evaluation.
 """
 
-from repro.coding.base import EncodedWord, Encoder, WordContext, words_to_cell_matrix
+from repro.coding.base import (
+    EncodedLine,
+    EncodedWord,
+    Encoder,
+    LineContext,
+    WordContext,
+    cells_matrix_to_words,
+    words_matrix_to_cells,
+    words_to_cell_matrix,
+)
 from repro.coding.cost import (
     BitChangeCost,
     CellChangeCost,
@@ -38,7 +55,15 @@ from repro.coding.fnw import FNWEncoder
 from repro.coding.flipcy import FlipcyEncoder
 from repro.coding.bcc import BCCEncoder
 from repro.coding.rcc import RCCEncoder
-from repro.coding.registry import available_encoders, make_encoder
+from repro.coding.registry import (
+    EncoderPlugin,
+    available_encoders,
+    encoder_plugins,
+    get_encoder_plugin,
+    make_encoder,
+    register_encoder,
+    unregister_encoder,
+)
 
 __all__ = [
     "BCCEncoder",
@@ -46,20 +71,29 @@ __all__ = [
     "CellChangeCost",
     "CostFunction",
     "DBIEncoder",
+    "EncodedLine",
     "EncodedWord",
     "Encoder",
+    "EncoderPlugin",
     "EnergyCost",
     "FNWEncoder",
     "FlipcyEncoder",
     "LexicographicCost",
+    "LineContext",
     "OnesCost",
     "RCCEncoder",
     "SawCost",
     "UnencodedEncoder",
     "WordContext",
     "available_encoders",
+    "cells_matrix_to_words",
+    "encoder_plugins",
     "energy_then_saw",
+    "get_encoder_plugin",
     "make_encoder",
+    "register_encoder",
     "saw_then_energy",
+    "unregister_encoder",
+    "words_matrix_to_cells",
     "words_to_cell_matrix",
 ]

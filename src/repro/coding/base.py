@@ -13,6 +13,19 @@ interface so the simulators can iterate over them uniformly:
 * :class:`Encoder.decode` recovers the original data from the codeword and
   auxiliary bits alone (faults aside, ``decode(encode(d)) == d``).
 
+The memory controller's natural unit is the cache *line* (8 words of 64
+bits), so the interface also exposes a line-granularity batch path:
+
+* :class:`LineContext` stacks the per-word write-time knowledge of a whole
+  line into ``(words, cells)`` matrices plus an auxiliary-bit vector;
+* :class:`Encoder.encode_line` maps the line's words to an
+  :class:`EncodedLine`; the base implementation is a scalar loop over
+  :meth:`Encoder.encode`, so third-party encoders keep working unchanged,
+  while every builtin technique overrides it with a vectorised
+  implementation that evaluates all candidate×word cell costs in a single
+  :meth:`repro.coding.cost.CostFunction.line_cell_costs` call;
+* :class:`Encoder.decode_line` is the inverse batch operation.
+
 Costs are evaluated through the :class:`repro.coding.cost.CostFunction`
 interface at *cell* granularity, which lets the same encoder minimise
 written '1's, bit changes, MLC write energy, stuck-at-wrong cells, or
@@ -23,15 +36,24 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, EncodingError
-from repro.pcm.array import word_to_cells
+from repro.pcm.array import cells_to_word, word_to_cells
 from repro.pcm.cell import CellTechnology
 
-__all__ = ["WordContext", "EncodedWord", "Encoder", "words_to_cell_matrix"]
+__all__ = [
+    "WordContext",
+    "LineContext",
+    "EncodedWord",
+    "EncodedLine",
+    "Encoder",
+    "words_to_cell_matrix",
+    "words_matrix_to_cells",
+    "cells_matrix_to_words",
+]
 
 
 def words_to_cell_matrix(words: Sequence[int], word_bits: int, bits_per_cell: int) -> np.ndarray:
@@ -56,6 +78,50 @@ def words_to_cell_matrix(words: Sequence[int], word_bits: int, bits_per_cell: in
             shift = bits_per_cell * (cells - 1 - index)
             matrix[row, index] = (word >> shift) & mask
     return matrix
+
+
+def words_matrix_to_cells(words: np.ndarray, word_bits: int, bits_per_cell: int) -> np.ndarray:
+    """Convert an n-D array of word values to cell values along a new last axis.
+
+    The batched sibling of :func:`words_to_cell_matrix`: an input of shape
+    ``(...,)`` becomes ``(..., cells)`` with cell 0 holding the most
+    significant bits, matching :func:`repro.pcm.array.word_to_cells`.
+    """
+    cells = word_bits // bits_per_cell
+    mask = (1 << bits_per_cell) - 1
+    if word_bits <= 64:
+        values = np.asarray(words, dtype=np.uint64)
+        shifts = np.array(
+            [bits_per_cell * (cells - 1 - index) for index in range(cells)], dtype=np.uint64
+        )
+        matrix = (values[..., None] >> shifts) & np.uint64(mask)
+        return matrix.astype(np.uint8)
+    values = np.asarray(words, dtype=object)
+    out = np.empty(values.shape + (cells,), dtype=np.uint8)
+    for position in np.ndindex(values.shape):
+        out[position] = word_to_cells(int(values[position]), word_bits, bits_per_cell)
+    return out
+
+
+def cells_matrix_to_words(cells: np.ndarray, bits_per_cell: int) -> List[int]:
+    """Convert a ``(words, cells)`` cell matrix back to a list of word ints.
+
+    Inverse of :func:`words_matrix_to_cells` for the 2-D case; used by the
+    memory controller's read path to recover all codewords of a row at once.
+    """
+    matrix = np.asarray(cells, dtype=np.uint64)
+    if matrix.ndim != 2:
+        raise ConfigurationError("cells_matrix_to_words expects a (words, cells) matrix")
+    num_cells = matrix.shape[1]
+    word_bits = num_cells * bits_per_cell
+    if word_bits <= 64:
+        shifts = np.array(
+            [bits_per_cell * (num_cells - 1 - index) for index in range(num_cells)],
+            dtype=np.uint64,
+        )
+        packed = (matrix << shifts).sum(axis=1, dtype=np.uint64)
+        return [int(value) for value in packed]
+    return [cells_to_word(row, bits_per_cell) for row in matrix]
 
 
 @dataclass(frozen=True)
@@ -138,6 +204,177 @@ class WordContext:
 
 
 @dataclass(frozen=True)
+class LineContext:
+    """Write-time knowledge about a whole cache line, stacked per word.
+
+    Attributes
+    ----------
+    old_cells:
+        ``(words, cells_per_word)`` matrix of the current cell values at
+        the target row (read-modify-write), one row per word.
+    stuck_mask:
+        Optional boolean matrix aligned with ``old_cells``; True marks
+        cells that are stuck at their ``old_cells`` value.
+    bits_per_cell:
+        1 for SLC, 2 for MLC.
+    old_auxes:
+        ``(words,)`` vector of the previously stored auxiliary bits, used
+        to charge the energy of updating them.  Defaults to all zeros.
+    """
+
+    old_cells: np.ndarray
+    stuck_mask: Optional[np.ndarray] = None
+    bits_per_cell: int = 2
+    old_auxes: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        old = np.asarray(self.old_cells, dtype=np.uint8)
+        if old.ndim != 2:
+            raise ConfigurationError("old_cells must be a (words, cells) matrix")
+        object.__setattr__(self, "old_cells", old)
+        if self.stuck_mask is not None:
+            mask = np.asarray(self.stuck_mask, dtype=bool)
+            if mask.shape != old.shape:
+                raise ConfigurationError("stuck_mask must match old_cells shape")
+            object.__setattr__(self, "stuck_mask", mask)
+        if self.bits_per_cell not in (1, 2):
+            raise ConfigurationError("bits_per_cell must be 1 (SLC) or 2 (MLC)")
+        if self.old_auxes is None:
+            auxes = np.zeros(old.shape[0], dtype=np.int64)
+        else:
+            try:
+                auxes = np.asarray(self.old_auxes, dtype=np.int64)
+            except OverflowError:
+                # Techniques with >= 64 auxiliary bits per word (e.g. FNW
+                # over wide words) carry Python ints instead.
+                auxes = np.array([int(a) for a in self.old_auxes], dtype=object)
+            if auxes.shape != (old.shape[0],):
+                raise ConfigurationError("old_auxes must hold one value per word")
+            if any(int(a) < 0 for a in auxes):
+                raise ConfigurationError("auxiliary values must be non-negative")
+        object.__setattr__(self, "old_auxes", auxes)
+
+    @property
+    def words_per_line(self) -> int:
+        """Number of words covered by this context."""
+        return self.old_cells.shape[0]
+
+    @property
+    def word_bits(self) -> int:
+        """Width of each word covered by this context, in bits."""
+        return self.old_cells.shape[1] * self.bits_per_cell
+
+    @property
+    def technology(self) -> CellTechnology:
+        """Cell technology implied by ``bits_per_cell``."""
+        return CellTechnology.SLC if self.bits_per_cell == 1 else CellTechnology.MLC
+
+    def word_context(self, word_index: int) -> WordContext:
+        """The scalar :class:`WordContext` of one word of the line."""
+        if not 0 <= word_index < self.words_per_line:
+            raise ConfigurationError(
+                f"word index {word_index} out of range [0, {self.words_per_line})"
+            )
+        stuck = None if self.stuck_mask is None else self.stuck_mask[word_index]
+        return WordContext(
+            old_cells=self.old_cells[word_index],
+            stuck_mask=stuck,
+            bits_per_cell=self.bits_per_cell,
+            old_aux=int(self.old_auxes[word_index]),
+        )
+
+    def split_partitions(self, partitions: int) -> "LineContext":
+        """View each word as ``partitions`` contiguous sub-blocks.
+
+        Returns a context of ``words * partitions`` shorter "words", which
+        is how partition-based encoders (FNW, BCC, VCC) evaluate all
+        sub-block candidates of a line in one batched cost call.  Auxiliary
+        values do not map onto sub-blocks and are reset to zero.
+        """
+        words, cells = self.old_cells.shape
+        if partitions <= 0 or cells % partitions != 0:
+            raise ConfigurationError(
+                f"cannot split {cells} cells into {partitions} partitions"
+            )
+        sub_cells = cells // partitions
+        stuck = (
+            None
+            if self.stuck_mask is None
+            else self.stuck_mask.reshape(words * partitions, sub_cells)
+        )
+        return LineContext(
+            old_cells=self.old_cells.reshape(words * partitions, sub_cells),
+            stuck_mask=stuck,
+            bits_per_cell=self.bits_per_cell,
+        )
+
+    @classmethod
+    def blank(
+        cls, words_per_line: int = 8, word_bits: int = 64, bits_per_cell: int = 2
+    ) -> "LineContext":
+        """Context for a line whose cells are all zero and fault-free."""
+        cells = word_bits // bits_per_cell
+        return cls(
+            old_cells=np.zeros((words_per_line, cells), dtype=np.uint8),
+            bits_per_cell=bits_per_cell,
+        )
+
+    @classmethod
+    def from_row(
+        cls,
+        row_cells: np.ndarray,
+        words_per_line: int,
+        bits_per_cell: int = 2,
+        stuck_mask: Optional[np.ndarray] = None,
+        old_auxes: Optional[np.ndarray] = None,
+    ) -> "LineContext":
+        """Build a context from a flat row of cells as stored in a PCM array."""
+        row = np.asarray(row_cells, dtype=np.uint8)
+        if row.ndim != 1 or row.size % words_per_line != 0:
+            raise ConfigurationError(
+                "row_cells must be a flat row divisible into words_per_line words"
+            )
+        stuck = (
+            None
+            if stuck_mask is None
+            else np.asarray(stuck_mask, dtype=bool).reshape(words_per_line, -1)
+        )
+        return cls(
+            old_cells=row.reshape(words_per_line, -1),
+            stuck_mask=stuck,
+            bits_per_cell=bits_per_cell,
+            old_auxes=old_auxes,
+        )
+
+    @classmethod
+    def from_contexts(cls, contexts: Sequence[WordContext]) -> "LineContext":
+        """Stack per-word contexts (all sharing a geometry) into a line context."""
+        if not contexts:
+            raise ConfigurationError("at least one word context is required")
+        bits_per_cell = contexts[0].bits_per_cell
+        if any(c.bits_per_cell != bits_per_cell for c in contexts):
+            raise ConfigurationError("word contexts must share bits_per_cell")
+        if any(c.old_cells.shape != contexts[0].old_cells.shape for c in contexts):
+            raise ConfigurationError("word contexts must share the word geometry")
+        stuck = None
+        if any(c.stuck_mask is not None for c in contexts):
+            stuck = np.stack(
+                [
+                    c.stuck_mask
+                    if c.stuck_mask is not None
+                    else np.zeros_like(c.old_cells, dtype=bool)
+                    for c in contexts
+                ]
+            )
+        return cls(
+            old_cells=np.stack([c.old_cells for c in contexts]),
+            stuck_mask=stuck,
+            bits_per_cell=bits_per_cell,
+            old_auxes=np.array([c.old_aux for c in contexts], dtype=np.int64),
+        )
+
+
+@dataclass(frozen=True)
 class EncodedWord:
     """Result of encoding one data word.
 
@@ -163,12 +400,93 @@ class EncodedWord:
     technique: str
 
     def __post_init__(self) -> None:
-        if self.aux_bits < 0:
-            raise ConfigurationError("aux_bits must be non-negative")
-        if self.aux < 0 or (self.aux_bits < 64 and self.aux >= (1 << max(self.aux_bits, 1)) and self.aux != 0):
+        _validate_aux(self.aux, self.aux_bits)
+
+
+def _validate_aux(aux: int, aux_bits: int) -> None:
+    """Reject auxiliary values that do not fit in ``aux_bits`` bits.
+
+    In particular ``aux_bits == 0`` admits only ``aux == 0``: a technique
+    that stores no auxiliary bits cannot smuggle information through them.
+    """
+    if aux_bits < 0:
+        raise ConfigurationError("aux_bits must be non-negative")
+    if aux < 0 or aux >= (1 << aux_bits):
+        raise ConfigurationError(
+            f"aux value {aux} does not fit in {aux_bits} bits"
+        )
+
+
+@dataclass(frozen=True)
+class EncodedLine:
+    """Result of encoding one cache line (a batch of words).
+
+    Attributes
+    ----------
+    codewords:
+        Per-word values to store in the data cells, in line order.
+    auxes:
+        Per-word auxiliary values (coset / inversion selectors).
+    aux_bits:
+        Number of auxiliary bits per word used by the technique.
+    costs:
+        Per-word cost of the selected candidates under the cost function
+        used at encode time (each includes its auxiliary-bit cost).
+    technique:
+        Name of the encoder that produced this line.
+    """
+
+    codewords: Tuple[int, ...]
+    auxes: Tuple[int, ...]
+    aux_bits: int
+    costs: Tuple[float, ...]
+    technique: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "codewords", tuple(int(c) for c in self.codewords))
+        object.__setattr__(self, "auxes", tuple(int(a) for a in self.auxes))
+        object.__setattr__(self, "costs", tuple(float(c) for c in self.costs))
+        if not (len(self.codewords) == len(self.auxes) == len(self.costs)):
             raise ConfigurationError(
-                f"aux value {self.aux} does not fit in {self.aux_bits} bits"
+                "codewords, auxes, and costs must have one entry per word"
             )
+        if not self.codewords:
+            raise ConfigurationError("an encoded line must hold at least one word")
+        for aux in self.auxes:
+            _validate_aux(aux, self.aux_bits)
+
+    @property
+    def words_per_line(self) -> int:
+        """Number of words in the line."""
+        return len(self.codewords)
+
+    @property
+    def cost(self) -> float:
+        """Total cost of the line (sum of the per-word costs)."""
+        return float(sum(self.costs))
+
+    def word(self, word_index: int) -> EncodedWord:
+        """The :class:`EncodedWord` view of one word of the line."""
+        return EncodedWord(
+            codeword=self.codewords[word_index],
+            aux=self.auxes[word_index],
+            aux_bits=self.aux_bits,
+            cost=self.costs[word_index],
+            technique=self.technique,
+        )
+
+    @classmethod
+    def from_words(cls, words: Sequence[EncodedWord]) -> "EncodedLine":
+        """Gather per-word encode results into a line result."""
+        if not words:
+            raise ConfigurationError("an encoded line must hold at least one word")
+        return cls(
+            codewords=tuple(w.codeword for w in words),
+            auxes=tuple(w.aux for w in words),
+            aux_bits=words[0].aux_bits,
+            costs=tuple(w.cost for w in words),
+            technique=words[0].technique,
+        )
 
 
 class Encoder(abc.ABC):
@@ -207,6 +525,42 @@ class Encoder(abc.ABC):
     def decode(self, codeword: int, aux: int) -> int:
         """Recover the original data from ``codeword`` and its aux bits."""
 
+    # ---------------------------------------------------------- line batch
+    def encode_line(self, words: Sequence[int], context: LineContext) -> EncodedLine:
+        """Encode a whole cache line for the row described by ``context``.
+
+        The base implementation is the reference scalar loop over
+        :meth:`encode` (see :meth:`encode_line_scalar`), so any third-party
+        encoder that only implements the word-level interface works
+        unchanged.  Builtin techniques override this with vectorised
+        implementations that evaluate every candidate×word cell cost in a
+        single :meth:`repro.coding.cost.CostFunction.line_cell_costs` call.
+        """
+        return self.encode_line_scalar(words, context)
+
+    def encode_line_scalar(self, words: Sequence[int], context: LineContext) -> EncodedLine:
+        """Reference word-at-a-time implementation of :meth:`encode_line`.
+
+        Kept callable on every encoder (including those with a vectorised
+        ``encode_line``) so parity tests and benchmarks can compare the two
+        paths directly.
+        """
+        self._check_line_context(context, len(words))
+        return EncodedLine.from_words(
+            [
+                self.encode(int(word), context.word_context(index))
+                for index, word in enumerate(words)
+            ]
+        )
+
+    def decode_line(self, codewords: Sequence[int], auxes: Sequence[int]) -> List[int]:
+        """Recover the line's data words from codewords and auxiliary bits."""
+        codewords = list(codewords)
+        auxes = list(auxes)
+        if len(codewords) != len(auxes):
+            raise EncodingError("decode_line needs one aux value per codeword")
+        return [self.decode(int(c), int(a)) for c, a in zip(codewords, auxes)]
+
     # ------------------------------------------------------------- helpers
     def _check_data(self, data: int) -> None:
         if data < 0 or data >= (1 << self.word_bits):
@@ -220,6 +574,19 @@ class Encoder(abc.ABC):
                 "context geometry does not match the encoder "
                 f"(context: {context.word_bits} bits / {context.bits_per_cell} bpc, "
                 f"encoder: {self.word_bits} bits / {self.bits_per_cell} bpc)"
+            )
+
+    def _check_line_context(self, context: LineContext, num_words: int) -> None:
+        if context.word_bits != self.word_bits or context.bits_per_cell != self.bits_per_cell:
+            raise EncodingError(
+                "line context geometry does not match the encoder "
+                f"(context: {context.word_bits} bits / {context.bits_per_cell} bpc, "
+                f"encoder: {self.word_bits} bits / {self.bits_per_cell} bpc)"
+            )
+        if context.words_per_line != num_words:
+            raise EncodingError(
+                f"line context covers {context.words_per_line} words, "
+                f"but {num_words} words were supplied"
             )
 
     def _select_best(self, candidates, auxes, context: WordContext) -> EncodedWord:
@@ -241,6 +608,49 @@ class Encoder(abc.ABC):
             aux=int(auxes[best]),
             aux_bits=self.aux_bits,
             cost=float(totals[best]),
+            technique=self.name,
+        )
+
+    def _select_best_line(
+        self, candidates, auxes, context: LineContext, cells: Optional[np.ndarray] = None
+    ) -> EncodedLine:
+        """Vectorised per-word argmin over a ``(candidates, words)`` batch.
+
+        Parameters
+        ----------
+        candidates:
+            ``(num_candidates, words)`` array of candidate codeword values
+            (every word is offered the same number of candidates).
+        auxes:
+            Either a ``(num_candidates,)`` vector shared by all words or a
+            ``(num_candidates, words)`` matrix of auxiliary values.
+        context:
+            The line context; ``old_auxes`` is charged per word.
+        cells:
+            Optional precomputed ``(num_candidates, words, cells)`` cell
+            matrix of the candidates, for encoders that can derive it more
+            cheaply than the generic word-to-cell conversion.
+        """
+        cand = np.asarray(candidates, dtype=np.uint64)
+        if cand.ndim != 2 or cand.size == 0:
+            raise EncodingError("candidates must form a non-empty (candidates, words) matrix")
+        aux = np.asarray(auxes, dtype=np.int64)
+        if aux.ndim == 1:
+            aux = np.broadcast_to(aux[:, None], cand.shape)
+        if aux.shape != cand.shape:
+            raise EncodingError("aux values must align with the candidate matrix")
+        if cells is None:
+            cells = words_matrix_to_cells(cand, self.word_bits, self.bits_per_cell)
+        data_costs = self.cost_function.line_cell_costs(cells, context).sum(axis=2)
+        aux_costs = self.cost_function.aux_costs_matrix(aux, context.old_auxes, self.aux_bits)
+        totals = data_costs + aux_costs
+        best = np.argmin(totals, axis=0)
+        word_index = np.arange(cand.shape[1])
+        return EncodedLine(
+            codewords=tuple(int(c) for c in cand[best, word_index]),
+            auxes=tuple(int(a) for a in aux[best, word_index]),
+            aux_bits=self.aux_bits,
+            costs=tuple(float(t) for t in totals[best, word_index]),
             technique=self.name,
         )
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.coding.cost import CostFunction
 from repro.coding.fnw import FNWEncoder
+from repro.coding.registry import register_encoder
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 from repro.utils.validation import require_power_of_two
@@ -19,6 +20,11 @@ from repro.utils.validation import require_power_of_two
 __all__ = ["BCCEncoder"]
 
 
+@register_encoder(
+    "bcc",
+    description="Biased coset coding: log2(N) independently inverted sections",
+    params=("word_bits", "num_cosets", "technology", "cost_function"),
+)
 class BCCEncoder(FNWEncoder):
     """Biased coset coding with ``N`` candidates (``log2 N`` partitions)."""
 

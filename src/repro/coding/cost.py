@@ -24,10 +24,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.coding.base import WordContext
+from repro.coding.base import LineContext, WordContext
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 from repro.pcm.energy import MLCEnergyModel, SLCEnergyModel, DEFAULT_MLC_ENERGY, DEFAULT_SLC_ENERGY
+from repro.utils.bitops import popcount64_array
 
 __all__ = [
     "CostFunction",
@@ -43,6 +44,17 @@ __all__ = [
 
 #: Popcount of every possible cell value (cells hold at most 2 bits).
 _CELL_POPCOUNT = np.array([0, 1, 1, 2], dtype=np.float64)
+
+#: Flattened per-(old, new) LUTs of popcount(old ^ new), indexed by
+#: ``(old << bits_per_cell) | new``; used by the batched cost paths.
+_XOR_POPCOUNT_FLAT = {
+    1: np.array(
+        [bin((i >> 1) ^ (i & 1)).count("1") for i in range(4)], dtype=np.float64
+    ),
+    2: np.array(
+        [bin((i >> 2) ^ (i & 3)).count("1") for i in range(16)], dtype=np.float64
+    ),
+}
 
 
 class CostFunction(abc.ABC):
@@ -75,6 +87,43 @@ class CostFunction(abc.ABC):
         """Total data-cell cost of a single candidate."""
         return float(self.cell_costs(new_cells, context).sum())
 
+    def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
+        """Per-cell costs for a batch of candidates over a whole line.
+
+        Parameters
+        ----------
+        new_cells:
+            ``(num_candidates, num_words, num_cells)`` array of candidate
+            cell values; every word of the line is offered the same number
+            of candidates, each scored against that word's old cells.
+        context:
+            The line context (``(num_words, num_cells)`` old-cell and
+            stuck matrices).
+
+        Returns
+        -------
+        numpy.ndarray
+            Costs of the same ``(num_candidates, num_words, num_cells)``
+            shape.  The array must be freshly allocated (callers may
+            accumulate into it in place) but may use any numeric dtype —
+            e.g. :class:`SawCost` returns its boolean mismatch mask
+            directly.  The default loops over the words of the line through
+            :meth:`cell_costs_matrix`, so third-party cost functions work
+            on the batched path unchanged; every builtin overrides it with
+            a single broadcast evaluation.
+        """
+        new = np.asarray(new_cells, dtype=np.uint8)
+        if new.ndim != 3:
+            raise ConfigurationError(
+                "line_cell_costs expects a (candidates, words, cells) array"
+            )
+        out = np.empty(new.shape, dtype=np.float64)
+        for word_index in range(new.shape[1]):
+            out[:, word_index, :] = self.cell_costs_matrix(
+                new[:, word_index, :], context.word_context(word_index)
+            )
+        return out
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         """Cost of storing the auxiliary bits.
 
@@ -84,6 +133,23 @@ class CostFunction(abc.ABC):
         """
         del old_aux, aux_bits
         return float(bin(new_aux).count("1"))
+
+    def aux_costs_matrix(
+        self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
+    ) -> np.ndarray:
+        """Auxiliary-bit costs for a ``(candidates, words)`` batch.
+
+        ``old_auxes`` holds one previous value per word and broadcasts
+        against the candidate axis.  The default loops over
+        :meth:`aux_cost` so subclasses that only override the scalar hook
+        stay correct; builtins override this with vectorised popcounts.
+        """
+        new = np.asarray(new_auxes, dtype=np.int64)
+        old = np.broadcast_to(np.asarray(old_auxes, dtype=np.int64), new.shape[-1:])
+        out = np.empty(new.shape, dtype=np.float64)
+        for position in np.ndindex(new.shape):
+            out[position] = self.aux_cost(int(new[position]), int(old[position[-1]]), aux_bits)
+        return out
 
     @staticmethod
     def slice_context(context: WordContext, start: int, stop: int) -> WordContext:
@@ -97,6 +163,13 @@ class CostFunction(abc.ABC):
         )
 
 
+def _changed_aux_bits(new_auxes: np.ndarray, old_auxes: np.ndarray) -> np.ndarray:
+    """Vectorised popcount of ``new ^ old`` over a (candidates, words) batch."""
+    new = np.asarray(new_auxes, dtype=np.uint64)
+    old = np.broadcast_to(np.asarray(old_auxes, dtype=np.uint64), new.shape[-1:])
+    return popcount64_array(new ^ old).astype(np.float64)
+
+
 class OnesCost(CostFunction):
     """Number of '1' bits written (the Fig. 3 objective)."""
 
@@ -105,6 +178,16 @@ class OnesCost(CostFunction):
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
         new = np.asarray(new_cells, dtype=np.int64)
         return _CELL_POPCOUNT[new]
+
+    def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
+        del context
+        return _CELL_POPCOUNT[np.asarray(new_cells, dtype=np.int64)]
+
+    def aux_costs_matrix(
+        self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
+    ) -> np.ndarray:
+        del old_auxes, aux_bits
+        return popcount64_array(np.asarray(new_auxes, dtype=np.uint64)).astype(np.float64)
 
 
 class BitChangeCost(CostFunction):
@@ -117,9 +200,20 @@ class BitChangeCost(CostFunction):
         old = np.asarray(context.old_cells[-new.shape[1]:], dtype=np.int64)
         return _CELL_POPCOUNT[new ^ old[None, :]]
 
+    def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
+        lut = _XOR_POPCOUNT_FLAT[context.bits_per_cell]
+        old_scaled = context.old_cells.astype(np.intp) << context.bits_per_cell
+        return lut[old_scaled[None, :, :] + np.asarray(new_cells)]
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del aux_bits
         return float(bin(new_aux ^ old_aux).count("1"))
+
+    def aux_costs_matrix(
+        self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
+    ) -> np.ndarray:
+        del aux_bits
+        return _changed_aux_bits(new_auxes, old_auxes)
 
 
 class CellChangeCost(CostFunction):
@@ -132,9 +226,19 @@ class CellChangeCost(CostFunction):
         old = np.asarray(context.old_cells[-new.shape[1]:], dtype=np.int64)
         return (new != old[None, :]).astype(np.float64)
 
+    def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
+        # Boolean 0/1 costs, promoted on demand (see SawCost).
+        return np.asarray(new_cells) != context.old_cells[None, :, :]
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del aux_bits
         return float(bin(new_aux ^ old_aux).count("1"))
+
+    def aux_costs_matrix(
+        self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
+    ) -> np.ndarray:
+        del aux_bits
+        return _changed_aux_bits(new_auxes, old_auxes)
 
 
 class EnergyCost(CostFunction):
@@ -162,6 +266,10 @@ class EnergyCost(CostFunction):
                 ]
             )
             self._aux_bit_energy = slc_model.aux_bit_energy_pj
+        # Flattened LUT for the batched path: a single uint8 gather index
+        # (old << bits) | new is cheaper than two-array fancy indexing.
+        self._levels = self._lut.shape[1]
+        self._lut_flat = np.ascontiguousarray(self._lut.reshape(-1))
 
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
         if context.bits_per_cell != self.technology.bits_per_cell:
@@ -172,10 +280,26 @@ class EnergyCost(CostFunction):
         old = np.asarray(context.old_cells[-new.shape[1]:], dtype=np.int64)
         return self._lut[old[None, :], new]
 
+    def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
+        if context.bits_per_cell != self.technology.bits_per_cell:
+            raise ConfigurationError(
+                "EnergyCost technology does not match the context's cell technology"
+            )
+        # An intp gather index skips the int-conversion pass that fancy
+        # indexing performs on small-integer index arrays.
+        old_scaled = context.old_cells.astype(np.intp) * self._levels
+        return self._lut_flat[old_scaled[None, :, :] + np.asarray(new_cells)]
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del aux_bits
         changed = bin(new_aux ^ old_aux).count("1")
         return changed * self._aux_bit_energy
+
+    def aux_costs_matrix(
+        self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
+    ) -> np.ndarray:
+        del aux_bits
+        return _changed_aux_bits(new_auxes, old_auxes) * self._aux_bit_energy
 
 
 class SawCost(CostFunction):
@@ -197,9 +321,23 @@ class SawCost(CostFunction):
         mismatch = (new != old[None, :]) & stuck[None, :]
         return mismatch.astype(np.float64)
 
+    def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
+        new = np.asarray(new_cells)
+        if context.stuck_mask is None:
+            return np.zeros(new.shape, dtype=np.float64)
+        # Returned as a boolean 0/1 cost array; summing and combining with
+        # float costs promotes it without an explicit conversion pass.
+        return (new != context.old_cells[None, :, :]) & context.stuck_mask[None, :, :]
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del new_aux, old_aux, aux_bits
         return 0.0
+
+    def aux_costs_matrix(
+        self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
+    ) -> np.ndarray:
+        del old_auxes, aux_bits
+        return np.zeros(np.asarray(new_auxes).shape, dtype=np.float64)
 
 
 class LexicographicCost(CostFunction):
@@ -225,10 +363,30 @@ class LexicographicCost(CostFunction):
             + self.secondary.cell_costs_matrix(new_cells, context)
         )
 
+    def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
+        # line_cell_costs returns a fresh array, so float64 primaries can
+        # be scaled and accumulated in place without extra temporaries.
+        primary = self.primary.line_cell_costs(new_cells, context)
+        if primary.dtype == np.float64:
+            primary *= self.scale
+            out = primary
+        else:
+            out = primary * self.scale
+        out += self.secondary.line_cell_costs(new_cells, context)
+        return out
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         return (
             self.primary.aux_cost(new_aux, old_aux, aux_bits) * self.scale
             + self.secondary.aux_cost(new_aux, old_aux, aux_bits)
+        )
+
+    def aux_costs_matrix(
+        self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
+    ) -> np.ndarray:
+        return (
+            self.primary.aux_costs_matrix(new_auxes, old_auxes, aux_bits) * self.scale
+            + self.secondary.aux_costs_matrix(new_auxes, old_auxes, aux_bits)
         )
 
 

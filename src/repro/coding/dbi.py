@@ -9,11 +9,17 @@ from __future__ import annotations
 
 from repro.coding.cost import CostFunction
 from repro.coding.fnw import FNWEncoder
+from repro.coding.registry import register_encoder
 from repro.pcm.cell import CellTechnology
 
 __all__ = ["DBIEncoder"]
 
 
+@register_encoder(
+    "dbi",
+    description="Data Block Inversion: whole-word conditional inversion (1 aux bit)",
+    params=("word_bits", "technology", "cost_function"),
+)
 class DBIEncoder(FNWEncoder):
     """Whole-block conditional inversion (1 auxiliary bit per word)."""
 

@@ -10,8 +10,13 @@ which is why the paper finds it close to the unencoded baseline.
 
 from __future__ import annotations
 
-from repro.coding.base import EncodedWord, Encoder, WordContext
+from typing import Sequence
+
+import numpy as np
+
+from repro.coding.base import EncodedLine, EncodedWord, Encoder, LineContext, WordContext
 from repro.coding.cost import BitChangeCost, CostFunction
+from repro.coding.registry import register_encoder
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 
@@ -23,6 +28,11 @@ _FORM_ONES_COMPLEMENT = 1
 _FORM_TWOS_COMPLEMENT = 2
 
 
+@register_encoder(
+    "flipcy",
+    description="Identity / 1's-complement / 2's-complement selection (2 aux bits)",
+    params=("word_bits", "technology", "cost_function"),
+)
 class FlipcyEncoder(Encoder):
     """Identity / 1's-complement / 2's-complement selection (2 aux bits)."""
 
@@ -51,6 +61,28 @@ class FlipcyEncoder(Encoder):
         ]
         auxes = [_FORM_IDENTITY, _FORM_ONES_COMPLEMENT, _FORM_TWOS_COMPLEMENT]
         return self._select_best(candidates, auxes, context)
+
+    def encode_line(self, words: Sequence[int], context: LineContext) -> EncodedLine:
+        if self.word_bits > 64:
+            return self.encode_line_scalar(words, context)
+        words = [int(w) for w in words]
+        for word in words:
+            self._check_data(word)
+        self._check_line_context(context, len(words))
+        mask = np.uint64(self._mask)
+        values = np.asarray(words, dtype=np.uint64)
+        candidates = np.stack(
+            [
+                values,
+                values ^ mask,
+                # Two's complement: unsigned wraparound then trim to width.
+                (~values + np.uint64(1)) & mask,
+            ]
+        )
+        auxes = np.array(
+            [_FORM_IDENTITY, _FORM_ONES_COMPLEMENT, _FORM_TWOS_COMPLEMENT], dtype=np.int64
+        )
+        return self._select_best_line(candidates, auxes, context)
 
     def decode(self, codeword: int, aux: int) -> int:
         if aux == _FORM_IDENTITY:

@@ -14,12 +14,21 @@ linearly with N (Fig. 6), which is what motivates VCC.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.coding.base import EncodedWord, Encoder, WordContext
+from repro.coding.base import (
+    EncodedLine,
+    EncodedWord,
+    Encoder,
+    LineContext,
+    WordContext,
+    words_matrix_to_cells,
+    words_to_cell_matrix,
+)
 from repro.coding.cost import BitChangeCost, CostFunction
+from repro.coding.registry import register_encoder
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 from repro.utils.bitops import random_word
@@ -29,6 +38,11 @@ from repro.utils.validation import require_power_of_two
 __all__ = ["RCCEncoder"]
 
 
+@register_encoder(
+    "rcc",
+    description="Random coset coding with N stored full-length random cosets",
+    params=("word_bits", "num_cosets", "technology", "cost_function", "seed"),
+)
 class RCCEncoder(Encoder):
     """Random coset coding with ``N`` stored random candidates.
 
@@ -74,6 +88,16 @@ class RCCEncoder(Encoder):
             seen.add(candidate)
             cosets.append(candidate)
         self.cosets: List[int] = cosets
+        if word_bits <= 64:
+            self._coset_array = np.array(cosets, dtype=np.uint64)
+            # Cell decomposition distributes over XOR, so candidate cells
+            # are data_cells ^ coset_cells — precompute the latter once.
+            self._coset_cells = words_to_cell_matrix(
+                cosets, word_bits, self.bits_per_cell
+            )
+        else:
+            self._coset_array = None
+            self._coset_cells = None
 
     @property
     def aux_bits(self) -> int:
@@ -85,6 +109,20 @@ class RCCEncoder(Encoder):
         candidates = [data ^ coset for coset in self.cosets]
         auxes = list(range(self.num_cosets))
         return self._select_best(candidates, auxes, context)
+
+    def encode_line(self, words: Sequence[int], context: LineContext) -> EncodedLine:
+        if self._coset_array is None:
+            return self.encode_line_scalar(words, context)
+        words = [int(w) for w in words]
+        for word in words:
+            self._check_data(word)
+        self._check_line_context(context, len(words))
+        values = np.asarray(words, dtype=np.uint64)
+        candidates = values[None, :] ^ self._coset_array[:, None]
+        auxes = np.arange(self.num_cosets, dtype=np.int64)
+        data_cells = words_matrix_to_cells(values, self.word_bits, self.bits_per_cell)
+        candidate_cells = data_cells[None, :, :] ^ self._coset_cells[:, None, :]
+        return self._select_best_line(candidates, auxes, context, cells=candidate_cells)
 
     def decode(self, codeword: int, aux: int) -> int:
         if not 0 <= aux < self.num_cosets:

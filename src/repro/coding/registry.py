@@ -1,85 +1,243 @@
-"""Factory for building encoders by name.
+"""Decorator-driven plugin registry for encoding techniques.
 
-The experiment harness refers to techniques by the short names used in the
-paper's figures ("unencoded", "dbi", "fnw", "dbi/fnw", "flipcy", "bcc",
-"rcc", "vcc", "vcc-stored").  :func:`make_encoder` turns those names plus a
-handful of shared parameters into configured encoder instances so every
-simulator builds its line-up the same way.
+Every technique registers itself with :func:`register_encoder`, either by
+decorating the :class:`~repro.coding.base.Encoder` subclass directly::
+
+    @register_encoder("flipcy", description="...", params=("word_bits", ...))
+    class FlipcyEncoder(Encoder):
+        ...
+
+or, when construction needs more than keyword-forwarding (VCC builds a
+:class:`~repro.core.config.VCCConfig` first), by decorating a factory
+function that accepts the shared construction parameters::
+
+    @register_encoder("vcc", description="...")
+    def _build_vcc(word_bits, num_cosets, technology, cost_function, seed):
+        ...
+
+The experiment harness (:mod:`repro.sim.harness`), the per-figure
+experiments, and external code all resolve techniques the same way —
+through :func:`make_encoder` / :func:`available_encoders` — so a new
+technique plugs in by decorating itself; no factory table needs editing.
+
+The shared construction parameters are ``word_bits``, ``num_cosets``,
+``technology``, ``cost_function``, and ``seed``; a plugin's ``params``
+tuple records which of them its technique actually consumes (the rest are
+accepted and ignored, so every simulator can build its line-up uniformly).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.coding.base import Encoder
-from repro.coding.bcc import BCCEncoder
 from repro.coding.cost import CostFunction
-from repro.coding.dbi import DBIEncoder
-from repro.coding.flipcy import FlipcyEncoder
-from repro.coding.fnw import FNWEncoder
-from repro.coding.rcc import RCCEncoder
-from repro.coding.unencoded import UnencodedEncoder
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 
-__all__ = ["available_encoders", "make_encoder"]
+__all__ = [
+    "EncoderPlugin",
+    "available_encoders",
+    "encoder_plugins",
+    "get_encoder_plugin",
+    "make_encoder",
+    "register_encoder",
+    "unregister_encoder",
+]
+
+#: Shared construction parameters every plugin factory is offered.
+SHARED_PARAMS: Tuple[str, ...] = (
+    "word_bits",
+    "num_cosets",
+    "technology",
+    "cost_function",
+    "seed",
+)
+
+#: Modules whose import registers the builtin techniques.  Imported lazily
+#: on first resolution to avoid circular imports (repro.core depends on
+#: repro.coding for the Encoder interface).
+_BUILTIN_MODULES: Tuple[str, ...] = (
+    "repro.coding.unencoded",
+    "repro.coding.dbi",
+    "repro.coding.fnw",
+    "repro.coding.flipcy",
+    "repro.coding.bcc",
+    "repro.coding.rcc",
+    "repro.core.vcc",
+)
+
+_builtins_loaded = False
 
 
-def _make_vcc(stored: bool):
-    # Imported lazily to avoid a circular import (repro.core depends on
-    # repro.coding for the Encoder interface).
-    from repro.core.config import VCCConfig
-    from repro.core.vcc import VCCEncoder
+@dataclass(frozen=True)
+class EncoderPlugin:
+    """One registered encoding technique.
 
-    def factory(
+    Attributes
+    ----------
+    name:
+        Canonical short (figure) name the technique resolves under.
+    factory:
+        Callable building a configured :class:`Encoder` from the shared
+        construction parameters (always invoked with keyword arguments).
+    aliases:
+        Additional names resolving to the same technique (e.g. the paper's
+        "dbi/fnw" spelling of the FNW baseline).
+    description:
+        One-line summary used in documentation tables.
+    params:
+        The shared parameters this technique actually consumes.
+    defaults:
+        Extra fixed keyword arguments passed to a class-based factory
+        (e.g. FNW's ``partitions=4``).
+    """
+
+    name: str
+    factory: Callable[..., Encoder]
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    params: Tuple[str, ...] = SHARED_PARAMS
+    defaults: Dict[str, object] = field(default_factory=dict)
+
+    def build(
+        self,
         word_bits: int,
         num_cosets: int,
         technology: CellTechnology,
         cost_function: Optional[CostFunction],
         seed: Optional[int],
     ) -> Encoder:
-        config = VCCConfig.for_cosets(
-            word_bits=word_bits,
-            num_cosets=num_cosets,
-            technology=technology,
-            stored_kernels=stored,
+        """Instantiate the technique from the shared parameters."""
+        shared = {
+            "word_bits": word_bits,
+            "num_cosets": num_cosets,
+            "technology": technology,
+            "cost_function": cost_function,
+            "seed": seed,
+        }
+        kwargs = {key: shared[key] for key in self.params}
+        kwargs.update(self.defaults)
+        return self.factory(**kwargs)
+
+
+_PLUGINS: Dict[str, EncoderPlugin] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_encoder(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+    description: str = "",
+    params: Optional[Tuple[str, ...]] = None,
+    defaults: Optional[Dict[str, object]] = None,
+):
+    """Class/function decorator registering an encoding technique.
+
+    Parameters
+    ----------
+    name:
+        Canonical registry name (lower-case; matching is case-insensitive).
+    aliases:
+        Additional accepted names.
+    description:
+        One-line summary shown in documentation tables.
+    params:
+        Which of :data:`SHARED_PARAMS` the factory accepts.  Defaults to
+        every shared parameter for factory functions and must be given
+        explicitly when decorating an :class:`Encoder` subclass whose
+        constructor takes only a subset.
+    defaults:
+        Extra fixed keyword arguments for class-based registration.
+    """
+    unknown = tuple(p for p in (params or ()) if p not in SHARED_PARAMS)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown shared parameter(s) {unknown}; expected a subset of {SHARED_PARAMS}"
         )
-        return VCCEncoder(config, cost_function=cost_function, seed=seed)
 
-    return factory
+    def decorator(obj):
+        plugin = EncoderPlugin(
+            name=name.lower(),
+            factory=obj,
+            aliases=tuple(a.lower() for a in aliases),
+            description=description,
+            params=tuple(params) if params is not None else SHARED_PARAMS,
+            defaults=dict(defaults or {}),
+        )
+        _register(plugin)
+        return obj
+
+    return decorator
 
 
-def _registry() -> Dict[str, Callable[..., Encoder]]:
-    return {
-        "unencoded": lambda word_bits, num_cosets, technology, cost_function, seed: UnencodedEncoder(
-            word_bits, technology, cost_function
-        ),
-        "dbi": lambda word_bits, num_cosets, technology, cost_function, seed: DBIEncoder(
-            word_bits, technology, cost_function
-        ),
-        "fnw": lambda word_bits, num_cosets, technology, cost_function, seed: FNWEncoder(
-            word_bits, 4, technology, cost_function
-        ),
-        "dbi/fnw": lambda word_bits, num_cosets, technology, cost_function, seed: FNWEncoder(
-            word_bits, 4, technology, cost_function
-        ),
-        "flipcy": lambda word_bits, num_cosets, technology, cost_function, seed: FlipcyEncoder(
-            word_bits, technology, cost_function
-        ),
-        "bcc": lambda word_bits, num_cosets, technology, cost_function, seed: BCCEncoder(
-            word_bits, num_cosets, technology, cost_function
-        ),
-        "rcc": lambda word_bits, num_cosets, technology, cost_function, seed: RCCEncoder(
-            word_bits, num_cosets, technology, cost_function, seed
-        ),
-        "vcc": _make_vcc(stored=False),
-        "vcc-stored": _make_vcc(stored=True),
-    }
+def _register(plugin: EncoderPlugin) -> None:
+    for key in (plugin.name, *plugin.aliases):
+        existing = _ALIASES.get(key)
+        if existing is not None and existing != plugin.name:
+            raise ConfigurationError(
+                f"encoder name {key!r} is already registered for {existing!r}"
+            )
+    if plugin.name in _PLUGINS:
+        raise ConfigurationError(f"encoder {plugin.name!r} is already registered")
+    _PLUGINS[plugin.name] = plugin
+    for key in (plugin.name, *plugin.aliases):
+        _ALIASES[key] = plugin.name
+
+
+def unregister_encoder(name: str) -> None:
+    """Remove a technique (and its aliases) from the registry.
+
+    Intended for tests and for plugins that replace a builtin; unknown
+    names raise so typos do not pass silently.
+    """
+    _ensure_builtins()
+    key = name.lower()
+    canonical = _ALIASES.get(key)
+    if canonical is None:
+        raise ConfigurationError(f"unknown encoder {name!r}")
+    plugin = _PLUGINS.pop(canonical)
+    for alias in (plugin.name, *plugin.aliases):
+        _ALIASES.pop(alias, None)
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    # Only mark loaded once every import succeeded, so a transient import
+    # failure surfaces again on the next call instead of leaving a silently
+    # partial registry.
+    _builtins_loaded = True
+
+
+def encoder_plugins() -> List[EncoderPlugin]:
+    """All registered plugins, sorted by canonical name."""
+    _ensure_builtins()
+    return [_PLUGINS[name] for name in sorted(_PLUGINS)]
+
+
+def get_encoder_plugin(name: str) -> EncoderPlugin:
+    """Resolve a (case-insensitive) name or alias to its plugin."""
+    _ensure_builtins()
+    key = name.lower()
+    canonical = _ALIASES.get(key)
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown encoder {name!r}; available: {', '.join(available_encoders())}"
+        )
+    return _PLUGINS[canonical]
 
 
 def available_encoders() -> List[str]:
-    """Names accepted by :func:`make_encoder`."""
-    return sorted(_registry())
+    """Names accepted by :func:`make_encoder` (canonical names and aliases)."""
+    _ensure_builtins()
+    return sorted(_ALIASES)
 
 
 def make_encoder(
@@ -100,10 +258,10 @@ def make_encoder(
         Shared construction parameters; encoders that do not use
         ``num_cosets`` (e.g. DBI) ignore it.
     """
-    factories = _registry()
-    key = name.lower()
-    if key not in factories:
-        raise ConfigurationError(
-            f"unknown encoder {name!r}; available: {', '.join(sorted(factories))}"
-        )
-    return factories[key](word_bits, num_cosets, technology, cost_function, seed)
+    return get_encoder_plugin(name).build(
+        word_bits=word_bits,
+        num_cosets=num_cosets,
+        technology=technology,
+        cost_function=cost_function,
+        seed=seed,
+    )

@@ -2,14 +2,29 @@
 
 from __future__ import annotations
 
-from repro.coding.base import EncodedWord, Encoder, WordContext
+from typing import List, Sequence
+
+from repro.coding.base import (
+    EncodedLine,
+    EncodedWord,
+    Encoder,
+    LineContext,
+    WordContext,
+    words_matrix_to_cells,
+)
 from repro.coding.cost import BitChangeCost, CostFunction
+from repro.coding.registry import register_encoder
 from repro.pcm.array import word_to_cells
 from repro.pcm.cell import CellTechnology
 
 __all__ = ["UnencodedEncoder"]
 
 
+@register_encoder(
+    "unencoded",
+    description="Identity writeback, no auxiliary bits (the normalisation baseline)",
+    params=("word_bits", "technology", "cost_function"),
+)
 class UnencodedEncoder(Encoder):
     """Identity encoding — the baseline every figure normalises against.
 
@@ -42,6 +57,25 @@ class UnencodedEncoder(Encoder):
             codeword=data, aux=0, aux_bits=0, cost=float(cost), technique=self.name
         )
 
+    def encode_line(self, words: Sequence[int], context: LineContext) -> EncodedLine:
+        words = [int(w) for w in words]
+        for word in words:
+            self._check_data(word)
+        self._check_line_context(context, len(words))
+        cells = words_matrix_to_cells([words], self.word_bits, self.bits_per_cell)
+        costs = self.cost_function.line_cell_costs(cells, context)[0].sum(axis=1)
+        return EncodedLine(
+            codewords=tuple(words),
+            auxes=(0,) * len(words),
+            aux_bits=0,
+            costs=tuple(float(c) for c in costs),
+            technique=self.name,
+        )
+
     def decode(self, codeword: int, aux: int) -> int:
         del aux
         return codeword
+
+    def decode_line(self, codewords: Sequence[int], auxes: Sequence[int]) -> List[int]:
+        del auxes
+        return [int(c) for c in codewords]

@@ -18,9 +18,11 @@ from __future__ import annotations
 import abc
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.config import EncodeRegion, VCCConfig
 from repro.errors import ConfigurationError
-from repro.utils.bitops import random_word, split_planes, split_subblocks
+from repro.utils.bitops import random_word, split_planes, split_planes_array, split_subblocks
 from repro.utils.rng import make_rng
 
 __all__ = ["KernelProvider", "StoredKernelProvider", "GeneratedKernelProvider"]
@@ -47,6 +49,18 @@ class KernelProvider(abc.ABC):
         kernels for any word whose unencoded region is unchanged, which is
         what makes decode possible.
         """
+
+    def kernels_for_batch(self, words: np.ndarray) -> np.ndarray:
+        """Kernels for a whole line at once, as a ``(words, r)`` array.
+
+        The default loops over :meth:`kernels_for`, so custom providers
+        stay correct on the batched encode path; both builtin providers
+        override it with vectorised implementations.
+        """
+        return np.array(
+            [self.kernels_for(int(word)) for word in np.asarray(words).ravel()],
+            dtype=np.uint64,
+        )
 
     @property
     def is_stored(self) -> bool:
@@ -137,6 +151,11 @@ class StoredKernelProvider(KernelProvider):
         del word
         return list(self._kernels)
 
+    def kernels_for_batch(self, words: np.ndarray) -> np.ndarray:
+        num_words = int(np.asarray(words).size)
+        rom = np.array(self._kernels, dtype=np.uint64)
+        return np.broadcast_to(rom, (num_words, self.num_kernels))
+
 
 class GeneratedKernelProvider(KernelProvider):
     """Algorithm 2: derive kernels from the left digits of the data block.
@@ -167,6 +186,14 @@ class GeneratedKernelProvider(KernelProvider):
         self.num_base_vectors = self.plane_bits // self.kernel_bits
         masks_needed = max(1, -(-self.num_kernels // self.num_base_vectors))  # ceil div
         self.mask_bits = 1 + max(1, (masks_needed - 1).bit_length()) if masks_needed > 1 else 1
+        # The tiled mask of kernel i depends only on i, so both the scalar
+        # and the batched path read it from this table.
+        self._index_masks = [
+            self._tiled_mask(index // self.num_base_vectors)
+            for index in range(self.num_kernels)
+        ]
+        self._base_indices = np.arange(self.num_kernels) % self.num_base_vectors
+        self._index_mask_array = np.array(self._index_masks, dtype=np.uint64)
 
     def _tiled_mask(self, mask_index: int) -> int:
         """Tile the ``mask_bits``-bit pattern of ``mask_index`` across a kernel."""
@@ -188,9 +215,22 @@ class GeneratedKernelProvider(KernelProvider):
             )
         left_plane, _right_plane = split_planes(word, self.config.word_bits)
         bases = split_subblocks(left_plane, self.plane_bits, self.kernel_bits)
-        kernels: List[int] = []
-        for index in range(self.num_kernels):
-            base = bases[index % self.num_base_vectors]
-            mask_index = index // self.num_base_vectors
-            kernels.append(base ^ self._tiled_mask(mask_index))
-        return kernels
+        return [
+            bases[index % self.num_base_vectors] ^ self._index_masks[index]
+            for index in range(self.num_kernels)
+        ]
+
+    def kernels_for_batch(self, words: np.ndarray) -> np.ndarray:
+        if self.config.word_bits > 64:
+            return super().kernels_for_batch(words)
+        values = np.asarray(words, dtype=np.uint64).ravel()
+        left_planes, _right = split_planes_array(values, self.config.word_bits)
+        shifts = np.array(
+            [
+                self.kernel_bits * (self.num_base_vectors - 1 - index)
+                for index in range(self.num_base_vectors)
+            ],
+            dtype=np.uint64,
+        )
+        bases = (left_planes[:, None] >> shifts) & np.uint64((1 << self.kernel_bits) - 1)
+        return bases[:, self._base_indices] ^ self._index_mask_array[None, :]

@@ -5,25 +5,37 @@ engine), the per-word auxiliary bits produced by the encoder, and the
 accounting of write energy / bit changes / stuck-at-wrong cells.  It is the
 single integration point the simulators drive: one
 :meth:`MemoryController.write_line` call per trace record.
+
+The write path is line-granular end to end: each write issues a single
+:meth:`repro.coding.base.Encoder.encode_line` call (vectorised for every
+builtin technique), auxiliary bits live in a preallocated
+``(rows, words_per_line)`` array, and the energy / SAW accounting is
+computed with NumPy over the whole row.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.coding.base import EncodedWord, Encoder, WordContext
+from repro.coding.base import (
+    Encoder,
+    LineContext,
+    cells_matrix_to_words,
+    words_matrix_to_cells,
+)
 from repro.crypto.counter_mode import CounterModeEngine
 from repro.errors import ConfigurationError, MemoryModelError
 from repro.memctrl.config import ControllerConfig
-from repro.pcm.array import PCMArray, cells_to_word, word_to_cells
+from repro.pcm.array import PCMArray
 from repro.pcm.cell import CellTechnology
 from repro.pcm.energy import DEFAULT_MLC_ENERGY, DEFAULT_SLC_ENERGY, MLCEnergyModel, SLCEnergyModel
 from repro.pcm.faultrepo import FaultRepository
 from repro.pcm.stats import WriteStats
 from repro.pcm.wearlevel import StartGapWearLeveler
+from repro.utils.bitops import popcount64_array
 
 __all__ = ["LineWriteResult", "MemoryController"]
 
@@ -159,7 +171,18 @@ class MemoryController:
         self.stats = WriteStats()
         # Auxiliary bits stored per (row, word); modelled as living in a
         # dedicated side region (the SECDED-budget bits of Section V).
-        self._aux_store: Dict[Tuple[int, int], int] = {}
+        # Techniques with >= 64 auxiliary bits per word don't fit int64 and
+        # fall back to Python ints in an object array.
+        self._wide_aux = encoder.aux_bits >= 64
+        if self._wide_aux:
+            self._aux_store = np.zeros(
+                (array.rows, self.config.words_per_line), dtype=object
+            )
+        else:
+            self._aux_store = np.zeros(
+                (array.rows, self.config.words_per_line), dtype=np.int64
+            )
+        self._bit_popcount = np.array([0, 1, 1, 2], dtype=np.int64)
         self._energy_lut = (
             self.mlc_energy.lut()
             if array.technology is CellTechnology.MLC
@@ -209,27 +232,38 @@ class MemoryController:
         row_index = self.row_for_address(address)
         old_row = self.array.read_row(row_index)
         stuck_row = self._stuck_knowledge(row_index)
-        cells_per_word = self.array.cells_per_word
+        words_per_line = self.config.words_per_line
 
-        intended_row = old_row.copy()
-        new_auxes: List[int] = []
-        aux_energy = 0.0
-        for word_index, data_word in enumerate(encrypted):
-            start = word_index * cells_per_word
-            stop = start + cells_per_word
-            old_aux = self._aux_store.get((row_index, word_index), 0)
-            context = WordContext(
-                old_cells=old_row[start:stop],
-                stuck_mask=None if stuck_row is None else stuck_row[start:stop],
-                bits_per_cell=self.array.bits_per_cell,
-                old_aux=old_aux,
+        old_auxes = self._aux_store[row_index].copy()
+        context = LineContext.from_row(
+            old_row,
+            words_per_line,
+            bits_per_cell=self.array.bits_per_cell,
+            stuck_mask=stuck_row,
+            old_auxes=old_auxes,
+        )
+        encoded = self.encoder.encode_line(encrypted, context)
+        intended_row = words_matrix_to_cells(
+            np.array(encoded.codewords, dtype=np.uint64)
+            if self.config.word_bits <= 64
+            else list(encoded.codewords),
+            self.config.word_bits,
+            self.array.bits_per_cell,
+        ).reshape(-1)
+        if self._wide_aux:
+            new_auxes = np.array(encoded.auxes, dtype=object)
+            changed_aux_bits = sum(
+                bin(int(new) ^ int(old)).count("1")
+                for new, old in zip(encoded.auxes, old_auxes)
             )
-            encoded = self.encoder.encode(data_word, context)
-            intended_row[start:stop] = word_to_cells(
-                encoded.codeword, self.config.word_bits, self.array.bits_per_cell
+        else:
+            new_auxes = np.array(encoded.auxes, dtype=np.int64)
+            changed_aux_bits = int(
+                popcount64_array(
+                    new_auxes.astype(np.uint64) ^ old_auxes.astype(np.uint64)
+                ).sum()
             )
-            new_auxes.append(encoded.aux)
-            aux_energy += self._aux_bit_energy * bin(encoded.aux ^ old_aux).count("1")
+        aux_energy = self._aux_bit_energy * changed_aux_bits
 
         result = self.array.write_row(row_index, intended_row)
         data_energy = float(
@@ -238,8 +272,7 @@ class MemoryController:
         bits_changed = self._count_changed_bits(result.old_cells, result.stored_cells)
         saw_bits_per_word = self._saw_bits_per_word(result.stored_cells, intended_row)
 
-        for word_index, aux in enumerate(new_auxes):
-            self._aux_store[(row_index, word_index)] = aux
+        self._aux_store[row_index] = new_auxes
 
         if self.fault_repository is not None:
             # The write-verify step exposes cells that did not take the
@@ -273,11 +306,11 @@ class MemoryController:
         to measure residual corruption.
         """
         row_index = self.row_for_address(address)
-        decoded_words: List[int] = []
-        for word_index in range(self.config.words_per_line):
-            codeword = self.array.read_word(row_index, word_index)
-            aux = self._aux_store.get((row_index, word_index), 0)
-            decoded_words.append(self.encoder.decode(codeword, aux))
+        row_cells = self.array.read_row(row_index)
+        codewords = cells_matrix_to_words(
+            row_cells.reshape(self.config.words_per_line, -1), self.array.bits_per_cell
+        )
+        decoded_words = self.encoder.decode_line(codewords, self._aux_store[row_index])
         if self.encryption is None:
             return decoded_words
         counter = self.encryption.counter_for(address)
@@ -307,41 +340,29 @@ class MemoryController:
             ].sum()
         )
         # The auxiliary bits of the migrated row travel with the data.
-        for word_index in range(self.config.words_per_line):
-            self._aux_store[(destination_row, word_index)] = self._aux_store.get(
-                (source_row, word_index), 0
-            )
+        self._aux_store[destination_row] = self._aux_store[source_row]
         if self.fault_repository is not None:
             self.fault_repository.observe_write(
                 destination_row, result.intended_cells, result.stored_cells
             )
 
     def _count_changed_bits(self, old_cells: np.ndarray, new_cells: np.ndarray) -> int:
-        xor = old_cells.astype(np.int64) ^ new_cells.astype(np.int64)
+        xor = old_cells ^ new_cells
         if self.array.bits_per_cell == 1:
             return int(np.count_nonzero(xor))
-        popcount = np.array([0, 1, 1, 2], dtype=np.int64)
-        return int(popcount[xor].sum())
+        return int(self._bit_popcount[xor].sum())
 
     def _saw_bits_per_word(
         self, stored_cells: np.ndarray, intended_cells: np.ndarray
     ) -> Tuple[int, ...]:
-        popcount = np.array([0, 1, 1, 2], dtype=np.int64)
-        xor = stored_cells.astype(np.int64) ^ intended_cells.astype(np.int64)
-        wrong_bits = popcount[xor] if self.array.bits_per_cell == 2 else (xor != 0).astype(np.int64)
-        cells_per_word = self.array.cells_per_word
-        per_word = []
-        for word_index in range(self.config.words_per_line):
-            start = word_index * cells_per_word
-            per_word.append(int(wrong_bits[start: start + cells_per_word].sum()))
-        return tuple(per_word)
+        xor = stored_cells ^ intended_cells
+        wrong_bits = (
+            self._bit_popcount[xor]
+            if self.array.bits_per_cell == 2
+            else (xor != 0).astype(np.int64)
+        )
+        per_word = wrong_bits.reshape(self.config.words_per_line, -1).sum(axis=1)
+        return tuple(int(count) for count in per_word)
 
     def _accumulate(self, line: LineWriteResult) -> None:
-        self.stats.words_written += self.config.words_per_line
-        self.stats.rows_written += 1
-        self.stats.bits_changed += line.bits_changed
-        self.stats.cells_changed += line.cells_changed
-        self.stats.data_energy_pj += line.data_energy_pj
-        self.stats.aux_energy_pj += line.aux_energy_pj
-        self.stats.saw_cells += line.saw_cells
-        self.stats.saw_words += sum(1 for w in line.saw_bits_per_word if w)
+        self.stats.add_line(line, self.config.words_per_line)

@@ -48,6 +48,38 @@ class WriteStats:
             return 0.0
         return self.total_energy_pj / self.words_written
 
+    def add_line(self, line, words_per_line: int) -> None:
+        """Accumulate one line-write summary into these statistics.
+
+        ``line`` is a :class:`repro.memctrl.controller.LineWriteResult`.
+        This is the single accounting rule shared by the memory controller
+        and :meth:`from_line_results`.
+        """
+        self.words_written += words_per_line
+        self.rows_written += 1
+        self.bits_changed += line.bits_changed
+        self.cells_changed += line.cells_changed
+        self.data_energy_pj += line.data_energy_pj
+        self.aux_energy_pj += line.aux_energy_pj
+        self.saw_cells += line.saw_cells
+        self.saw_words += sum(1 for w in line.saw_bits_per_word if w)
+
+    @classmethod
+    def from_line_results(cls, results, words_per_line: int) -> "WriteStats":
+        """Aggregate per-line write summaries into a :class:`WriteStats`.
+
+        ``results`` is an iterable of
+        :class:`repro.memctrl.controller.LineWriteResult`.  Wear-leveling
+        migration writes have no line summary and are therefore not
+        included — drive the controller without a wear leveler (as every
+        builtin simulator does) or read ``controller.stats`` when migration
+        accounting matters.
+        """
+        stats = cls()
+        for line in results:
+            stats.add_line(line, words_per_line)
+        return stats
+
     def merge(self, other: "WriteStats") -> "WriteStats":
         """Return a new :class:`WriteStats` with the sums of both operands."""
         return WriteStats(

@@ -91,12 +91,12 @@ def random_data_energy_study(
                 seed=derive_seed(config.seed, f"fig7-{spec.label}-{cosets}"),
                 encrypt=True,
             )
-            drive_random_lines(
+            stats = drive_random_lines(
                 controller,
                 config.num_writes,
                 seed=derive_seed(config.seed, f"fig7-writes-{cosets}"),
             )
-            energy = controller.stats.total_energy_pj
+            energy = stats.total_energy_pj
             if spec.encoder == "unencoded":
                 baseline_energy = energy
             saving = (
@@ -166,8 +166,8 @@ def benchmark_energy_study(
                 seed=derive_seed(config.seed, f"fig9-{benchmark}-{spec.label}"),
                 encrypt=True,
             )
-            drive_trace(controller, trace)
-            energy = controller.stats.total_energy_pj
+            line_results = drive_trace(controller, trace)
+            energy = sum(result.total_energy_pj for result in line_results)
             if spec.encoder == "unencoded":
                 baseline_energy = energy
             saving = (

@@ -27,12 +27,13 @@ from repro.coding.cost import (
 from repro.coding.registry import make_encoder
 from repro.errors import ConfigurationError, SimulationError
 from repro.memctrl.config import ControllerConfig
-from repro.memctrl.controller import MemoryController
+from repro.memctrl.controller import LineWriteResult, MemoryController
 from repro.pcm.array import PCMArray
 from repro.pcm.cell import CellTechnology
 from repro.pcm.endurance import EnduranceModel
 from repro.pcm.energy import DEFAULT_MLC_ENERGY, MLCEnergyModel
 from repro.pcm.faultmap import FaultMap
+from repro.pcm.stats import WriteStats
 from repro.traces.trace import Trace
 from repro.utils.bitops import random_word
 from repro.utils.rng import make_rng
@@ -152,25 +153,42 @@ def drive_random_lines(
     num_lines: int,
     address_space: Optional[int] = None,
     seed: int = 0,
-) -> None:
-    """Write ``num_lines`` uniformly random cache lines to random addresses."""
+) -> WriteStats:
+    """Write ``num_lines`` uniformly random cache lines to random addresses.
+
+    Returns a fresh :class:`WriteStats` covering exactly this call's writes
+    (mirroring :func:`drive_trace`'s per-call results), so callers consume
+    the result directly instead of reaching into ``controller.stats`` by
+    side effect — and phased drives on one controller don't alias.
+    """
     if num_lines < 0:
         raise SimulationError("num_lines must be non-negative")
     rng = make_rng(seed, "random-lines")
     words_per_line = controller.config.words_per_line
     address_space = address_space or controller.array.rows
+    results: List[LineWriteResult] = []
     for _ in range(num_lines):
         address = int(rng.integers(0, address_space))
         words = [random_word(rng, controller.config.word_bits) for _ in range(words_per_line)]
-        controller.write_line(address, words)
+        results.append(controller.write_line(address, words))
+    return WriteStats.from_line_results(results, words_per_line)
 
 
-def drive_trace(controller: MemoryController, trace: Trace, repetitions: int = 1) -> None:
-    """Replay a writeback trace through the controller ``repetitions`` times."""
+def drive_trace(
+    controller: MemoryController, trace: Trace, repetitions: int = 1
+) -> List[LineWriteResult]:
+    """Replay a writeback trace through the controller ``repetitions`` times.
+
+    Returns the per-line :class:`LineWriteResult` summaries of every write,
+    in replay order, so callers can aggregate without reaching into
+    ``controller.stats`` by side effect.
+    """
     if repetitions < 0:
         raise SimulationError("repetitions must be non-negative")
     if trace.word_bits != controller.config.word_bits:
         raise SimulationError("trace word size does not match the controller")
+    results: List[LineWriteResult] = []
     for _ in range(repetitions):
         for record in trace:
-            controller.write_line(record.address, list(record.words))
+            results.append(controller.write_line(record.address, list(record.words)))
+    return results

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 from repro.pcm.cell import CellTechnology
 from repro.pcm.faultmap import FaultMap
+from repro.pcm.stats import WriteStats
 from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines, drive_trace
 from repro.sim.results import ResultTable
 from repro.traces.synthetic import generate_trace
@@ -72,12 +73,11 @@ def _run_spec(
         encrypt=True,
     )
     if trace is None:
-        drive_random_lines(
+        return drive_random_lines(
             controller, config.num_writes, seed=derive_seed(config.seed, seed_label + "-writes")
         )
-    else:
-        drive_trace(controller, trace)
-    return controller.stats
+    line_results = drive_trace(controller, trace)
+    return WriteStats.from_line_results(line_results, controller.config.words_per_line)
 
 
 def fault_masking_study(

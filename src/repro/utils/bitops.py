@@ -34,6 +34,7 @@ __all__ = [
     "popcount64_array",
     "random_word",
     "split_planes",
+    "split_planes_array",
     "split_subblocks",
     "split_symbols",
     "to_uint64_array",
@@ -80,6 +81,8 @@ def popcount64_array(words: np.ndarray) -> np.ndarray:
         promoted to ``int64`` for safe summation.
     """
     words = np.asarray(words, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0: hardware popcount
+        return np.bitwise_count(words).astype(np.int64)
     total = np.zeros(words.shape, dtype=np.int64)
     for shift in (0, 16, 32, 48):
         chunk = (words >> np.uint64(shift)) & np.uint64(0xFFFF)
@@ -178,6 +181,43 @@ def split_planes(value: int, width: int) -> Tuple[int, int]:
     for symbol in symbols:
         left = (left << 1) | ((symbol >> 1) & 1)
         right = (right << 1) | (symbol & 1)
+    return left, right
+
+
+#: Magic masks of the classic Morton-decode bit compaction: after the k-th
+#: step, the bits originally at even positions occupy contiguous groups of
+#: 2^k bits.  Used to split whole arrays of MLC words into bitplanes.
+_EVEN_BIT_MASKS = (
+    (1, 0x3333333333333333),
+    (2, 0x0F0F0F0F0F0F0F0F),
+    (4, 0x00FF00FF00FF00FF),
+    (8, 0x0000FFFF0000FFFF),
+    (16, 0x00000000FFFFFFFF),
+)
+
+
+def _compact_even_bits(values: np.ndarray) -> np.ndarray:
+    """Gather the bits at even positions of each uint64 into the low half."""
+    out = values & np.uint64(0x5555555555555555)
+    for shift, mask in _EVEN_BIT_MASKS:
+        out = (out | (out >> np.uint64(shift))) & np.uint64(mask)
+    return out
+
+
+def split_planes_array(words: np.ndarray, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`split_planes` over an array of ``uint64`` words.
+
+    Returns ``(left, right)`` arrays of ``width // 2``-bit plane values,
+    bit-compatible with the scalar helper: bit ``k`` (MSB-first) of each
+    plane is the corresponding digit of symbol ``k``.
+    """
+    if width % 2 != 0 or width > 64:
+        raise ConfigurationError(
+            f"split_planes_array needs an even width of at most 64 bits, got {width}"
+        )
+    values = np.asarray(words, dtype=np.uint64)
+    right = _compact_even_bits(values)
+    left = _compact_even_bits(values >> np.uint64(1))
     return left, right
 
 

@@ -1,9 +1,17 @@
-"""Tests for the encoder registry/factory."""
+"""Tests for the decorator-driven encoder plugin registry."""
 
 import pytest
 
 from repro.coding.cost import EnergyCost
-from repro.coding.registry import available_encoders, make_encoder
+from repro.coding.registry import (
+    available_encoders,
+    encoder_plugins,
+    get_encoder_plugin,
+    make_encoder,
+    register_encoder,
+    unregister_encoder,
+)
+from repro.coding.unencoded import UnencodedEncoder
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 
@@ -58,3 +66,67 @@ class TestRegistry:
         assert make_encoder("rcc", num_cosets=256).aux_bits == 8
         assert make_encoder("vcc", num_cosets=256).aux_bits == 8
         assert make_encoder("vcc-stored", num_cosets=256).aux_bits == 8
+
+
+class TestPluginSystem:
+    def test_plugins_expose_metadata(self):
+        plugins = {plugin.name: plugin for plugin in encoder_plugins()}
+        assert set(plugins) == {
+            "unencoded", "dbi", "fnw", "flipcy", "bcc", "rcc", "vcc", "vcc-stored",
+        }
+        assert "dbi/fnw" in plugins["fnw"].aliases
+        for plugin in plugins.values():
+            assert plugin.description
+
+    def test_alias_resolves_to_canonical_plugin(self):
+        assert get_encoder_plugin("dbi/fnw") is get_encoder_plugin("fnw")
+        assert get_encoder_plugin("FNW") is get_encoder_plugin("fnw")
+
+    def test_register_custom_encoder_via_decorator(self):
+        @register_encoder(
+            "test-custom",
+            aliases=("test-alias",),
+            description="test plugin",
+            params=("word_bits", "technology", "cost_function"),
+        )
+        class CustomEncoder(UnencodedEncoder):
+            name = "test-custom"
+
+        try:
+            assert "test-custom" in available_encoders()
+            assert "test-alias" in available_encoders()
+            encoder = make_encoder("test-alias", word_bits=32)
+            assert isinstance(encoder, CustomEncoder)
+            assert encoder.word_bits == 32
+        finally:
+            unregister_encoder("test-custom")
+        assert "test-custom" not in available_encoders()
+        assert "test-alias" not in available_encoders()
+
+    def test_register_custom_factory_function(self):
+        @register_encoder("test-factory", description="factory plugin")
+        def build(word_bits, num_cosets, technology, cost_function, seed):
+            return UnencodedEncoder(word_bits, technology, cost_function)
+
+        try:
+            encoder = make_encoder("test-factory")
+            assert isinstance(encoder, UnencodedEncoder)
+        finally:
+            unregister_encoder("test-factory")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_encoder("unencoded")(UnencodedEncoder)
+
+    def test_duplicate_alias_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_encoder("test-dup", aliases=("dbi/fnw",))(UnencodedEncoder)
+        assert "test-dup" not in available_encoders()
+
+    def test_unknown_shared_param_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_encoder("test-bad-param", params=("not_a_param",))
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unregister_encoder("never-registered")

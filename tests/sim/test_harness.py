@@ -4,8 +4,10 @@ import pytest
 
 from repro.coding.cost import BitChangeCost, EnergyCost, LexicographicCost, OnesCost, SawCost
 from repro.errors import ConfigurationError, SimulationError
+from repro.memctrl.controller import LineWriteResult
 from repro.pcm.cell import CellTechnology
 from repro.pcm.faultmap import FaultMap
+from repro.pcm.stats import WriteStats
 from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines, drive_trace, make_cost
 from repro.traces.synthetic import generate_trace
 
@@ -70,6 +72,24 @@ class TestDrivers:
         drive_random_lines(controller, 10, seed=3)
         assert controller.stats.rows_written == 10
 
+    def test_drive_random_lines_returns_stats(self):
+        controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8, seed=3)
+        stats = drive_random_lines(controller, 10, seed=3)
+        assert isinstance(stats, WriteStats)
+        assert stats.rows_written == 10
+        assert stats.words_written == 10 * controller.config.words_per_line
+        assert stats.total_energy_pj > 0.0
+
+    def test_drive_random_lines_returns_per_call_stats(self):
+        # Phased drives on one controller must not alias a live object.
+        controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8, seed=3)
+        first = drive_random_lines(controller, 10, seed=3)
+        second = drive_random_lines(controller, 5, seed=4)
+        assert first is not controller.stats
+        assert first.rows_written == 10
+        assert second.rows_written == 5
+        assert controller.stats.rows_written == 15
+
     def test_drive_random_lines_negative_rejected(self):
         controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8)
         with pytest.raises(SimulationError):
@@ -80,6 +100,17 @@ class TestDrivers:
         trace = generate_trace("xz", 15, memory_lines=32, seed=4)
         drive_trace(controller, trace, repetitions=2)
         assert controller.stats.rows_written == 30
+
+    def test_drive_trace_returns_line_results(self):
+        controller = build_controller(TechniqueSpec(encoder="rcc", num_cosets=16), rows=32, seed=4)
+        trace = generate_trace("xz", 15, memory_lines=32, seed=4)
+        results = drive_trace(controller, trace, repetitions=2)
+        assert len(results) == 30
+        assert all(isinstance(result, LineWriteResult) for result in results)
+        # The returned summaries carry the whole accounting: re-aggregating
+        # them reproduces the controller's accumulated statistics.
+        rebuilt = WriteStats.from_line_results(results, controller.config.words_per_line)
+        assert rebuilt.as_dict() == controller.stats.as_dict()
 
     def test_drive_trace_word_size_checked(self):
         controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8)
