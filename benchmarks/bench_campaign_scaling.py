@@ -1,0 +1,126 @@
+"""Campaign-engine benchmark: worker scaling, determinism, cached resume.
+
+Runs a fig9-sized sweep (benchmarks × five techniques through the real
+energy simulator) three ways and checks the engine's contracts:
+
+* **determinism** — the rows at ``jobs=N`` are bit-identical to the
+  serial rows, and stay bit-identical when served from the store;
+* **caching** — a second run against the same store executes zero tasks;
+* **scaling** — with enough cores, N workers give a near-linear
+  speedup.  The speedup floor is enforced only when the machine
+  actually has spare cores (``os.cpu_count()``); on smaller hosts the
+  measurement is reported for tracking.
+
+Run directly for a table::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_scaling.py
+
+or under pytest to enforce the contracts::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_campaign_scaling.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from typing import List, Tuple
+
+from repro.campaign import ResultStore, run_campaign
+from repro.campaign.spec import Task
+from repro.sim.energy_sim import EnergyStudyConfig, benchmark_energy_tasks
+
+#: Sweep size: 5 benchmarks x 5 techniques = 25 tasks, a couple of
+#: seconds of serial work — enough per-task weight for pool overheads to
+#: amortise, small enough to run on every invocation.
+BENCHMARKS = ("lbm", "mcf", "bwaves", "xalancbmk", "xz")
+WRITEBACKS = 100
+ROWS = 96
+NUM_COSETS = 256
+PARALLEL_JOBS = 4
+
+#: Speedup floors by available core count; intentionally below linear to
+#: absorb pool startup and scheduler noise.
+def _speedup_floor(cores: int) -> float:
+    if cores >= PARALLEL_JOBS:
+        return 2.0
+    if cores >= 2:
+        return 1.3
+    return 0.0  # single-core host: report only
+
+
+def _sweep_tasks() -> List[Task]:
+    return benchmark_energy_tasks(
+        benchmarks=BENCHMARKS,
+        num_cosets=NUM_COSETS,
+        writebacks_per_benchmark=WRITEBACKS,
+        config=EnergyStudyConfig(rows=ROWS),
+    )
+
+
+def measure() -> Tuple[float, float, List[dict], List[dict]]:
+    """Time the sweep at jobs=1 and jobs=PARALLEL_JOBS (no store)."""
+    tasks = _sweep_tasks()
+    start = time.perf_counter()
+    serial = run_campaign(tasks, jobs=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_campaign(tasks, jobs=PARALLEL_JOBS)
+    parallel_s = time.perf_counter() - start
+    return serial_s, parallel_s, serial.rows(), parallel.rows()
+
+
+def test_campaign_scaling_determinism_and_cache():
+    serial_s, parallel_s, serial_rows, parallel_rows = measure()
+
+    # Contract 1: bit-identical rows at any worker count.
+    assert serial_rows == parallel_rows, "jobs=4 rows differ from the serial path"
+
+    # Contract 2: a repeated run against a store executes zero tasks and
+    # serves the identical rows.
+    tasks = _sweep_tasks()
+    store_dir = tempfile.mkdtemp(prefix="campaign-bench-")
+    try:
+        store = ResultStore(store_dir)
+        first = run_campaign(tasks, store=store, jobs=PARALLEL_JOBS)
+        assert first.executed == len(tasks)
+        second = run_campaign(tasks, store=store, jobs=PARALLEL_JOBS)
+        assert second.executed == 0 and second.cached == len(tasks)
+        assert second.rows() == serial_rows, "cached rows differ from the serial path"
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    # Contract 3: near-linear scaling where the hardware allows it.
+    cores = os.cpu_count() or 1
+    floor = _speedup_floor(cores)
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    print(
+        f"\ncampaign scaling: serial {serial_s:.2f}s, jobs={PARALLEL_JOBS} "
+        f"{parallel_s:.2f}s, speedup {speedup:.2f}x on {cores} core(s)"
+    )
+    if floor:
+        assert speedup >= floor, (
+            f"jobs={PARALLEL_JOBS} speedup is {speedup:.2f}x on {cores} cores; "
+            f"floor is {floor}x"
+        )
+
+
+def main() -> None:
+    tasks = _sweep_tasks()
+    print(
+        f"campaign scaling benchmark: {len(tasks)} tasks "
+        f"({len(BENCHMARKS)} benchmarks x 5 techniques, {WRITEBACKS} writebacks)"
+    )
+    serial_s, parallel_s, serial_rows, parallel_rows = measure()
+    identical = "bit-identical" if serial_rows == parallel_rows else "DIFFERENT (bug!)"
+    cores = os.cpu_count() or 1
+    print(f"{'jobs':>6} {'seconds':>9} {'tasks/s':>9}")
+    print(f"{1:>6} {serial_s:>9.2f} {len(tasks) / serial_s:>9.2f}")
+    print(f"{PARALLEL_JOBS:>6} {parallel_s:>9.2f} {len(tasks) / parallel_s:>9.2f}")
+    print(f"speedup: {serial_s / parallel_s:.2f}x on {cores} core(s); rows {identical}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,10 @@ The package is organised bottom-up:
   and :mod:`repro.core` (the paper's Virtual Coset Coding);
 * integration — :mod:`repro.memctrl` (the encrypt -> encode -> write
   memory controller) and :mod:`repro.sim` / :mod:`repro.experiments`
-  (the per-figure experiment harness).
+  (the per-figure experiment harness);
+* orchestration — :mod:`repro.campaign` (declarative sweep grids run on
+  worker processes with content-addressed caching and resume;
+  ``python -m repro.campaign``).
 
 Quick start — encoders are resolved by short name through the plugin
 registry, and the hot path operates on whole cache lines::
@@ -47,12 +50,13 @@ from repro.coding import (
     make_encoder,
     register_encoder,
 )
+from repro.campaign import ResultStore, SweepSpec, Task, register_task, run_campaign
 from repro.core import VCCConfig, VCCEncoder
 from repro.memctrl import ControllerConfig, MemoryController
 from repro.pcm import CellTechnology, EnduranceModel, FaultMap, MLCEnergyModel, PCMArray
 from repro.traces import Trace, generate_trace
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BCCEncoder",
@@ -71,6 +75,9 @@ __all__ = [
     "MemoryController",
     "PCMArray",
     "RCCEncoder",
+    "ResultStore",
+    "SweepSpec",
+    "Task",
     "Trace",
     "UnencodedEncoder",
     "VCCConfig",
@@ -81,4 +88,6 @@ __all__ = [
     "generate_trace",
     "make_encoder",
     "register_encoder",
+    "register_task",
+    "run_campaign",
 ]

@@ -1,0 +1,199 @@
+"""``python -m repro.campaign`` — run sweeps with workers, caching, resume.
+
+Two ways to name the work:
+
+* a **named sweep** — one of the benchmark-sweep figures (``fig9``,
+  ``fig10``, ``fig11``, ``fig13``), expanded exactly as the experiment
+  registry expands it, printed as the figure's result table::
+
+      python -m repro.campaign fig9 --jobs 4 --store .campaign-store
+      python -m repro.campaign fig10 --benchmarks lbm mcf --writebacks 60
+
+* a **spec file** — a JSON :class:`~repro.campaign.spec.SweepSpec`
+  (``kind`` + ``base`` + ``grid`` + ``seeds``) for ad-hoc grids over any
+  registered task kind::
+
+      python -m repro.campaign --spec sweep.json --jobs 4 --json rows.json
+
+Progress goes to stderr (one line per completed task, cache hits
+marked); the final summary line —
+``campaign finished: N tasks, E executed, C from cache`` — goes to
+stdout so scripts and CI can assert on cache behaviour.  Interrupting a
+run loses nothing: with ``--store`` every finished task is already on
+disk and the next invocation resumes from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.engine import CampaignProgress, run_campaign
+from repro.campaign.spec import SweepSpec
+from repro.campaign.tasks import available_task_kinds
+from repro.errors import ReproError
+from repro.sim.results import ResultTable
+
+__all__ = ["main"]
+
+#: Named sweeps the CLI exposes — the campaign-backed figure experiments.
+NAMED_SWEEPS = ("fig9", "fig10", "fig11", "fig13")
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def printer(event: CampaignProgress) -> None:
+        print(event.format(), file=sys.stderr)
+
+    return printer
+
+
+def _named_sweep_table(args: argparse.Namespace, progress) -> ResultTable:
+    """Run one of the figure sweeps via its experiment entry point."""
+    from repro.experiments.registry import get_experiment
+
+    if args.sweep.lower() not in NAMED_SWEEPS:
+        raise ReproError(
+            f"unknown sweep {args.sweep!r}; campaign sweeps: {', '.join(NAMED_SWEEPS)} "
+            "(other experiments run via python -m repro.experiments.runner)"
+        )
+    entry = get_experiment(args.sweep)
+    parameters = inspect.signature(entry).parameters
+    kwargs = {
+        "jobs": args.jobs,
+        "store_dir": None if args.no_store else args.store,
+        "progress": progress,
+    }
+    option_map = {
+        "benchmarks": args.benchmarks,
+        "num_cosets": args.num_cosets,
+        "writebacks_per_benchmark": args.writebacks,
+        "rows": args.rows,
+        "seed": args.seed,
+        "repetitions": args.repetitions,
+    }
+    for name, value in option_map.items():
+        if value is None:
+            continue
+        if name not in parameters:
+            raise ReproError(f"sweep {args.sweep!r} does not take a --{name.replace('_', '-')}")
+        kwargs[name] = value
+    return entry(**kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.campaign``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Run experiment sweeps in parallel with cached resume",
+    )
+    parser.add_argument(
+        "sweep",
+        nargs="?",
+        help=f"named sweep ({', '.join(NAMED_SWEEPS)}) — or use --spec for an ad-hoc grid",
+    )
+    parser.add_argument("--spec", type=Path, default=None, help="JSON SweepSpec file to run")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes")
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=Path(".campaign-store"),
+        help="result store directory (default: .campaign-store)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true", help="run without caching results on disk"
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore (and overwrite) stored results: re-execute every task",
+    )
+    parser.add_argument("--json", type=Path, default=None, help="write the result table as JSON")
+    parser.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
+    parser.add_argument(
+        "--list-kinds", action="store_true", help="list registered task kinds and exit"
+    )
+    # Named-sweep knobs (each is rejected if the sweep does not take it).
+    parser.add_argument("--benchmarks", nargs="+", default=None, help="benchmark subset")
+    parser.add_argument("--num-cosets", type=int, default=None, help="coset candidate count")
+    parser.add_argument(
+        "--writebacks", type=int, default=None, help="writebacks per benchmark trace"
+    )
+    parser.add_argument("--rows", type=int, default=None, help="memory rows")
+    parser.add_argument("--seed", type=int, default=None, help="campaign seed")
+    parser.add_argument(
+        "--repetitions", type=int, default=None, help="repetitions (lifetime sweeps)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_kinds:
+        print("registered task kinds:")
+        for kind in available_task_kinds():
+            print(f"  {kind.name:20s} {kind.description}")
+        return 0
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if (args.sweep is None) == (args.spec is None):
+        parser.error("name exactly one sweep: a positional name or --spec FILE")
+
+    stats = {"done": 0, "cached": 0, "total": 0}
+    printer = _progress_printer(args.quiet)
+
+    def progress(event: CampaignProgress) -> None:
+        stats["done"] = event.done
+        stats["total"] = event.total
+        if event.from_cache:
+            stats["cached"] += 1
+        if printer is not None:
+            printer(event)
+
+    try:
+        if args.spec is not None:
+            spec = SweepSpec.from_json(args.spec)
+            result = run_campaign(
+                spec,
+                store=None if args.no_store else args.store,
+                jobs=args.jobs,
+                resume=not args.no_resume,
+                progress=progress,
+            )
+            # Prefix each row with the sweep-axis values of its task so
+            # rows stay distinguishable (e.g. across a seeds axis) even
+            # when the task kind does not echo the axis into its rows.
+            axis_names = [name for name, _ in spec.axes()]
+            rows = []
+            for task in result.tasks:
+                for row in result.rows_for(task):
+                    merged = {
+                        name: task.params[name] for name in axis_names if name not in row
+                    }
+                    merged.update(row)
+                    rows.append(merged)
+            columns = list(rows[0]) if rows else []
+            table = ResultTable(
+                title=f"campaign {spec.kind} ({len(result.tasks)} tasks)", columns=columns
+            ).extend(rows)
+        else:
+            if args.no_resume:
+                parser.error("--no-resume applies only to --spec runs (figures always resume)")
+            table = _named_sweep_table(args, progress)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(table.format())
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        table.to_json(args.json)
+    executed = stats["total"] - stats["cached"]
+    print(
+        f"campaign finished: {stats['total']} tasks, "
+        f"{executed} executed, {stats['cached']} from cache"
+    )
+    return 0

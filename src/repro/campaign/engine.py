@@ -1,0 +1,169 @@
+"""Campaign orchestration: cache lookup, execution, resume, aggregation.
+
+:func:`run_campaign` is the single entry point the experiments, the CLI,
+and the benchmarks share.  It expands a :class:`~repro.campaign.spec.SweepSpec`
+(or takes an explicit task list), serves whatever the
+:class:`~repro.campaign.store.ResultStore` already holds, executes the
+remainder on a :mod:`repro.campaign.executor` (persisting each result as
+it completes, so an interrupted campaign resumes for free), and returns
+the rows re-ordered into task-submission order — making the output a
+pure function of the task list, independent of worker count, scheduling,
+and how many runs it took to finish the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.campaign.executor import make_executor
+from repro.campaign.spec import SweepSpec, Task
+from repro.campaign.store import ResultStore
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime import would be circular
+    from repro.sim.results import ResultTable
+
+__all__ = ["CampaignProgress", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """One progress event: a task just completed (or was served from cache)."""
+
+    done: int
+    total: int
+    task: Task
+    from_cache: bool
+
+    def format(self) -> str:
+        """Render as the one-line form the CLI prints."""
+        width = len(str(self.total))
+        origin = "cached" if self.from_cache else "ran"
+        return f"[{self.done:{width}d}/{self.total}] {origin:6s} {self.task.describe()}"
+
+
+ProgressCallback = Callable[[CampaignProgress], None]
+
+
+@dataclass
+class CampaignResult:
+    """Completed campaign: per-task rows plus execution accounting."""
+
+    tasks: Sequence[Task]
+    rows_by_hash: Dict[str, List[Dict[str, Any]]]
+    executed: int
+    cached: int
+
+    @property
+    def total(self) -> int:
+        """Number of distinct tasks in the campaign."""
+        return len(self.rows_by_hash)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All result rows flattened in task-submission order."""
+        out: List[Dict[str, Any]] = []
+        for task in self.tasks:
+            out.extend(self.rows_by_hash[task.task_hash])
+        return out
+
+    def rows_for(self, task: Task) -> List[Dict[str, Any]]:
+        """The rows one task produced."""
+        try:
+            return self.rows_by_hash[task.task_hash]
+        except KeyError:
+            raise SimulationError(f"task {task.describe()} is not part of this campaign")
+
+    def to_table(self, title: str, columns: Sequence[str], notes: str = "") -> "ResultTable":
+        """Collect the flattened rows into a :class:`ResultTable`."""
+        # Imported lazily: the sim package registers campaign task kinds,
+        # so a module-level import here would be circular.
+        from repro.sim.results import ResultTable
+
+        table = ResultTable(title=title, columns=list(columns), notes=notes)
+        table.extend(self.rows())
+        return table
+
+
+def run_campaign(
+    work: Union[SweepSpec, Iterable[Task]],
+    store: Union[ResultStore, str, Path, None] = None,
+    jobs: int = 1,
+    resume: bool = True,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Run a sweep to completion and return its rows in deterministic order.
+
+    Parameters
+    ----------
+    work:
+        A :class:`SweepSpec` (expanded in grid order) or an explicit task
+        iterable.  Duplicate tasks execute once, but their rows appear
+        once per occurrence in :meth:`CampaignResult.rows`.
+    store:
+        Optional :class:`ResultStore` (or a directory path for one).
+        Completed tasks are persisted as they finish; on the next run
+        they are served from disk instead of re-executed.
+    jobs:
+        Worker processes; ``1`` runs serially in-process.  The result is
+        bit-identical for every value because each task derives all of
+        its randomness from its own parameters.
+    resume:
+        When ``False``, stored results are ignored (and overwritten):
+        every task re-executes.
+    progress:
+        Optional callback invoked once per task completion, cache hits
+        included, with a :class:`CampaignProgress` event.
+    """
+    if isinstance(work, SweepSpec):
+        tasks = work.expand()
+    else:
+        tasks = list(work)
+    unique: List[Task] = []
+    seen = set()
+    for task in tasks:
+        if not isinstance(task, Task):
+            raise SimulationError(f"campaign work must be Task objects, got {type(task).__name__}")
+        if task.task_hash not in seen:
+            seen.add(task.task_hash)
+            unique.append(task)
+
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    rows_by_hash: Dict[str, List[Dict[str, Any]]] = {}
+    pending: List[Task] = []
+    for task in unique:
+        cached_rows = store.get(task) if (store is not None and resume) else None
+        if cached_rows is not None:
+            rows_by_hash[task.task_hash] = cached_rows
+        else:
+            pending.append(task)
+    cached = len(unique) - len(pending)
+
+    done = 0
+    total = len(unique)
+
+    def emit(task: Task, from_cache: bool) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(CampaignProgress(done=done, total=total, task=task, from_cache=from_cache))
+
+    for task in unique:
+        if task.task_hash in rows_by_hash:
+            emit(task, from_cache=True)
+
+    def on_result(task: Task, rows: List[Dict[str, Any]]) -> None:
+        rows_by_hash[task.task_hash] = rows
+        if store is not None:
+            store.put(task, rows)
+        emit(task, from_cache=False)
+
+    if pending:
+        make_executor(jobs).run(pending, on_result)
+
+    return CampaignResult(
+        tasks=tuple(tasks), rows_by_hash=rows_by_hash, executed=len(pending), cached=cached
+    )

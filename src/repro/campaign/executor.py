@@ -1,0 +1,101 @@
+"""Task executors: in-process serial and ``multiprocessing`` pools.
+
+Both executors implement the same protocol — ``run(tasks, on_result)``
+calls ``on_result(task, rows)`` once per task, in **completion** order —
+and both produce bit-identical results for the same task list, because
+every task carries its own seed and shares no state with its siblings.
+The engine (:mod:`repro.campaign.engine`) re-orders completions back
+into submission order, so callers never observe scheduling.
+
+:class:`SerialExecutor` runs everything in the calling process and is
+what tests and ``--jobs 1`` use; :class:`ProcessExecutor` fans tasks out
+over a :class:`concurrent.futures.ProcessPoolExecutor`.  The ``fork``
+start method is preferred when the platform offers it (workers inherit
+already-registered task kinds); under ``spawn`` the workers re-import
+the builtin task modules via the pool initializer, so builtin kinds work
+everywhere and custom kinds need only live in an importable module.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.campaign.spec import Task
+from repro.campaign.tasks import _ensure_builtins, run_task
+from repro.errors import ConfigurationError
+
+__all__ = ["SerialExecutor", "ProcessExecutor", "make_executor"]
+
+OnResult = Callable[[Task, List[Dict[str, Any]]], None]
+
+
+class SerialExecutor:
+    """Execute tasks one after another in the calling process."""
+
+    jobs = 1
+
+    def run(self, tasks: Sequence[Task], on_result: OnResult) -> None:
+        for task in tasks:
+            on_result(task, run_task(task))
+
+
+def _worker_init() -> None:
+    """Pool initializer: make the builtin task kinds resolvable."""
+    _ensure_builtins()
+
+
+def _execute(task: Task) -> Tuple[Task, List[Dict[str, Any]]]:
+    """Top-level worker entry point (must be picklable)."""
+    return task, run_task(task)
+
+
+class ProcessExecutor:
+    """Execute tasks on a pool of ``jobs`` worker processes."""
+
+    def __init__(self, jobs: int, max_in_flight: int = 0):
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = jobs
+        #: How many tasks are submitted to the pool at once; bounding it
+        #: keeps completion callbacks (store writes, progress) flowing
+        #: during very large sweeps instead of after full submission.
+        self.max_in_flight = max_in_flight or 4 * jobs
+
+    @staticmethod
+    def _context():
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+    def run(self, tasks: Sequence[Task], on_result: OnResult) -> None:
+        pending = list(tasks)
+        if not pending:
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)),
+            mp_context=self._context(),
+            initializer=_worker_init,
+        ) as pool:
+            in_flight = set()
+            cursor = 0
+            try:
+                while cursor < len(pending) or in_flight:
+                    while cursor < len(pending) and len(in_flight) < self.max_in_flight:
+                        in_flight.add(pool.submit(_execute, pending[cursor]))
+                        cursor += 1
+                    done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        task, rows = future.result()
+                        on_result(task, rows)
+            except Exception:
+                for future in in_flight:
+                    future.cancel()
+                raise
+
+
+def make_executor(jobs: int):
+    """Executor for a worker count: serial at 1, a process pool above."""
+    if jobs < 1:
+        raise ConfigurationError("jobs must be >= 1")
+    return SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)

@@ -1,0 +1,125 @@
+"""Content-addressed on-disk store for campaign task results.
+
+Each completed task is written to ``<root>/objects/<h2>/<hash>.json``
+where ``hash`` is the task's content address
+(:attr:`repro.campaign.spec.Task.task_hash`).  The payload records the
+hash, the task's kind and parameters, and its result rows, so a store
+is self-describing and can be aggregated or audited without the spec
+that produced it.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so
+a campaign killed mid-write never leaves a half-written object behind;
+re-running the campaign simply resumes from the objects that made it to
+disk.  Corrupt or mismatched objects are treated as cache misses and
+recomputed, never served.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.campaign.spec import Task
+
+__all__ = ["ResultStore"]
+
+_STORE_SCHEMA = 1
+
+
+class ResultStore:
+    """Filesystem-backed map from task hash to result rows."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+
+    def _path(self, task_hash: str) -> Path:
+        return self._objects / task_hash[:2] / f"{task_hash}.json"
+
+    # ------------------------------------------------------------- queries
+    def __contains__(self, task: Task) -> bool:
+        return self.get(task) is not None
+
+    def get(self, task: Task) -> Optional[List[Dict[str, Any]]]:
+        """Stored rows for ``task``, or ``None`` on a miss."""
+        return self.get_by_hash(task.task_hash)
+
+    def get_by_hash(self, task_hash: str) -> Optional[List[Dict[str, Any]]]:
+        """Stored rows for a task hash, or ``None`` on a miss.
+
+        Unreadable or inconsistent objects (truncated JSON, a payload
+        whose recorded hash disagrees with its file name) count as
+        misses so one bad object degrades to a recompute, not a crash.
+        """
+        path = self._path(task_hash)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict) or payload.get("task_hash") != task_hash:
+            return None
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not all(isinstance(row, dict) for row in rows):
+            return None
+        return rows
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_hashes())
+
+    def iter_hashes(self) -> Iterator[str]:
+        """All task hashes currently stored."""
+        if not self._objects.is_dir():
+            return
+        for shard in sorted(self._objects.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    # ------------------------------------------------------------- updates
+    def put(self, task: Task, rows: List[Dict[str, Any]]) -> Path:
+        """Atomically persist the rows of one completed task."""
+        path = self._path(task.task_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "schema": _STORE_SCHEMA,
+                "task_hash": task.task_hash,
+                "kind": task.kind,
+                "params": task.params,
+                "rows": rows,
+            },
+            indent=2,
+            default=float,
+        )
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=path.parent,
+            prefix=f".{task.task_hash[:10]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                handle.write(payload)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def discard(self, task: Task) -> bool:
+        """Remove one stored result; returns whether anything was deleted."""
+        path = self._path(task.task_hash)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False

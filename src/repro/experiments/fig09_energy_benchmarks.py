@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback
+from repro.campaign.store import ResultStore
 from repro.sim.energy_sim import DEFAULT_BENCHMARKS, EnergyStudyConfig, benchmark_energy_study
 from repro.sim.results import ResultTable
 
@@ -16,12 +19,23 @@ def run(
     writebacks_per_benchmark: int = 200,
     rows: int = 96,
     seed: int = 2022,
+    jobs: int = 1,
+    store_dir: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
-    """Regenerate Fig. 9 for the synthetic SPEC-like benchmark traces."""
+    """Regenerate Fig. 9 for the synthetic SPEC-like benchmark traces.
+
+    ``jobs`` fans the benchmark × technique cells out over worker
+    processes through the campaign engine (rows are bit-identical for
+    any count); ``store_dir`` enables cached resume across runs.
+    """
     config = EnergyStudyConfig(rows=rows, seed=seed)
     return benchmark_energy_study(
         benchmarks=benchmarks,
         num_cosets=num_cosets,
         writebacks_per_benchmark=writebacks_per_benchmark,
         config=config,
+        jobs=jobs,
+        store=store_dir,
+        progress=progress,
     )

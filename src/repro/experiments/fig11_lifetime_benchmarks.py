@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback
+from repro.campaign.store import ResultStore
 from repro.sim.lifetime_sim import (
     DEFAULT_BENCHMARKS,
     DEFAULT_LIFETIME_TECHNIQUES,
@@ -20,12 +23,23 @@ def run(
     num_cosets: int = 256,
     config: Optional[LifetimeStudyConfig] = None,
     repetitions: int = 1,
+    jobs: int = 1,
+    store_dir: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
-    """Regenerate Fig. 11 on the scaled-down memory/endurance configuration."""
+    """Regenerate Fig. 11 on the scaled-down memory/endurance configuration.
+
+    ``jobs`` fans the benchmark × technique × repetition cells out over
+    worker processes through the campaign engine (rows are bit-identical
+    for any count); ``store_dir`` enables cached resume across runs.
+    """
     return lifetime_study(
         benchmarks=benchmarks,
         techniques=DEFAULT_LIFETIME_TECHNIQUES,
         num_cosets=num_cosets,
         config=config or LifetimeStudyConfig(),
         repetitions=repetitions,
+        jobs=jobs,
+        store=store_dir,
+        progress=progress,
     )

@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+import dataclasses
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback, run_campaign
+from repro.campaign.spec import Task
+from repro.campaign.store import ResultStore
+from repro.campaign.tasks import register_task
 from repro.hardware.synthesis import DesignPoint, estimate_design
 from repro.perf.config import TABLE_II_SYSTEM, SystemConfig
 from repro.perf.timing import PerformanceModel
 from repro.sim.results import ResultTable
 from repro.traces.spec import list_benchmarks
 
-__all__ = ["run", "technique_delays_ns"]
+__all__ = ["run", "sweep_tasks", "technique_delays_ns"]
 
 
 def technique_delays_ns(num_cosets: int = 256) -> Dict[str, float]:
@@ -29,25 +35,53 @@ def technique_delays_ns(num_cosets: int = 256) -> Dict[str, float]:
     }
 
 
+@register_task(
+    "fig13-ipc-cell",
+    description="normalised IPC of every technique on one benchmark (Fig. 13 cell)",
+)
+def _fig13_ipc_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One benchmark of the Fig. 13 sweep (all techniques, analytic model)."""
+    model = PerformanceModel(SystemConfig(**params["system"]))
+    delays = technique_delays_ns(params["num_cosets"])
+    return [
+        {
+            "benchmark": result.benchmark,
+            "technique": result.technique,
+            "encode_delay_ns": result.encode_delay_ns,
+            "normalized_ipc": result.normalized_ipc,
+        }
+        for result in model.sweep(delays, benchmarks=[params["benchmark"]])
+    ]
+
+
+def sweep_tasks(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_cosets: int = 256,
+    system: SystemConfig = TABLE_II_SYSTEM,
+) -> List[Task]:
+    """The Fig. 13 sweep as campaign tasks, one per benchmark."""
+    names = list(benchmarks) if benchmarks is not None else list_benchmarks()
+    base = {"num_cosets": num_cosets, "system": dataclasses.asdict(system)}
+    return [
+        Task(kind="fig13-ipc-cell", params={**base, "benchmark": benchmark})
+        for benchmark in names
+    ]
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     num_cosets: int = 256,
     system: SystemConfig = TABLE_II_SYSTEM,
+    jobs: int = 1,
+    store_dir: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
     """Regenerate Fig. 13: normalised IPC per benchmark and technique."""
-    model = PerformanceModel(system)
-    delays = technique_delays_ns(num_cosets)
-    names = list(benchmarks) if benchmarks is not None else list_benchmarks()
-    table = ResultTable(
+    result = run_campaign(
+        sweep_tasks(benchmarks, num_cosets, system), store=store_dir, jobs=jobs, progress=progress
+    )
+    return result.to_table(
         title="Fig. 13 — IPC normalised to unencoded writeback (256 cosets)",
         columns=["benchmark", "technique", "encode_delay_ns", "normalized_ipc"],
         notes="analytic timing model parameterised by Table II (see DESIGN.md)",
     )
-    for result in model.sweep(delays, benchmarks=names):
-        table.append(
-            benchmark=result.benchmark,
-            technique=result.technique,
-            encode_delay_ns=result.encode_delay_ns,
-            normalized_ipc=result.normalized_ipc,
-        )
-    return table

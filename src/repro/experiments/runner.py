@@ -5,18 +5,42 @@ Usage::
     python -m repro.experiments.runner --list
     python -m repro.experiments.runner fig1 fig7
     python -m repro.experiments.runner all --json-dir results/
+    python -m repro.experiments.runner fig9 fig10 --jobs 4 --store-dir .campaign-store
+
+``--jobs N`` fans the benchmark-sweep experiments (fig9/fig10/fig11/
+fig13) out over N worker processes through the campaign engine
+(:mod:`repro.campaign`); results are bit-identical to a serial run.
+``--store-dir`` caches completed sweep cells on disk, so re-running an
+interrupted sweep resumes instead of starting over.  Experiments whose
+entry points take no ``jobs`` parameter simply run serially.
+
+Unknown experiment identifiers exit with status 2 and the list of
+available experiments instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.experiments.registry import available_experiments, run_experiment
+from repro.errors import ConfigurationError
+from repro.experiments.registry import available_experiments, get_experiment, run_experiment
 
 __all__ = ["main"]
+
+
+def _sweep_kwargs(name: str, jobs: int, store_dir: Optional[Path]) -> dict:
+    """Campaign keyword arguments accepted by this experiment's entry point."""
+    parameters = inspect.signature(get_experiment(name)).parameters
+    kwargs = {}
+    if "jobs" in parameters:
+        kwargs["jobs"] = jobs
+    if "store_dir" in parameters and store_dir is not None:
+        kwargs["store_dir"] = store_dir
+    return kwargs
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -34,7 +58,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write each result table as JSON into this directory",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the benchmark-sweep experiments (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="campaign result store for the sweep experiments (enables caching and resume)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.list or not args.experiments:
         print("available experiments:")
@@ -46,13 +86,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if len(names) == 1 and names[0].lower() == "all":
         names = available_experiments()
 
-    for name in names:
-        table = run_experiment(name)
-        print(table.format())
-        print()
-        if args.json_dir is not None:
-            args.json_dir.mkdir(parents=True, exist_ok=True)
-            table.to_json(args.json_dir / f"{name}.json")
+    try:
+        for name in names:
+            kwargs = _sweep_kwargs(name, args.jobs, args.store_dir)
+            table = run_experiment(name, **kwargs)
+            print(table.format())
+            print()
+            if args.json_dir is not None:
+                args.json_dir.mkdir(parents=True, exist_ok=True)
+                table.to_json(args.json_dir / f"{name}.json")
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print("available experiments:", file=sys.stderr)
+        for name in available_experiments():
+            print(f"  {name}", file=sys.stderr)
+        return 2
     return 0
 
 

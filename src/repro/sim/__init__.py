@@ -16,15 +16,22 @@ from repro.sim.results import ResultTable
 from repro.sim.energy_sim import (
     EnergyStudyConfig,
     benchmark_energy_study,
+    benchmark_energy_tasks,
     random_data_energy_study,
 )
 from repro.sim.saw_sim import (
     SawStudyConfig,
     benchmark_saw_study,
+    benchmark_saw_tasks,
     fault_masking_study,
     saw_vs_coset_count_study,
 )
-from repro.sim.lifetime_sim import LifetimeStudyConfig, lifetime_study, mean_lifetime_by_coset_count
+from repro.sim.lifetime_sim import (
+    LifetimeStudyConfig,
+    lifetime_study,
+    lifetime_study_tasks,
+    mean_lifetime_by_coset_count,
+)
 from repro.sim.repetition import RepeatedMetric, aggregate_columns, repeat_metric
 
 __all__ = [
@@ -36,9 +43,12 @@ __all__ = [
     "aggregate_columns",
     "repeat_metric",
     "benchmark_energy_study",
+    "benchmark_energy_tasks",
     "benchmark_saw_study",
+    "benchmark_saw_tasks",
     "fault_masking_study",
     "lifetime_study",
+    "lifetime_study_tasks",
     "mean_lifetime_by_coset_count",
     "random_data_energy_study",
     "saw_vs_coset_count_study",

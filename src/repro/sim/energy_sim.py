@@ -19,17 +19,32 @@ Two experiments share this module:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback, run_campaign
+from repro.campaign.spec import Task
+from repro.campaign.store import ResultStore
+from repro.campaign.tasks import register_task
 from repro.pcm.cell import CellTechnology
-from repro.pcm.faultmap import FaultMap
-from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines, drive_trace
+from repro.sim.harness import (
+    TechniqueSpec,
+    build_controller,
+    cached_fault_map,
+    cached_trace,
+    drive_random_lines,
+    drive_trace,
+)
 from repro.sim.results import ResultTable
 from repro.traces.spec import list_benchmarks
-from repro.traces.synthetic import generate_trace
 from repro.utils.rng import derive_seed
 
-__all__ = ["EnergyStudyConfig", "random_data_energy_study", "benchmark_energy_study"]
+__all__ = [
+    "EnergyStudyConfig",
+    "random_data_energy_study",
+    "benchmark_energy_study",
+    "benchmark_energy_tasks",
+]
 
 #: Benchmarks used by default in the per-benchmark studies (a subset keeps
 #: pure-Python runtimes reasonable; pass ``benchmarks=list_benchmarks()``
@@ -113,72 +128,150 @@ def random_data_energy_study(
     return table
 
 
-def benchmark_energy_study(
-    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
-    num_cosets: int = 256,
-    writebacks_per_benchmark: int = 300,
-    config: EnergyStudyConfig = EnergyStudyConfig(),
-) -> ResultTable:
-    """Fig. 9: per-benchmark write energy for both cost-function orderings.
-
-    For each benchmark the table holds the unencoded baseline, VCC and RCC
-    optimising energy first ("Opt. Energy") and SAW first ("Opt. SAW"),
-    against a memory snapshot with a fixed stuck-at fault rate.
-    """
-    table = ResultTable(
-        title="Fig. 9 — per-benchmark write energy (fixed 1e-2 fault snapshot, MLC PCM)",
-        columns=["benchmark", "technique", "total_energy_pj", "saving_percent"],
-        notes="VCC/RCC use {} cosets; energy includes auxiliary bits".format(num_cosets),
-    )
-    techniques = [
+def _fig9_techniques(num_cosets: int) -> List[TechniqueSpec]:
+    """The Fig. 9 technique line-up, in table order."""
+    return [
         TechniqueSpec(encoder="unencoded", cost="energy", label="Unencoded"),
         TechniqueSpec(encoder="vcc", cost="energy-then-saw", num_cosets=num_cosets, label="VCC Opt. Energy"),
         TechniqueSpec(encoder="vcc", cost="saw-then-energy", num_cosets=num_cosets, label="VCC Opt. SAW"),
         TechniqueSpec(encoder="rcc", cost="energy-then-saw", num_cosets=num_cosets, label="RCC Opt. Energy"),
         TechniqueSpec(encoder="rcc", cost="saw-then-energy", num_cosets=num_cosets, label="RCC Opt. SAW"),
     ]
-    cells_per_row = config.line_bits // config.technology.bits_per_cell
+
+
+@register_task(
+    "fig9-energy-cell",
+    description="total write energy of one technique on one benchmark trace (Fig. 9 cell)",
+)
+def _fig9_energy_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One (benchmark × technique) cell of the Fig. 9 sweep.
+
+    All randomness (trace, fault snapshot, encryption pads, kernels)
+    derives from ``params['seed']`` with the same labels the serial study
+    always used, so the cell computes identical energies whether it runs
+    in-process, on a worker, or from a previous campaign's cache.
+    """
+    benchmark = params["benchmark"]
+    seed = params["seed"]
+    technology = CellTechnology(params["technology"])
+    spec = TechniqueSpec(
+        encoder=params["encoder"],
+        cost=params["cost"],
+        num_cosets=params["num_cosets"],
+        label=params["label"],
+    )
+    trace = cached_trace(
+        benchmark,
+        num_writebacks=params["writebacks"],
+        memory_lines=params["rows"],
+        line_bits=params["line_bits"],
+        word_bits=params["word_bits"],
+        seed=derive_seed(seed, f"fig9-trace-{benchmark}"),
+    )
+    fault_map = cached_fault_map(
+        rows=params["rows"],
+        cells_per_row=params["line_bits"] // technology.bits_per_cell,
+        technology=technology,
+        fault_rate=params["fault_rate"],
+        seed=derive_seed(seed, f"fig9-faults-{benchmark}"),
+    )
+    controller = build_controller(
+        spec,
+        rows=params["rows"],
+        technology=technology,
+        word_bits=params["word_bits"],
+        line_bits=params["line_bits"],
+        fault_map=fault_map,
+        seed=derive_seed(seed, f"fig9-{benchmark}-{spec.label}"),
+        encrypt=True,
+    )
+    line_results = drive_trace(controller, trace)
+    energy = sum(result.total_energy_pj for result in line_results)
+    return [
+        {
+            "benchmark": benchmark,
+            "technique": spec.label,
+            "encoder": spec.encoder,
+            "total_energy_pj": energy,
+        }
+    ]
+
+
+def benchmark_energy_tasks(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    num_cosets: int = 256,
+    writebacks_per_benchmark: int = 300,
+    config: EnergyStudyConfig = EnergyStudyConfig(),
+) -> List[Task]:
+    """The Fig. 9 sweep as campaign tasks, one per benchmark × technique."""
+    base = {
+        "writebacks": writebacks_per_benchmark,
+        "rows": config.rows,
+        "word_bits": config.word_bits,
+        "line_bits": config.line_bits,
+        "technology": config.technology.value,
+        "fault_rate": config.fault_rate,
+        "seed": config.seed,
+    }
+    tasks: List[Task] = []
     for benchmark in benchmarks:
-        trace = generate_trace(
-            benchmark,
-            num_writebacks=writebacks_per_benchmark,
-            memory_lines=config.rows,
-            line_bits=config.line_bits,
-            word_bits=config.word_bits,
-            seed=derive_seed(config.seed, f"fig9-trace-{benchmark}"),
-        )
-        fault_map = FaultMap(
-            rows=config.rows,
-            cells_per_row=cells_per_row,
-            technology=config.technology,
-            fault_rate=config.fault_rate,
-            seed=derive_seed(config.seed, f"fig9-faults-{benchmark}"),
-        )
-        baseline_energy: Optional[float] = None
-        for spec in techniques:
-            controller = build_controller(
-                spec,
-                rows=config.rows,
-                technology=config.technology,
-                word_bits=config.word_bits,
-                line_bits=config.line_bits,
-                fault_map=fault_map,
-                seed=derive_seed(config.seed, f"fig9-{benchmark}-{spec.label}"),
-                encrypt=True,
-            )
-            line_results = drive_trace(controller, trace)
-            energy = sum(result.total_energy_pj for result in line_results)
-            if spec.encoder == "unencoded":
-                baseline_energy = energy
-            saving = (
-                0.0
-                if baseline_energy in (None, 0.0)
-                else 100.0 * (baseline_energy - energy) / baseline_energy
-            )
-            table.append(
+        for spec in _fig9_techniques(num_cosets):
+            params = dict(base)
+            params.update(
                 benchmark=benchmark,
-                technique=spec.label,
-                total_energy_pj=energy,
-                saving_percent=saving,
+                encoder=spec.encoder,
+                cost=spec.cost,
+                num_cosets=spec.num_cosets,
+                label=spec.label,
             )
+            tasks.append(Task(kind="fig9-energy-cell", params=params))
+    return tasks
+
+
+def benchmark_energy_study(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    num_cosets: int = 256,
+    writebacks_per_benchmark: int = 300,
+    config: EnergyStudyConfig = EnergyStudyConfig(),
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ResultTable:
+    """Fig. 9: per-benchmark write energy for both cost-function orderings.
+
+    For each benchmark the table holds the unencoded baseline, VCC and RCC
+    optimising energy first ("Opt. Energy") and SAW first ("Opt. SAW"),
+    against a memory snapshot with a fixed stuck-at fault rate.
+
+    The sweep runs through the campaign engine: ``jobs`` worker processes
+    (bit-identical rows for any count) with optional result caching and
+    resume via ``store``.
+    """
+    tasks = benchmark_energy_tasks(benchmarks, num_cosets, writebacks_per_benchmark, config)
+    result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
+    table = ResultTable(
+        title="Fig. 9 — per-benchmark write energy (fixed 1e-2 fault snapshot, MLC PCM)",
+        columns=["benchmark", "technique", "total_energy_pj", "saving_percent"],
+        notes="VCC/RCC use {} cosets; energy includes auxiliary bits".format(num_cosets),
+    )
+    baseline_energy: Optional[float] = None
+    current_benchmark: Optional[str] = None
+    for row in result.rows():
+        if row["benchmark"] != current_benchmark:
+            current_benchmark = row["benchmark"]
+            baseline_energy = None
+        energy = row["total_energy_pj"]
+        if row["encoder"] == "unencoded":
+            baseline_energy = energy
+        saving = (
+            0.0
+            if baseline_energy in (None, 0.0)
+            else 100.0 * (baseline_energy - energy) / baseline_energy
+        )
+        table.append(
+            benchmark=row["benchmark"],
+            technique=row["technique"],
+            total_energy_pj=energy,
+            saving_percent=saving,
+        )
     return table

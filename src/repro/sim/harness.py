@@ -10,6 +10,7 @@ per-figure simulators stay small and uniform.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -34,11 +35,20 @@ from repro.pcm.endurance import EnduranceModel
 from repro.pcm.energy import DEFAULT_MLC_ENERGY, MLCEnergyModel
 from repro.pcm.faultmap import FaultMap
 from repro.pcm.stats import WriteStats
+from repro.traces.synthetic import generate_trace
 from repro.traces.trace import Trace
 from repro.utils.bitops import random_word
 from repro.utils.rng import make_rng
 
-__all__ = ["TechniqueSpec", "build_controller", "drive_random_lines", "drive_trace", "make_cost"]
+__all__ = [
+    "TechniqueSpec",
+    "build_controller",
+    "cached_fault_map",
+    "cached_trace",
+    "drive_random_lines",
+    "drive_trace",
+    "make_cost",
+]
 
 #: Cost-function spellings accepted by :class:`TechniqueSpec.cost`.
 _COST_NAMES = (
@@ -145,6 +155,56 @@ def build_controller(
         config=ControllerConfig(line_bits=line_bits, word_bits=word_bits, encrypt=encrypt),
         mlc_energy=mlc_energy,
         use_fault_context=use_fault_context,
+    )
+
+
+@lru_cache(maxsize=16)
+def cached_trace(
+    benchmark: str,
+    num_writebacks: int,
+    memory_lines: int,
+    line_bits: int,
+    word_bits: int,
+    seed: int,
+) -> Trace:
+    """Per-process memo around :func:`generate_trace`.
+
+    Campaign sweep cells are independent tasks, so every cell of one
+    benchmark would otherwise regenerate the identical trace (the serial
+    studies used to build it once per benchmark).  Construction is a
+    pure function of the arguments and callers only read the trace, so
+    sharing one instance per process changes nothing observable.
+    """
+    return generate_trace(
+        benchmark,
+        num_writebacks=num_writebacks,
+        memory_lines=memory_lines,
+        line_bits=line_bits,
+        word_bits=word_bits,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=16)
+def cached_fault_map(
+    rows: int,
+    cells_per_row: int,
+    technology: CellTechnology,
+    fault_rate: float,
+    seed: int,
+) -> FaultMap:
+    """Per-process memo around :class:`FaultMap` (see :func:`cached_trace`).
+
+    Safe to share: :class:`~repro.pcm.array.PCMArray` copies the stuck
+    positions/values into its own arrays at construction and never
+    writes back into the map.
+    """
+    return FaultMap(
+        rows=rows,
+        cells_per_row=cells_per_row,
+        technology=technology,
+        fault_rate=fault_rate,
+        seed=seed,
     )
 
 

@@ -25,10 +25,15 @@ preserves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.campaign.engine import ProgressCallback, run_campaign
+from repro.campaign.spec import Task
+from repro.campaign.store import ResultStore
+from repro.campaign.tasks import register_task
 from repro.ecc.ecp import ECP
 from repro.ecc.hamming import HammingSecded
 from repro.errors import SimulationError
@@ -43,6 +48,7 @@ __all__ = [
     "LifetimeStudyConfig",
     "DEFAULT_LIFETIME_TECHNIQUES",
     "lifetime_study",
+    "lifetime_study_tasks",
     "mean_lifetime_by_coset_count",
     "simulate_lifetime",
 ]
@@ -153,14 +159,103 @@ def simulate_lifetime(
     return writes
 
 
+@register_task(
+    "fig11-lifetime-cell",
+    description="writes-to-failure of one technique × benchmark × repetition (Fig. 11 cell)",
+)
+def _fig11_lifetime_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One (benchmark × technique × repetition) cell of the Fig. 11 sweep."""
+    spec = TechniqueSpec(
+        encoder=params["encoder"],
+        cost=params["cost"],
+        num_cosets=params["num_cosets"],
+        label=params["label"],
+        corrector=params["corrector"],
+    )
+    config = LifetimeStudyConfig(
+        rows=params["rows"],
+        word_bits=params["word_bits"],
+        line_bits=params["line_bits"],
+        technology=CellTechnology(params["technology"]),
+        mean_endurance_writes=params["mean_endurance_writes"],
+        endurance_cov=params["endurance_cov"],
+        failed_rows_limit=params["failed_rows_limit"],
+        max_line_writes=params["max_line_writes"],
+        trace_writebacks=params["trace_writebacks"],
+        seed=params["seed"],
+    )
+    writes = simulate_lifetime(spec, params["benchmark"], config, seed_offset=params["rep"])
+    return [
+        {
+            "benchmark": params["benchmark"],
+            "technique": spec.display_name(),
+            "rep": params["rep"],
+            "writes_to_failure": int(writes),
+        }
+    ]
+
+
+def lifetime_study_tasks(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    techniques: Sequence[TechniqueSpec] = DEFAULT_LIFETIME_TECHNIQUES,
+    num_cosets: int = 256,
+    config: LifetimeStudyConfig = LifetimeStudyConfig(),
+    repetitions: int = 1,
+) -> List[Task]:
+    """The Fig. 11 sweep as campaign tasks (benchmark × technique × rep)."""
+    base = {
+        "num_cosets": num_cosets,
+        "rows": config.rows,
+        "word_bits": config.word_bits,
+        "line_bits": config.line_bits,
+        "technology": config.technology.value,
+        "mean_endurance_writes": config.mean_endurance_writes,
+        "endurance_cov": config.endurance_cov,
+        "failed_rows_limit": config.failed_rows_limit,
+        "max_line_writes": config.max_line_writes,
+        "trace_writebacks": config.trace_writebacks,
+        "seed": config.seed,
+    }
+    tasks: List[Task] = []
+    for benchmark in benchmarks:
+        for spec in techniques:
+            for rep in range(repetitions):
+                params = dict(base)
+                params.update(
+                    benchmark=benchmark,
+                    encoder=spec.encoder,
+                    cost=spec.cost,
+                    label=spec.label,
+                    corrector=spec.corrector,
+                    rep=rep,
+                )
+                tasks.append(Task(kind="fig11-lifetime-cell", params=params))
+    return tasks
+
+
 def lifetime_study(
     benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
     techniques: Sequence[TechniqueSpec] = DEFAULT_LIFETIME_TECHNIQUES,
     num_cosets: int = 256,
     config: LifetimeStudyConfig = LifetimeStudyConfig(),
     repetitions: int = 1,
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
-    """Fig. 11: per-benchmark writes-to-failure for every technique."""
+    """Fig. 11: per-benchmark writes-to-failure for every technique.
+
+    The (benchmark × technique × repetition) cross-product runs through
+    the campaign engine: ``jobs`` worker processes (bit-identical rows for
+    any count) with optional result caching and resume via ``store``.
+    """
+    tasks = lifetime_study_tasks(benchmarks, techniques, num_cosets, config, repetitions)
+    result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
+    values_by_cell: Dict[Tuple[str, str], List[int]] = {}
+    for row in result.rows():
+        values_by_cell.setdefault((row["benchmark"], row["technique"]), []).append(
+            row["writes_to_failure"]
+        )
     table = ResultTable(
         title="Fig. 11 — writes to failure per benchmark (scaled memory)",
         columns=["benchmark", "technique", "writes_to_failure", "improvement_vs_unencoded"],
@@ -170,20 +265,10 @@ def lifetime_study(
         ),
     )
     for benchmark in benchmarks:
-        lifetimes: Dict[str, float] = {}
-        for spec in techniques:
-            sized = TechniqueSpec(
-                encoder=spec.encoder,
-                cost=spec.cost,
-                num_cosets=num_cosets,
-                label=spec.label,
-                corrector=spec.corrector,
-            )
-            values = [
-                simulate_lifetime(sized, benchmark, config, seed_offset=rep)
-                for rep in range(repetitions)
-            ]
-            lifetimes[spec.display_name()] = float(np.mean(values))
+        lifetimes: Dict[str, float] = {
+            spec.display_name(): float(np.mean(values_by_cell[(benchmark, spec.display_name())]))
+            for spec in techniques
+        }
         baseline = lifetimes.get("Unencoded", 0.0)
         for spec in techniques:
             lifetime = lifetimes[spec.display_name()]

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.errors import SimulationError
+from repro.utils.validation import json_payload
 
 __all__ = ["ResultTable"]
 
@@ -33,6 +34,39 @@ class ResultTable:
         if missing:
             raise SimulationError(f"row is missing columns: {missing}")
         self.rows.append({column: values[column] for column in self.columns})
+
+    def extend(self, rows: Iterable[Dict[str, Any]]) -> "ResultTable":
+        """Append many rows, validating each against the configured columns.
+
+        Extra keys beyond the configured columns are dropped (matching
+        :meth:`append`); a row missing a column raises without mutating
+        the table.  Returns ``self`` so aggregation code can chain.
+        """
+        staged = []
+        for row in rows:
+            missing = [column for column in self.columns if column not in row]
+            if missing:
+                raise SimulationError(f"row is missing columns: {missing}")
+            staged.append({column: row[column] for column in self.columns})
+        self.rows.extend(staged)
+        return self
+
+    def merge(self, other: "ResultTable") -> "ResultTable":
+        """A new table holding this table's rows followed by ``other``'s.
+
+        Both tables must agree on their column sequence; title and notes
+        are taken from ``self``.  Campaign aggregation uses this to fold
+        per-shard tables back into one figure table.
+        """
+        if list(other.columns) != list(self.columns):
+            raise SimulationError(
+                f"cannot merge tables with different columns: "
+                f"{list(self.columns)} vs {list(other.columns)}"
+            )
+        merged = ResultTable(title=self.title, columns=list(self.columns), notes=self.notes)
+        merged.extend(self.rows)
+        merged.extend(other.rows)
+        return merged
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -64,6 +98,25 @@ class ResultTable:
         if path is not None:
             Path(path).write_text(payload, encoding="utf-8")
         return payload
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ResultTable":
+        """Rebuild a table from :meth:`to_json` output (payload or path).
+
+        ``source`` may be the JSON payload itself or a path to a file
+        holding it; strings starting with ``{`` are treated as payloads.
+        Rows are validated against the recorded columns on the way in.
+        """
+        payload = json_payload(source, SimulationError, "result table")
+        if not isinstance(payload, dict) or "columns" not in payload:
+            raise SimulationError("result table payload must be an object with 'columns'")
+        table = cls(
+            title=payload.get("title", ""),
+            columns=list(payload["columns"]),
+            notes=payload.get("notes", ""),
+        )
+        table.extend(payload.get("rows", []))
+        return table
 
     def format(self, float_digits: int = 4) -> str:
         """Render a fixed-width text table (what the benches print)."""

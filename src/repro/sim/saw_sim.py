@@ -17,19 +17,31 @@ All three use a pre-generated stuck-at fault map at the paper's extreme
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback, run_campaign
+from repro.campaign.spec import Task
+from repro.campaign.store import ResultStore
+from repro.campaign.tasks import register_task
 from repro.pcm.cell import CellTechnology
 from repro.pcm.faultmap import FaultMap
 from repro.pcm.stats import WriteStats
-from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines, drive_trace
+from repro.sim.harness import (
+    TechniqueSpec,
+    build_controller,
+    cached_fault_map,
+    cached_trace,
+    drive_random_lines,
+    drive_trace,
+)
 from repro.sim.results import ResultTable
-from repro.traces.synthetic import generate_trace
 from repro.utils.rng import derive_seed
 
 __all__ = [
     "SawStudyConfig",
     "benchmark_saw_study",
+    "benchmark_saw_tasks",
     "fault_masking_study",
     "saw_vs_coset_count_study",
 ]
@@ -173,67 +185,122 @@ def saw_vs_coset_count_study(
     return table
 
 
+@register_task(
+    "fig10-saw-cell",
+    description="SAW cell count of one series on one benchmark trace (Fig. 10 cell)",
+)
+def _fig10_saw_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One (benchmark × series) cell of the Fig. 10 sweep.
+
+    ``series`` is ``"unencoded"`` or ``"vcc"``; seed derivation labels
+    match the serial study exactly, so campaign rows are bit-identical
+    to the in-process path.
+    """
+    benchmark = params["benchmark"]
+    series = params["series"]
+    config = SawStudyConfig(
+        rows=params["rows"],
+        word_bits=params["word_bits"],
+        line_bits=params["line_bits"],
+        technology=CellTechnology(params["technology"]),
+        fault_rate=params["fault_rate"],
+        seed=params["seed"],
+    )
+    trace = cached_trace(
+        benchmark,
+        num_writebacks=params["writebacks"],
+        memory_lines=config.rows,
+        line_bits=config.line_bits,
+        word_bits=config.word_bits,
+        seed=derive_seed(config.seed, f"fig10-trace-{benchmark}"),
+    )
+    fault_map = cached_fault_map(
+        rows=config.rows,
+        cells_per_row=config.cells_per_row,
+        technology=config.technology,
+        fault_rate=config.fault_rate,
+        seed=derive_seed(config.seed, f"fig10-faults-{benchmark}"),
+    )
+    if series == "unencoded":
+        spec = TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded")
+    else:
+        # Stored kernels / full-word encoding for the same reason as in
+        # :func:`saw_vs_coset_count_study`.
+        spec = TechniqueSpec(
+            encoder="vcc-stored",
+            cost="saw-then-energy",
+            num_cosets=params["num_cosets"],
+            label="VCC",
+        )
+    stats = _run_spec(spec, config, fault_map, f"fig10-{series}-{benchmark}", trace=trace)
+    return [{"benchmark": benchmark, "series": series, "saw_cells": int(stats.saw_cells)}]
+
+
+def benchmark_saw_tasks(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    num_cosets: int = 256,
+    writebacks_per_benchmark: int = 250,
+    config: SawStudyConfig = SawStudyConfig(),
+) -> List[Task]:
+    """The Fig. 10 sweep as campaign tasks, one per benchmark × series."""
+    base = {
+        "num_cosets": num_cosets,
+        "writebacks": writebacks_per_benchmark,
+        "rows": config.rows,
+        "word_bits": config.word_bits,
+        "line_bits": config.line_bits,
+        "technology": config.technology.value,
+        "fault_rate": config.fault_rate,
+        "seed": config.seed,
+    }
+    tasks: List[Task] = []
+    for benchmark in benchmarks:
+        for series in ("unencoded", "vcc"):
+            params = dict(base)
+            params.update(benchmark=benchmark, series=series)
+            tasks.append(Task(kind="fig10-saw-cell", params=params))
+    return tasks
+
+
 def benchmark_saw_study(
     benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
     num_cosets: int = 256,
     writebacks_per_benchmark: int = 250,
     config: SawStudyConfig = SawStudyConfig(),
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
-    """Fig. 10: per-benchmark SAW cells, unencoded vs. VCC(64, N, N/16)."""
+    """Fig. 10: per-benchmark SAW cells, unencoded vs. VCC(64, N, N/16).
+
+    The sweep runs through the campaign engine: ``jobs`` worker processes
+    (bit-identical rows for any count) with optional result caching and
+    resume via ``store``.
+    """
+    tasks = benchmark_saw_tasks(benchmarks, num_cosets, writebacks_per_benchmark, config)
+    result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
+    saw_cells: Dict[Any, int] = {
+        (row["benchmark"], row["series"]): row["saw_cells"] for row in result.rows()
+    }
     table = ResultTable(
         title="Fig. 10 — per-benchmark SAW cells (fixed 1e-2 fault snapshot)",
         columns=["benchmark", "technique", "saw_cells", "reduction_percent"],
         notes=f"VCC uses {num_cosets} virtual cosets",
     )
     for benchmark in benchmarks:
-        trace = generate_trace(
-            benchmark,
-            num_writebacks=writebacks_per_benchmark,
-            memory_lines=config.rows,
-            line_bits=config.line_bits,
-            word_bits=config.word_bits,
-            seed=derive_seed(config.seed, f"fig10-trace-{benchmark}"),
-        )
-        fault_map = FaultMap(
-            rows=config.rows,
-            cells_per_row=config.cells_per_row,
-            technology=config.technology,
-            fault_rate=config.fault_rate,
-            seed=derive_seed(config.seed, f"fig10-faults-{benchmark}"),
-        )
-        unencoded = _run_spec(
-            TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded"),
-            config,
-            fault_map,
-            f"fig10-unencoded-{benchmark}",
-            trace=trace,
-        )
-        # Stored kernels / full-word encoding for the same reason as in
-        # :func:`saw_vs_coset_count_study`.
-        vcc = _run_spec(
-            TechniqueSpec(
-                encoder="vcc-stored", cost="saw-then-energy", num_cosets=num_cosets, label="VCC"
-            ),
-            config,
-            fault_map,
-            f"fig10-vcc-{benchmark}",
-            trace=trace,
-        )
-        reduction = (
-            100.0 * (unencoded.saw_cells - vcc.saw_cells) / unencoded.saw_cells
-            if unencoded.saw_cells
-            else 0.0
-        )
+        unencoded = saw_cells[(benchmark, "unencoded")]
+        vcc = saw_cells[(benchmark, "vcc")]
+        reduction = 100.0 * (unencoded - vcc) / unencoded if unencoded else 0.0
         table.append(
             benchmark=benchmark,
             technique="Unencoded",
-            saw_cells=unencoded.saw_cells,
+            saw_cells=unencoded,
             reduction_percent=0.0,
         )
         table.append(
             benchmark=benchmark,
             technique=f"VCC({config.word_bits},{num_cosets},{max(1, num_cosets // 16)})",
-            saw_cells=vcc.saw_cells,
+            saw_cells=vcc,
             reduction_percent=reduction,
         )
     return table

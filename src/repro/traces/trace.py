@@ -9,6 +9,7 @@ be re-run on identical inputs.
 
 from __future__ import annotations
 
+import gzip
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -100,9 +101,19 @@ class Trace:
 
     # ----------------------------------------------------------------- I/O
     def save(self, path: Union[str, Path]) -> None:
-        """Write the trace to ``path`` in JSON-lines format."""
+        """Write the trace to ``path`` in JSON-lines format.
+
+        A ``.gz`` suffix writes the same format gzip-compressed, so
+        large benchmark traces can ship compressed; :meth:`load` reads
+        either form transparently.
+        """
         path = Path(path)
-        with path.open("w", encoding="utf-8") as handle:
+        opener = (
+            (lambda: gzip.open(path, "wt", encoding="utf-8"))
+            if path.suffix == ".gz"
+            else (lambda: path.open("w", encoding="utf-8"))
+        )
+        with opener() as handle:
             header = {
                 "name": self.name,
                 "line_bits": self.line_bits,
@@ -120,9 +131,22 @@ class Trace:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
-        """Load a trace previously written by :meth:`save`."""
+        """Load a trace previously written by :meth:`save`.
+
+        Gzip-compressed trace files are detected by their magic bytes
+        (not the file name), so both ``trace.jsonl`` and
+        ``trace.jsonl.gz`` — however they were named — load
+        transparently.
+        """
         path = Path(path)
-        with path.open("r", encoding="utf-8") as handle:
+        with path.open("rb") as probe:
+            compressed = probe.read(2) == b"\x1f\x8b"
+        opener = (
+            (lambda: gzip.open(path, "rt", encoding="utf-8"))
+            if compressed
+            else (lambda: path.open("r", encoding="utf-8"))
+        )
+        with opener() as handle:
             lines = [line for line in handle if line.strip()]
         if not lines:
             raise TraceError(f"trace file {path} is empty")

@@ -6,16 +6,42 @@ descriptive message so misconfigured experiments fail loudly and early.
 
 from __future__ import annotations
 
-from typing import Any
+import json
+from pathlib import Path
+from typing import Any, Type, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError
 
 __all__ = [
+    "json_payload",
     "require",
     "require_divisible",
     "require_in_range",
     "require_power_of_two",
 ]
+
+
+def json_payload(
+    source: Union[str, Path],
+    error_cls: Type[ReproError] = ConfigurationError,
+    what: str = "payload",
+) -> Any:
+    """Load JSON from a payload string or a path to a JSON file.
+
+    ``source`` strings starting with ``{`` are treated as the payload
+    itself; anything else is read as a file path.  Invalid JSON raises
+    ``error_cls`` (a :class:`ReproError` subclass) naming ``what``.
+    Shared by the serialisable containers (`SweepSpec.from_json`,
+    `ResultTable.from_json`) so the sniffing rules cannot diverge.
+    """
+    if isinstance(source, Path) or not str(source).lstrip().startswith("{"):
+        text = Path(source).read_text(encoding="utf-8")
+    else:
+        text = str(source)
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise error_cls(f"{what} is not valid JSON: {exc}") from exc
 
 
 def require(condition: bool, message: str) -> None:

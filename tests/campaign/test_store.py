@@ -1,0 +1,72 @@
+"""Tests for the content-addressed result store."""
+
+from repro.campaign.spec import Task
+from repro.campaign.store import ResultStore
+
+
+def _task(x=1):
+    return Task(kind="demo", params={"x": x})
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        task = _task()
+        rows = [{"metric": 1.5, "name": "a"}]
+        store.put(task, rows)
+        assert store.get(task) == rows
+        assert task in store
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get(_task()) is None
+        assert _task() not in store
+
+    def test_len_and_iter_hashes(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        tasks = [_task(1), _task(2), _task(3)]
+        for task in tasks:
+            store.put(task, [])
+        assert len(store) == 3
+        assert set(store.iter_hashes()) == {t.task_hash for t in tasks}
+
+    def test_object_path_is_content_addressed(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        task = _task()
+        path = store.put(task, [{"a": 1}])
+        assert path.stem == task.task_hash
+        assert path.parent.name == task.task_hash[:2]
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        task = _task()
+        path = store.put(task, [{"a": 1}])
+        path.write_text("{truncated", encoding="utf-8")
+        assert store.get(task) is None
+
+    def test_hash_mismatch_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        first, second = _task(1), _task(2)
+        source = store.put(first, [{"a": 1}])
+        target = store._path(second.task_hash)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source.read_text(encoding="utf-8"), encoding="utf-8")
+        assert store.get(second) is None
+
+    def test_discard(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        task = _task()
+        store.put(task, [])
+        assert store.discard(task) is True
+        assert store.get(task) is None
+        assert store.discard(task) is False
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        task = _task()
+        store.put(task, [{"v": 1}])
+        store.put(task, [{"v": 2}])
+        assert store.get(task) == [{"v": 2}]
+        # No temp files left behind.
+        leftovers = [p for p in (tmp_path / "store").rglob("*.tmp")]
+        assert leftovers == []

@@ -95,3 +95,31 @@ class TestRunnerCli:
 
         assert main(["table1", "--json-dir", str(tmp_path)]) == 0
         assert (tmp_path / "table1.json").exists()
+
+    def test_unknown_experiment_exits_2_with_available_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment" in captured.err
+        assert "fig1" in captured.err  # the available-experiments list
+
+    def test_jobs_flag_runs_sweeps_through_campaign(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig13", "--jobs", "2"]) == 0
+        assert "Fig. 13" in capsys.readouterr().out
+
+    def test_jobs_flag_rejected_below_one(self, capsys):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["fig13", "--jobs", "0"])
+
+    def test_store_dir_caches_sweep_cells(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        store = tmp_path / "store"
+        assert main(["fig13", "--store-dir", str(store)]) == 0
+        capsys.readouterr()
+        assert any(store.rglob("*.json"))

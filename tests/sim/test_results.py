@@ -55,3 +55,47 @@ class TestResultTable:
         parsed = json.loads(payload)
         assert parsed["title"] == "demo"
         assert json.loads(path.read_text())["rows"][1]["name"] == "b"
+
+    def test_from_json_payload_roundtrip(self):
+        table = _table()
+        rebuilt = ResultTable.from_json(table.to_json())
+        assert rebuilt.title == table.title
+        assert list(rebuilt.columns) == list(table.columns)
+        assert rebuilt.rows == table.rows
+        assert rebuilt.notes == table.notes
+
+    def test_from_json_path_roundtrip(self, tmp_path):
+        path = tmp_path / "table.json"
+        table = _table()
+        table.to_json(path)
+        rebuilt = ResultTable.from_json(path)
+        assert rebuilt.rows == table.rows
+
+    def test_from_json_rejects_garbage(self, tmp_path):
+        with pytest.raises(SimulationError):
+            ResultTable.from_json("{not json")
+        with pytest.raises(SimulationError):
+            ResultTable.from_json('{"title": "no columns"}')
+
+    def test_extend_appends_validated_rows(self):
+        table = _table()
+        table.extend([{"name": "c", "value": 3.0, "extra": "dropped"}])
+        assert len(table) == 3
+        assert table.rows[-1] == {"name": "c", "value": 3.0}
+
+    def test_extend_missing_column_rejected_without_mutation(self):
+        table = _table()
+        with pytest.raises(SimulationError):
+            table.extend([{"name": "c", "value": 3.0}, {"name": "d"}])
+        assert len(table) == 2
+
+    def test_merge_concatenates_rows(self):
+        merged = _table().merge(_table())
+        assert len(merged) == 4
+        assert merged.title == "demo"
+        assert [row["name"] for row in merged] == ["a", "b", "a", "b"]
+
+    def test_merge_column_mismatch_rejected(self):
+        other = ResultTable(title="other", columns=["name", "score"])
+        with pytest.raises(SimulationError):
+            _table().merge(other)

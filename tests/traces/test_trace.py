@@ -75,3 +75,36 @@ class TestTrace:
         path.write_text("")
         with pytest.raises(TraceError):
             Trace.load(path)
+
+    def test_gzip_roundtrip(self, tmp_path):
+        trace = self._trace()
+        path = tmp_path / "trace.jsonl.gz"
+        trace.save(path)
+        # Really compressed on disk (gzip magic bytes).
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert [record.words for record in loaded] == [record.words for record in trace]
+
+    def test_gzip_detected_by_magic_not_name(self, tmp_path):
+        """A gzip payload loads even when the file name hides it."""
+        import gzip
+
+        trace = self._trace()
+        gz_path = tmp_path / "trace.jsonl.gz"
+        trace.save(gz_path)
+        disguised = tmp_path / "trace.jsonl"
+        disguised.write_bytes(gz_path.read_bytes())
+        loaded = Trace.load(disguised)
+        assert len(loaded) == len(trace)
+
+    def test_plain_and_gzip_hold_same_payload(self, tmp_path):
+        import gzip
+
+        trace = self._trace()
+        plain, compressed = tmp_path / "t.jsonl", tmp_path / "t.jsonl.gz"
+        trace.save(plain)
+        trace.save(compressed)
+        assert plain.read_text(encoding="utf-8") == gzip.decompress(
+            compressed.read_bytes()
+        ).decode("utf-8")
