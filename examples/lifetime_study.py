@@ -36,14 +36,15 @@ def main(benchmark: str = "mcf") -> None:
     baseline = None
     for spec in techniques:
         start = time.time()
-        lifetime = simulate_lifetime(spec, benchmark, config)
+        outcome = simulate_lifetime(spec, benchmark, config)
         if baseline is None:
-            baseline = lifetime
-        improvement = 100.0 * (lifetime / baseline - 1.0)
+            baseline = outcome.writes
+        improvement = 100.0 * (outcome.writes / baseline - 1.0)
+        censored = "  (censored at cap)" if outcome.censored else ""
         print(
-            f"{spec.label:10s}  writes to failure {lifetime:7d}"
+            f"{spec.label:10s}  writes to failure {outcome.writes:7d}"
             f"  vs unencoded {improvement:+6.1f} %"
-            f"  ({time.time() - start:4.1f}s)"
+            f"  ({time.time() - start:4.1f}s){censored}"
         )
 
 

@@ -3,8 +3,8 @@
 Two ways to name the work:
 
 * a **named sweep** — one of the benchmark-sweep figures (``fig9``,
-  ``fig10``, ``fig11``, ``fig13``), expanded exactly as the experiment
-  registry expands it, printed as the figure's result table::
+  ``fig10``, ``fig11``, ``fig12``, ``fig13``), expanded exactly as the
+  experiment registry expands it, printed as the figure's result table::
 
       python -m repro.campaign fig9 --jobs 4 --store .campaign-store
       python -m repro.campaign fig10 --benchmarks lbm mcf --writebacks 60
@@ -40,7 +40,7 @@ from repro.sim.results import ResultTable
 __all__ = ["main"]
 
 #: Named sweeps the CLI exposes — the campaign-backed figure experiments.
-NAMED_SWEEPS = ("fig9", "fig10", "fig11", "fig13")
+NAMED_SWEEPS = ("fig9", "fig10", "fig11", "fig12", "fig13")
 
 
 def _progress_printer(quiet: bool):

@@ -32,8 +32,10 @@ __all__ = ["Task", "SweepSpec", "canonical_json"]
 
 #: Bumped whenever the meaning of task parameters changes incompatibly,
 #: so stale result stores invalidate themselves instead of serving rows
-#: computed under the old semantics.
-TASK_SCHEMA_VERSION = 1
+#: computed under the old semantics.  Version 2: lifetime-cell rows carry
+#: a ``censored`` flag (hitting ``max_line_writes`` is no longer silently
+#: reported as a failure time).
+TASK_SCHEMA_VERSION = 2
 
 
 def _canonical_value(value: Any, path: str) -> Any:

@@ -500,6 +500,12 @@ class Encoder(abc.ABC):
     #: Human-readable technique name (overridden by subclasses).
     name: str = "encoder"
 
+    #: True when the encoder always stores the data word unchanged with no
+    #: auxiliary bits, regardless of context (the unencoded baseline).
+    #: Batch drivers use this to skip the per-write encode call entirely —
+    #: the stored values and every accounting number are unaffected.
+    is_identity: bool = False
+
     def __init__(self, word_bits: int, technology: CellTechnology, cost_function) -> None:
         if word_bits <= 0:
             raise ConfigurationError("word_bits must be positive")

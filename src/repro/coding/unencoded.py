@@ -35,6 +35,7 @@ class UnencodedEncoder(Encoder):
     """
 
     name = "unencoded"
+    is_identity = True
 
     def __init__(
         self,

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.crypto.aes import AES128
 from repro.errors import ConfigurationError
@@ -98,6 +100,25 @@ class CounterModeEngine:
         """Return the current write counter for ``address`` (0 if never written)."""
         return self._counters.get(address, 0)
 
+    def rollback_counters(self, addresses: Sequence[int]) -> None:
+        """Un-bump the counters of lines that were encrypted but not stored.
+
+        The batched replay engine encrypts a chunk of writes ahead of
+        performing them; when an early-stop predicate ends the replay
+        mid-chunk, the tail of the chunk was never written and its counter
+        bumps must be undone so subsequent reads and writes see exactly
+        the state a scalar :meth:`encrypt_line` sequence would have left.
+        """
+        counters = self._counters
+        for address in addresses:
+            address = int(address)
+            current = counters.get(address, 0)
+            if current <= 0:
+                raise ConfigurationError(
+                    f"cannot roll back counter of address {address}: never encrypted"
+                )
+            counters[address] = current - 1
+
     def reset_counters(self) -> None:
         """Forget all per-line counters (used between experiment repetitions)."""
         self._counters.clear()
@@ -158,6 +179,46 @@ class CounterModeEngine:
         pad = self.pad_words(address, counter)
         cipher = tuple((int(w) ^ p) & word_mask for w, p in zip(plaintext_words, pad))
         return EncryptedLine(address=address, counter=counter, words=cipher)
+
+    def encrypt_lines(
+        self, addresses: Sequence[int], plaintext_words: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Encrypt many cache lines at once, bumping each per-line counter.
+
+        Bit-identical to calling :meth:`encrypt_line` once per row of
+        ``plaintext_words`` (a ``(lines, words_per_line)`` unsigned-integer
+        matrix) in order: counters advance per occurrence of an address and
+        the pads are the same keyed-PRF/AES streams.  Only the word packing
+        and the XOR are vectorised — which is exactly the part that
+        dominates the scalar path once the caller replays a long trace.
+
+        Returns the ciphertext as a ``(lines, words_per_line)`` ``uint64``
+        matrix, or ``None`` when ``word_bits`` has no fixed-width byte
+        layout (not one of 8/16/32/64) — callers then fall back to the
+        scalar :meth:`encrypt_line`.
+        """
+        if self.word_bits not in (8, 16, 32, 64):
+            return None
+        matrix = np.ascontiguousarray(plaintext_words, dtype=np.uint64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.words_per_line:
+            raise ConfigurationError(
+                f"expected a (lines, {self.words_per_line}) word matrix, "
+                f"got shape {matrix.shape}"
+            )
+        if len(addresses) != matrix.shape[0]:
+            raise ConfigurationError("one address per plaintext line is required")
+        pad_dtype = np.dtype(f">u{self.word_bits // 8}")
+        pads = np.empty((matrix.shape[0], self.words_per_line), dtype=np.uint64)
+        counters = self._counters
+        for index, address in enumerate(addresses):
+            address = int(address)
+            counter = counters.get(address, 0) + 1
+            counters[address] = counter
+            pads[index] = np.frombuffer(self._pad_bytes(address, counter), dtype=pad_dtype)
+        cipher = matrix ^ pads
+        if self.word_bits < 64:
+            cipher &= np.uint64((1 << self.word_bits) - 1)
+        return cipher
 
     def decrypt_line(self, line: EncryptedLine) -> List[int]:
         """Decrypt an :class:`EncryptedLine` back to plaintext words."""

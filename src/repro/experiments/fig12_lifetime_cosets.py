@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback
+from repro.campaign.store import ResultStore
 from repro.sim.lifetime_sim import (
     DEFAULT_LIFETIME_TECHNIQUES,
     LifetimeStudyConfig,
@@ -18,11 +21,25 @@ def run(
     coset_counts: Sequence[int] = (32, 64, 128, 256),
     benchmarks: Sequence[str] = ("lbm", "mcf"),
     config: Optional[LifetimeStudyConfig] = None,
+    repetitions: int = 1,
+    jobs: int = 1,
+    store_dir: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
-    """Regenerate Fig. 12 on the scaled-down memory/endurance configuration."""
+    """Regenerate Fig. 12 on the scaled-down memory/endurance configuration.
+
+    ``jobs`` fans the coset × technique × benchmark × repetition cells out
+    over worker processes through the campaign engine (rows are
+    bit-identical for any count); ``store_dir`` enables cached resume;
+    ``repetitions`` adds paired seeds exactly like the Fig. 11 sweep.
+    """
     return mean_lifetime_by_coset_count(
         coset_counts=coset_counts,
         benchmarks=benchmarks,
         techniques=DEFAULT_LIFETIME_TECHNIQUES,
         config=config or LifetimeStudyConfig(),
+        repetitions=repetitions,
+        jobs=jobs,
+        store=store_dir,
+        progress=progress,
     )

@@ -8,7 +8,7 @@ Usage::
     python -m repro.experiments.runner fig9 fig10 --jobs 4 --store-dir .campaign-store
 
 ``--jobs N`` fans the benchmark-sweep experiments (fig9/fig10/fig11/
-fig13) out over N worker processes through the campaign engine
+fig12/fig13) out over N worker processes through the campaign engine
 (:mod:`repro.campaign`); results are bit-identical to a serial run.
 ``--store-dir`` caches completed sweep cells on disk, so re-running an
 interrupted sweep resumes instead of starting over.  Experiments whose

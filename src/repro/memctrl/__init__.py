@@ -10,6 +10,6 @@ then decrypt with the stored counter.
 """
 
 from repro.memctrl.config import ControllerConfig
-from repro.memctrl.controller import LineWriteResult, MemoryController
+from repro.memctrl.controller import LineWriteResult, MemoryController, ReplayResult
 
-__all__ = ["ControllerConfig", "LineWriteResult", "MemoryController"]
+__all__ = ["ControllerConfig", "LineWriteResult", "MemoryController", "ReplayResult"]

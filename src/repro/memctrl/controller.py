@@ -3,8 +3,11 @@
 The controller owns the per-line write counters (via the counter-mode
 engine), the per-word auxiliary bits produced by the encoder, and the
 accounting of write energy / bit changes / stuck-at-wrong cells.  It is the
-single integration point the simulators drive: one
-:meth:`MemoryController.write_line` call per trace record.
+single integration point the simulators drive — either one
+:meth:`MemoryController.write_line` call per trace record, or a whole
+trace at once through the batched :meth:`MemoryController.replay_trace`
+engine (bit-identical accounting, per-write results accumulated into the
+preallocated arrays of a :class:`ReplayResult`).
 
 The write path is line-granular end to end: each write issues a single
 :meth:`repro.coding.base.Encoder.encode_line` call (vectorised for every
@@ -16,7 +19,7 @@ computed with NumPy over the whole row.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,10 +40,15 @@ from repro.pcm.stats import WriteStats
 from repro.pcm.wearlevel import StartGapWearLeveler
 from repro.utils.bitops import popcount64_array
 
-__all__ = ["LineWriteResult", "MemoryController"]
+__all__ = ["LineWriteResult", "ReplayResult", "MemoryController"]
 
 #: Accepted values for the controller's ``fault_knowledge`` parameter.
 FAULT_KNOWLEDGE_MODES = ("oracle", "discovered", "none")
+
+#: Early-stop predicate for :meth:`MemoryController.replay_trace`, called
+#: after every write as ``stop(index, row_index, saw_cells,
+#: saw_bits_per_word)``; returning True ends the replay after that write.
+ReplayStop = Callable[[int, int, int, np.ndarray], bool]
 
 
 @dataclass(frozen=True)
@@ -81,6 +89,140 @@ class LineWriteResult:
     def total_energy_pj(self) -> float:
         """Total energy of the line write including auxiliary bits."""
         return self.data_energy_pj + self.aux_energy_pj
+
+
+@dataclass
+class ReplayResult:
+    """Per-write accounting of one :meth:`MemoryController.replay_trace` call.
+
+    Each attribute is a preallocated array with one entry per performed
+    write, in replay order; every value is bit-identical to what the
+    corresponding :class:`LineWriteResult` of a scalar
+    :meth:`MemoryController.write_line` sequence would carry.
+
+    Attributes
+    ----------
+    addresses / row_indices:
+        Line address written and the physical row it mapped to.
+    data_energy_pj / aux_energy_pj:
+        Write energy spent on the data cells and the auxiliary bits.
+    cells_changed / bits_changed:
+        Cells (and bits) that actually changed state in the array.
+    saw_cells:
+        Stuck-at-wrong cells left by each write.
+    saw_bits_per_word:
+        ``(writes, words_per_line)`` matrix of residual wrong bits per word.
+    newly_stuck_cells:
+        Cells that exceeded their endurance during each write.
+    writes:
+        Number of writes performed (the common length of the arrays).
+    stopped_early:
+        True when the ``stop`` predicate ended the replay before the
+        requested repetitions (or ``max_writes``) were exhausted.
+    """
+
+    addresses: np.ndarray
+    row_indices: np.ndarray
+    data_energy_pj: np.ndarray
+    aux_energy_pj: np.ndarray
+    cells_changed: np.ndarray
+    bits_changed: np.ndarray
+    saw_cells: np.ndarray
+    saw_bits_per_word: np.ndarray
+    newly_stuck_cells: np.ndarray
+    words_per_line: int
+    writes: int = 0
+    stopped_early: bool = False
+
+    # ------------------------------------------------------- aggregation
+    def total_energy_pj(self) -> float:
+        """Total write energy of the replay including auxiliary bits."""
+        return float(self.data_energy_pj.sum() + self.aux_energy_pj.sum())
+
+    def saw_words(self) -> int:
+        """Number of written words left with at least one wrong bit."""
+        return int(np.count_nonzero(self.saw_bits_per_word))
+
+    def write_stats(self) -> WriteStats:
+        """Aggregate the replay into a :class:`repro.pcm.stats.WriteStats`.
+
+        Integer counters match :meth:`WriteStats.from_line_results` over
+        :meth:`line_results` exactly; the float energy totals are computed
+        with vectorised sums (same values up to floating-point summation
+        order).
+        """
+        return WriteStats(
+            words_written=self.writes * self.words_per_line,
+            rows_written=self.writes,
+            bits_changed=int(self.bits_changed.sum()),
+            cells_changed=int(self.cells_changed.sum()),
+            data_energy_pj=float(self.data_energy_pj.sum()),
+            aux_energy_pj=float(self.aux_energy_pj.sum()),
+            saw_cells=int(self.saw_cells.sum()),
+            saw_words=self.saw_words(),
+        )
+
+    # ------------------------------------------------------ scalar views
+    def line_result(self, index: int) -> LineWriteResult:
+        """The :class:`LineWriteResult` view of one write of the replay."""
+        if not 0 <= index < self.writes:
+            raise MemoryModelError(f"write index {index} out of range [0, {self.writes})")
+        return LineWriteResult(
+            address=int(self.addresses[index]),
+            row_index=int(self.row_indices[index]),
+            data_energy_pj=float(self.data_energy_pj[index]),
+            aux_energy_pj=float(self.aux_energy_pj[index]),
+            cells_changed=int(self.cells_changed[index]),
+            bits_changed=int(self.bits_changed[index]),
+            saw_cells=int(self.saw_cells[index]),
+            saw_bits_per_word=tuple(int(b) for b in self.saw_bits_per_word[index]),
+            newly_stuck_cells=int(self.newly_stuck_cells[index]),
+        )
+
+    def line_results(self) -> List[LineWriteResult]:
+        """All writes as scalar :class:`LineWriteResult` objects (slow path)."""
+        return [self.line_result(index) for index in range(self.writes)]
+
+    @classmethod
+    def empty(cls, capacity: int, words_per_line: int) -> "ReplayResult":
+        """Preallocate accounting arrays for up to ``capacity`` writes."""
+        return cls(
+            addresses=np.zeros(capacity, dtype=np.int64),
+            row_indices=np.zeros(capacity, dtype=np.int64),
+            data_energy_pj=np.zeros(capacity, dtype=np.float64),
+            aux_energy_pj=np.zeros(capacity, dtype=np.float64),
+            cells_changed=np.zeros(capacity, dtype=np.int64),
+            bits_changed=np.zeros(capacity, dtype=np.int64),
+            saw_cells=np.zeros(capacity, dtype=np.int64),
+            saw_bits_per_word=np.zeros((capacity, words_per_line), dtype=np.int64),
+            newly_stuck_cells=np.zeros(capacity, dtype=np.int64),
+            words_per_line=words_per_line,
+        )
+
+    def _trim(self, writes: int, stopped_early: bool) -> "ReplayResult":
+        """Shrink every array down to the writes actually performed.
+
+        A copy (not a view) when the replay ended early, so a result of a
+        few hundred writes does not pin the full-capacity arrays of a
+        200k-write preallocation in memory.
+        """
+        compact = (
+            (lambda array: array[:writes].copy())
+            if writes < len(self.addresses)
+            else (lambda array: array)
+        )
+        self.addresses = compact(self.addresses)
+        self.row_indices = compact(self.row_indices)
+        self.data_energy_pj = compact(self.data_energy_pj)
+        self.aux_energy_pj = compact(self.aux_energy_pj)
+        self.cells_changed = compact(self.cells_changed)
+        self.bits_changed = compact(self.bits_changed)
+        self.saw_cells = compact(self.saw_cells)
+        self.saw_bits_per_word = compact(self.saw_bits_per_word)
+        self.newly_stuck_cells = compact(self.newly_stuck_cells)
+        self.writes = writes
+        self.stopped_early = stopped_early
+        return self
 
 
 class MemoryController:
@@ -229,6 +371,41 @@ class MemoryController:
         else:
             encrypted = [int(w) for w in words]
 
+        (
+            row_index,
+            data_energy,
+            aux_energy,
+            cells_changed,
+            bits_changed,
+            saw_count,
+            saw_bits,
+            newly_stuck,
+        ) = self._apply_line_write(address, encrypted)
+
+        line_result = LineWriteResult(
+            address=address,
+            row_index=row_index,
+            data_energy_pj=data_energy,
+            aux_energy_pj=aux_energy,
+            cells_changed=cells_changed,
+            bits_changed=bits_changed,
+            saw_cells=saw_count,
+            saw_bits_per_word=tuple(int(count) for count in saw_bits),
+            newly_stuck_cells=newly_stuck,
+        )
+        self._accumulate(line_result)
+        return line_result
+
+    def _apply_line_write(self, address: int, encrypted: Sequence[int]):
+        """Encode and store one already-encrypted line; return raw accounting.
+
+        The shared core of :meth:`write_line` and the generic path of
+        :meth:`replay_trace`: both produce bit-identical accounting because
+        both run exactly this code.  Returns the tuple ``(row_index,
+        data_energy_pj, aux_energy_pj, cells_changed, bits_changed,
+        saw_cells, saw_bits_per_word, newly_stuck)`` with
+        ``saw_bits_per_word`` as an ``int64`` array.
+        """
         row_index = self.row_for_address(address)
         old_row = self.array.read_row(row_index)
         stuck_row = self._stuck_knowledge(row_index)
@@ -270,7 +447,7 @@ class MemoryController:
             self._energy_lut[old_row.astype(np.int64), intended_row.astype(np.int64)].sum()
         )
         bits_changed = self._count_changed_bits(result.old_cells, result.stored_cells)
-        saw_bits_per_word = self._saw_bits_per_word(result.stored_cells, intended_row)
+        saw_bits = self._saw_bits_per_word(result.stored_cells, intended_row)
 
         self._aux_store[row_index] = new_auxes
 
@@ -283,19 +460,300 @@ class MemoryController:
             if movement is not None:
                 self._migrate_row(*movement)
 
-        line_result = LineWriteResult(
-            address=address,
-            row_index=row_index,
-            data_energy_pj=data_energy,
-            aux_energy_pj=aux_energy,
-            cells_changed=result.cells_changed,
-            bits_changed=bits_changed,
-            saw_cells=result.saw_count,
-            saw_bits_per_word=saw_bits_per_word,
-            newly_stuck_cells=result.newly_stuck,
+        return (
+            row_index,
+            data_energy,
+            aux_energy,
+            result.cells_changed,
+            bits_changed,
+            result.saw_count,
+            saw_bits,
+            result.newly_stuck,
         )
-        self._accumulate(line_result)
-        return line_result
+
+    # -------------------------------------------------------------- replay
+    def replay_trace(
+        self,
+        trace,
+        repetitions: int = 1,
+        stop: Optional[ReplayStop] = None,
+        max_writes: Optional[int] = None,
+    ) -> ReplayResult:
+        """Replay a writeback trace ``repetitions`` times through the write path.
+
+        The batched sibling of a :meth:`write_line` loop: the whole replay
+        runs inside the controller, accumulating per-write accounting into
+        the preallocated arrays of a :class:`ReplayResult` instead of one
+        :class:`LineWriteResult` (plus several lists and tuples) per write.
+        Every accounting value is bit-identical to the scalar path — the
+        generic path runs the exact same :meth:`_apply_line_write` core,
+        and the identity-encoder fast path skips only work whose outcome
+        is fixed (the unencoded baseline stores the ciphertext unchanged
+        with no auxiliary bits).  The controller's running
+        :attr:`stats` are updated once at the end with the batch totals.
+
+        Parameters
+        ----------
+        trace:
+            A :class:`repro.traces.trace.Trace` whose geometry matches the
+            controller configuration.
+        repetitions:
+            How many times to replay the trace end to end.
+        stop:
+            Optional early-stop predicate called after every write as
+            ``stop(index, row_index, saw_cells, saw_bits_per_word)``;
+            returning True ends the replay after that write (lifetime
+            studies stop on the Nth failed row instead of paying for the
+            remaining writes).
+        max_writes:
+            Optional hard cap on the total number of writes, applied on
+            top of ``repetitions`` (the last repetition may be partial).
+        """
+        if repetitions < 0:
+            raise ConfigurationError("repetitions must be non-negative")
+        if trace.word_bits != self.config.word_bits:
+            raise ConfigurationError(
+                f"trace word size ({trace.word_bits} bits) does not match "
+                f"the controller ({self.config.word_bits} bits)"
+            )
+        if trace.words_per_line != self.config.words_per_line:
+            raise ConfigurationError(
+                f"trace geometry ({trace.words_per_line} words per line) does not "
+                f"match the controller ({self.config.words_per_line} words per line)"
+            )
+        if max_writes is not None and max_writes < 0:
+            raise ConfigurationError("max_writes must be non-negative")
+
+        num_records = len(trace)
+        total = num_records * repetitions
+        if max_writes is not None:
+            total = min(total, max_writes)
+        words_per_line = self.config.words_per_line
+        replay = ReplayResult.empty(total, words_per_line)
+        if total == 0:
+            return replay._trim(0, False)
+
+        reps_needed = -(-total // num_records)
+        addresses = np.tile(trace.addresses_array(), reps_needed)[:total]
+        words = trace.words_array()
+
+        # Chunked execution: pads and cell conversions are produced only
+        # for writes about to be performed.  The geometric chunk ramp
+        # bounds the work wasted when an early stop ends the replay after
+        # a few hundred writes (lifetime cells stop at a tiny fraction of
+        # their max_writes cap) without costing long replays anything,
+        # and an early stop rolls the encryption counters of the unused
+        # chunk tail back so controller state matches the scalar path
+        # exactly.
+        chunk = 512
+        start = 0
+        performed = 0
+        stopped = False
+        batch_capable = words is not None
+        while start < total and not stopped:
+            end = min(start + chunk, total)
+            chunk = min(chunk * 2, 8192)
+            encrypted_chunk: Optional[np.ndarray] = None
+            if batch_capable:
+                record_indices = np.arange(start, end, dtype=np.int64) % num_records
+                chunk_words = words[record_indices]
+                if self.encryption is None:
+                    encrypted_chunk = chunk_words
+                else:
+                    encrypted_chunk = self.encryption.encrypt_lines(
+                        addresses[start:end], chunk_words
+                    )
+                    if encrypted_chunk is None:
+                        batch_capable = False
+            if encrypted_chunk is not None and self.encoder.is_identity:
+                performed, stopped = self._replay_identity(
+                    replay, addresses, encrypted_chunk, start, end, stop
+                )
+            else:
+                performed, stopped = self._replay_generic(
+                    replay, trace, addresses, encrypted_chunk, start, end, stop
+                )
+            if (
+                stopped
+                and performed < end
+                and encrypted_chunk is not None
+                and self.encryption is not None
+            ):
+                self.encryption.rollback_counters(addresses[performed:end])
+            start = end
+        replay._trim(performed, stopped)
+        self.stats.absorb(replay.write_stats())
+        return replay
+
+    def _replay_identity(
+        self,
+        replay: ReplayResult,
+        addresses: np.ndarray,
+        encrypted_chunk: np.ndarray,
+        start: int,
+        end: int,
+        stop: Optional[ReplayStop],
+    ):
+        """Replay fast path for identity encoders over writes [start, end).
+
+        The stored values are the ciphertext words themselves and no
+        auxiliary bits exist, so the per-write work reduces to the array
+        write; everything else (energy, changed bits/cells, SAW) is a pure
+        function of the (old, stored, intended) cell rows and is computed
+        in one vectorised flush per chunk — row-wise NumPy reductions are
+        bit-identical to the scalar path's per-row reductions.  Returns
+        ``(performed, stopped)`` with ``performed`` the global write count.
+        """
+        count = end - start
+        array = self.array
+        bits_per_cell = array.bits_per_cell
+        words_per_line = self.config.words_per_line
+        cells_chunk = words_matrix_to_cells(
+            encrypted_chunk, self.config.word_bits, bits_per_cell
+        ).reshape(count, array.cells_per_row)
+        popcount = self._bit_popcount
+        write_row_fast = array.write_row_fast
+        repository = self.fault_repository
+        leveler = self.wear_leveler
+        chunk_addresses = addresses[start:end]
+        row_indices = None if leveler is not None else chunk_addresses % array.rows
+        np.copyto(replay.addresses[start:end], chunk_addresses)
+        out_rows = replay.row_indices
+        out_newly = replay.newly_stuck_cells
+
+        old_buffer = np.empty((count, array.cells_per_row), dtype=np.uint8)
+        stored_buffer = np.empty_like(old_buffer)
+        zero_saw_bits = np.zeros(words_per_line, dtype=np.int64)
+
+        performed = start
+        stopped = False
+        for local in range(count):
+            index = start + local
+            if row_indices is not None:
+                row_index = row_indices[local]
+            else:
+                row_index = self.row_for_address(int(chunk_addresses[local]))
+            intended = cells_chunk[local]
+            old, stored, changed_mask, saw_mask, newly_stuck = write_row_fast(
+                row_index, intended
+            )
+            old_buffer[local] = old
+            stored_buffer[local] = stored
+            out_rows[index] = row_index
+            out_newly[index] = newly_stuck
+
+            if repository is not None:
+                repository.observe_write(row_index, intended, stored)
+            if leveler is not None:
+                movement = leveler.record_write()
+                if movement is not None:
+                    self._migrate_row(*movement)
+
+            performed = index + 1
+            if stop is not None:
+                saw_count = int(saw_mask.sum())
+                if saw_count:
+                    wrong = stored ^ intended
+                    saw_bits = (
+                        popcount[wrong]
+                        if bits_per_cell == 2
+                        else (wrong != 0).astype(np.int64)
+                    ).reshape(words_per_line, -1).sum(axis=1)
+                else:
+                    saw_bits = zero_saw_bits
+                if stop(index, int(row_index), saw_count, saw_bits):
+                    stopped = True
+                    break
+
+        done = performed - start
+        old_rows = old_buffer[:done]
+        stored_rows = stored_buffer[:done]
+        intended_rows = cells_chunk[:done]
+        replay.data_energy_pj[start:performed] = self._energy_lut[
+            old_rows, intended_rows
+        ].sum(axis=1)
+        # Identity encoders store no auxiliary bits: aux energy stays 0.
+        changed = stored_rows != old_rows
+        replay.cells_changed[start:performed] = np.count_nonzero(changed, axis=1)
+        if bits_per_cell == 1:
+            replay.bits_changed[start:performed] = np.count_nonzero(
+                old_rows ^ stored_rows, axis=1
+            )
+        else:
+            replay.bits_changed[start:performed] = popcount[old_rows ^ stored_rows].sum(axis=1)
+        wrong_xor = stored_rows ^ intended_rows
+        # A stored cell differs from the intended value exactly at the
+        # stuck-at-wrong positions, so SAW counts fall out of the xor.
+        replay.saw_cells[start:performed] = np.count_nonzero(wrong_xor, axis=1)
+        wrong_bits = (
+            popcount[wrong_xor]
+            if bits_per_cell == 2
+            else (wrong_xor != 0).astype(np.int64)
+        )
+        replay.saw_bits_per_word[start:performed] = wrong_bits.reshape(
+            done, words_per_line, -1
+        ).sum(axis=2)
+        return performed, stopped
+
+    def _replay_generic(
+        self,
+        replay: ReplayResult,
+        trace,
+        addresses: np.ndarray,
+        encrypted_chunk: Optional[np.ndarray],
+        start: int,
+        end: int,
+        stop: Optional[ReplayStop],
+    ):
+        """Replay path for arbitrary encoders over writes [start, end).
+
+        Still faster than a :meth:`write_line` loop — encryption pads are
+        generated per chunk, trace records are read from arrays, and no
+        per-write result objects or stats updates are built — while the
+        write itself runs the identical :meth:`_apply_line_write` code.
+        Returns ``(performed, stopped)`` like :meth:`_replay_identity`.
+        """
+        num_records = len(trace)
+        encryption = self.encryption
+        performed = start
+        stopped = False
+        for index in range(start, end):
+            if encrypted_chunk is not None:
+                encrypted = encrypted_chunk[index - start].tolist()
+            else:
+                # Wide/odd word sizes: per-record scalar fallback.
+                record = trace[index % num_records]
+                if encryption is not None:
+                    encrypted = list(
+                        encryption.encrypt_line(record.address, list(record.words)).words
+                    )
+                else:
+                    encrypted = [int(w) for w in record.words]
+            (
+                row_index,
+                data_energy,
+                aux_energy,
+                cells_changed,
+                bits_changed,
+                saw_count,
+                saw_bits,
+                newly_stuck,
+            ) = self._apply_line_write(int(addresses[index]), encrypted)
+            replay.addresses[index] = addresses[index]
+            replay.row_indices[index] = row_index
+            replay.data_energy_pj[index] = data_energy
+            replay.aux_energy_pj[index] = aux_energy
+            replay.cells_changed[index] = cells_changed
+            replay.bits_changed[index] = bits_changed
+            replay.saw_cells[index] = saw_count
+            replay.saw_bits_per_word[index] = saw_bits
+            replay.newly_stuck_cells[index] = newly_stuck
+
+            performed = index + 1
+            if stop is not None and stop(index, row_index, saw_count, saw_bits):
+                stopped = True
+                break
+        return performed, stopped
 
     # ---------------------------------------------------------------- read
     def read_line(self, address: int) -> List[int]:
@@ -339,8 +797,28 @@ class MemoryController:
                 result.old_cells.astype(np.int64), result.intended_cells.astype(np.int64)
             ].sum()
         )
-        # The auxiliary bits of the migrated row travel with the data.
-        self._aux_store[destination_row] = self._aux_store[source_row]
+        # The migration write can itself land on stuck destination cells;
+        # its SAW outcome counts like any other row write.
+        saw_bits = self._saw_bits_per_word(result.stored_cells, result.intended_cells)
+        self.stats.saw_cells += result.saw_count
+        self.stats.saw_words += int(np.count_nonzero(saw_bits))
+        # The auxiliary bits of the migrated row travel with the data and
+        # are rewritten in the side region: charge the bits that change.
+        old_dest_auxes = self._aux_store[destination_row]
+        moved_auxes = self._aux_store[source_row]
+        if self._wide_aux:
+            changed_aux_bits = sum(
+                bin(int(new) ^ int(old)).count("1")
+                for new, old in zip(moved_auxes, old_dest_auxes)
+            )
+        else:
+            changed_aux_bits = int(
+                popcount64_array(
+                    moved_auxes.astype(np.uint64) ^ old_dest_auxes.astype(np.uint64)
+                ).sum()
+            )
+        self.stats.aux_energy_pj += self._aux_bit_energy * changed_aux_bits
+        self._aux_store[destination_row] = moved_auxes
         if self.fault_repository is not None:
             self.fault_repository.observe_write(
                 destination_row, result.intended_cells, result.stored_cells
@@ -354,15 +832,15 @@ class MemoryController:
 
     def _saw_bits_per_word(
         self, stored_cells: np.ndarray, intended_cells: np.ndarray
-    ) -> Tuple[int, ...]:
+    ) -> np.ndarray:
+        """Residual wrong bits per word of a row write, as an int64 vector."""
         xor = stored_cells ^ intended_cells
         wrong_bits = (
             self._bit_popcount[xor]
             if self.array.bits_per_cell == 2
             else (xor != 0).astype(np.int64)
         )
-        per_word = wrong_bits.reshape(self.config.words_per_line, -1).sum(axis=1)
-        return tuple(int(count) for count in per_word)
+        return wrong_bits.reshape(self.config.words_per_line, -1).sum(axis=1)
 
     def _accumulate(self, line: LineWriteResult) -> None:
         self.stats.add_line(line, self.config.words_per_line)

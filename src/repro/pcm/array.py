@@ -40,6 +40,9 @@ def word_to_cells(word: int, word_bits: int, bits_per_cell: int) -> np.ndarray:
     require_divisible(word_bits, bits_per_cell, "word_bits must be a multiple of bits_per_cell")
     cells = word_bits // bits_per_cell
     mask = (1 << bits_per_cell) - 1
+    if word_bits <= 64:
+        shifts = np.arange(cells - 1, -1, -1, dtype=np.uint64) * np.uint64(bits_per_cell)
+        return ((np.uint64(word) >> shifts) & np.uint64(mask)).astype(np.uint8)
     values = np.empty(cells, dtype=np.uint8)
     for index in range(cells):
         shift = bits_per_cell * (cells - 1 - index)
@@ -49,8 +52,17 @@ def word_to_cells(word: int, word_bits: int, bits_per_cell: int) -> np.ndarray:
 
 def cells_to_word(cells: Sequence[int], bits_per_cell: int) -> int:
     """Inverse of :func:`word_to_cells`."""
-    word = 0
     mask = (1 << bits_per_cell) - 1
+    values = np.asarray(cells)
+    if values.dtype.kind in "ui" and values.size * bits_per_cell <= 64:
+        if values.size and (int(values.min()) < 0 or int(values.max()) > mask):
+            bad = next(int(v) for v in values if int(v) < 0 or int(v) > mask)
+            raise ConfigurationError(
+                f"cell value {bad} does not fit in {bits_per_cell} bits"
+            )
+        shifts = np.arange(values.size - 1, -1, -1, dtype=np.uint64) * np.uint64(bits_per_cell)
+        return int((values.astype(np.uint64) << shifts).sum(dtype=np.uint64))
+    word = 0
     for value in cells:
         value = int(value)
         if value < 0 or value > mask:
@@ -231,7 +243,27 @@ class PCMArray:
             )
         if intended.max(initial=0) >= self.technology.levels:
             raise MemoryModelError("cell value outside the technology's level range")
+        old, stored, changed, saw_mask, newly_stuck = self.write_row_fast(row_index, intended)
+        return RowWriteResult(
+            old_cells=old,
+            intended_cells=intended,
+            stored_cells=stored,
+            changed_mask=changed,
+            saw_mask=saw_mask,
+            newly_stuck=newly_stuck,
+        )
 
+    def write_row_fast(self, row_index: int, intended: np.ndarray):
+        """Validation-free core of :meth:`write_row` for batch drivers.
+
+        ``intended`` must already be a ``(cells_per_row,)`` ``uint8`` array
+        of in-range cell values and ``row_index`` must be valid — callers
+        like :meth:`repro.memctrl.controller.MemoryController.replay_trace`
+        establish both once per replay instead of once per write.  Returns
+        the tuple ``(old_cells, stored_cells, changed_mask, saw_mask,
+        newly_stuck)`` with exactly the values a :class:`RowWriteResult`
+        would carry.
+        """
         old = self._cells[row_index].copy()
         stuck = self._stuck[row_index]
         stored = np.where(stuck, old, intended)
@@ -247,15 +279,8 @@ class PCMArray:
                 self._stuck[row_index] |= exceeded
 
         self._cells[row_index] = stored
-        saw_mask = self._stuck[row_index] & (self._cells[row_index] != intended)
-        return RowWriteResult(
-            old_cells=old,
-            intended_cells=intended,
-            stored_cells=stored.copy(),
-            changed_mask=changed,
-            saw_mask=saw_mask,
-            newly_stuck=newly_stuck,
-        )
+        saw_mask = self._stuck[row_index] & (stored != intended)
+        return old, stored, changed, saw_mask, newly_stuck
 
     def write_word(self, row_index: int, word_index: int, word: int) -> RowWriteResult:
         """Write a single word, leaving the rest of the row untouched."""

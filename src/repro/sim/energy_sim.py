@@ -185,8 +185,8 @@ def _fig9_energy_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         seed=derive_seed(seed, f"fig9-{benchmark}-{spec.label}"),
         encrypt=True,
     )
-    line_results = drive_trace(controller, trace)
-    energy = sum(result.total_energy_pj for result in line_results)
+    replay = drive_trace(controller, trace)
+    energy = replay.total_energy_pj()
     return [
         {
             "benchmark": benchmark,

@@ -28,7 +28,7 @@ from repro.coding.cost import (
 from repro.coding.registry import make_encoder
 from repro.errors import ConfigurationError, SimulationError
 from repro.memctrl.config import ControllerConfig
-from repro.memctrl.controller import LineWriteResult, MemoryController
+from repro.memctrl.controller import LineWriteResult, MemoryController, ReplayResult
 from repro.pcm.array import PCMArray
 from repro.pcm.cell import CellTechnology
 from repro.pcm.endurance import EnduranceModel
@@ -236,19 +236,28 @@ def drive_random_lines(
 
 def drive_trace(
     controller: MemoryController, trace: Trace, repetitions: int = 1
-) -> List[LineWriteResult]:
+) -> ReplayResult:
     """Replay a writeback trace through the controller ``repetitions`` times.
 
-    Returns the per-line :class:`LineWriteResult` summaries of every write,
-    in replay order, so callers can aggregate without reaching into
-    ``controller.stats`` by side effect.
+    Runs the batched :meth:`~repro.memctrl.controller.MemoryController.replay_trace`
+    engine and returns its :class:`~repro.memctrl.controller.ReplayResult`:
+    per-write accounting in preallocated arrays (bit-identical to a
+    scalar ``write_line`` loop), with ``write_stats()`` /
+    ``total_energy_pj()`` aggregation helpers and ``line_results()`` for
+    the scalar view.  Trace geometry is validated up front so a mismatched
+    trace fails with a clear error instead of deep inside the write path.
     """
     if repetitions < 0:
         raise SimulationError("repetitions must be non-negative")
     if trace.word_bits != controller.config.word_bits:
-        raise SimulationError("trace word size does not match the controller")
-    results: List[LineWriteResult] = []
-    for _ in range(repetitions):
-        for record in trace:
-            results.append(controller.write_line(record.address, list(record.words)))
-    return results
+        raise SimulationError(
+            f"trace word size ({trace.word_bits} bits) does not match the "
+            f"controller ({controller.config.word_bits} bits)"
+        )
+    if trace.words_per_line != controller.config.words_per_line:
+        raise SimulationError(
+            f"trace line geometry ({trace.words_per_line} words of "
+            f"{trace.word_bits} bits per line) does not match the controller "
+            f"({controller.config.words_per_line} words per line)"
+        )
+    return controller.replay_trace(trace, repetitions=repetitions)

@@ -45,11 +45,13 @@ from repro.traces.synthetic import generate_trace
 from repro.utils.rng import derive_seed
 
 __all__ = [
+    "LifetimeOutcome",
     "LifetimeStudyConfig",
     "DEFAULT_LIFETIME_TECHNIQUES",
     "lifetime_study",
     "lifetime_study_tasks",
     "mean_lifetime_by_coset_count",
+    "mean_lifetime_tasks",
     "simulate_lifetime",
 ]
 
@@ -99,22 +101,47 @@ def _row_failure(spec: TechniqueSpec, saw_bits_per_word: Sequence[int], line_bit
     raise SimulationError(f"unknown corrector {spec.corrector!r}")
 
 
+@dataclass(frozen=True)
+class LifetimeOutcome:
+    """Result of one lifetime cell: writes-to-failure plus censoring.
+
+    Attributes
+    ----------
+    writes:
+        Line writes completed when the simulation ended.
+    censored:
+        True when the memory outlived ``max_line_writes`` — ``writes`` is
+        then a lower bound on the true lifetime, not a failure time.
+    """
+
+    writes: int
+    censored: bool
+
+
 def simulate_lifetime(
     spec: TechniqueSpec,
     benchmark: str,
     config: LifetimeStudyConfig = LifetimeStudyConfig(),
     seed_offset: int = 0,
-) -> int:
+) -> LifetimeOutcome:
     """Writes-to-failure of one technique on one benchmark.
 
-    Returns the number of line writes completed before the
-    ``failed_rows_limit``-th distinct row failed (or ``max_line_writes`` if
-    the memory outlived the simulation cap).
+    Returns a :class:`LifetimeOutcome`: the number of line writes
+    completed before the ``failed_rows_limit``-th distinct row failed,
+    with ``censored=True`` when the memory instead outlived the
+    ``max_line_writes`` simulation cap (so callers can report the
+    censoring instead of treating the cap as a failure time).
 
     The seed depends on the benchmark and the repetition, but *not* on the
     technique, so every technique faces the identical endurance landscape,
     trace, and encryption pads — the comparison is paired, as in the paper
     where all techniques replay the same captured trace.
+
+    The replay runs through the batched
+    :meth:`~repro.memctrl.controller.MemoryController.replay_trace` engine
+    with an early-stop predicate, so the write sequence (and therefore the
+    lifetime) is bit-identical to the historical scalar loop while only
+    the writes actually needed are paid for.
     """
     seed = derive_seed(config.seed + seed_offset, f"lifetime-{benchmark}")
     endurance = EnduranceModel(
@@ -143,20 +170,28 @@ def simulate_lifetime(
         raise SimulationError("lifetime simulation needs a non-empty trace")
 
     failed_rows: set = set()
-    writes = 0
-    while writes < config.max_line_writes:
-        for record in trace:
-            result = controller.write_line(record.address, list(record.words))
-            writes += 1
-            if result.row_index not in failed_rows and _row_failure(
-                spec, result.saw_bits_per_word, config.line_bits
-            ):
-                failed_rows.add(result.row_index)
-                if len(failed_rows) >= config.failed_rows_limit:
-                    return writes
-            if writes >= config.max_line_writes:
-                break
-    return writes
+    limit = config.failed_rows_limit
+    line_bits = config.line_bits
+
+    def stop(index: int, row_index: int, saw_cells: int, saw_bits_per_word) -> bool:
+        # A write with no residual wrong bits can never fail a row under
+        # any of the correctors, so the predicate short-circuits on the
+        # saw-cell count the replay engine already has at hand.
+        if saw_cells == 0 or row_index in failed_rows:
+            return False
+        if _row_failure(spec, saw_bits_per_word, line_bits):
+            failed_rows.add(row_index)
+            return len(failed_rows) >= limit
+        return False
+
+    repetitions = -(-config.max_line_writes // len(trace))
+    replay = controller.replay_trace(
+        trace,
+        repetitions=repetitions,
+        stop=stop,
+        max_writes=config.max_line_writes,
+    )
+    return LifetimeOutcome(writes=replay.writes, censored=not replay.stopped_early)
 
 
 @register_task(
@@ -184,13 +219,14 @@ def _fig11_lifetime_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         trace_writebacks=params["trace_writebacks"],
         seed=params["seed"],
     )
-    writes = simulate_lifetime(spec, params["benchmark"], config, seed_offset=params["rep"])
+    outcome = simulate_lifetime(spec, params["benchmark"], config, seed_offset=params["rep"])
     return [
         {
             "benchmark": params["benchmark"],
             "technique": spec.display_name(),
             "rep": params["rep"],
-            "writes_to_failure": int(writes),
+            "writes_to_failure": int(outcome.writes),
+            "censored": bool(outcome.censored),
         }
     ]
 
@@ -252,17 +288,22 @@ def lifetime_study(
     tasks = lifetime_study_tasks(benchmarks, techniques, num_cosets, config, repetitions)
     result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
     values_by_cell: Dict[Tuple[str, str], List[int]] = {}
+    censored_cells = 0
     for row in result.rows():
         values_by_cell.setdefault((row["benchmark"], row["technique"]), []).append(
             row["writes_to_failure"]
         )
+        censored_cells += bool(row.get("censored"))
+    notes = (
+        f"{num_cosets} cosets for coset techniques; memory and endurance are scaled "
+        "down so absolute counts are not comparable to the paper, ratios are"
+    )
+    if censored_cells:
+        notes += _censoring_note(censored_cells, len(tasks), config.max_line_writes)
     table = ResultTable(
         title="Fig. 11 — writes to failure per benchmark (scaled memory)",
         columns=["benchmark", "technique", "writes_to_failure", "improvement_vs_unencoded"],
-        notes=(
-            f"{num_cosets} cosets for coset techniques; memory and endurance are scaled "
-            "down so absolute counts are not comparable to the paper, ratios are"
-        ),
+        notes=notes,
     )
     for benchmark in benchmarks:
         lifetimes: Dict[str, float] = {
@@ -282,35 +323,140 @@ def lifetime_study(
     return table
 
 
+def _censoring_note(censored: int, total: int, cap: int) -> str:
+    """Shared phrasing for censored-cell reporting in the lifetime tables."""
+    return (
+        f"; {censored} of {total} cells censored at the {cap}-write cap "
+        "(reported lifetimes are lower bounds there)"
+    )
+
+
+@register_task(
+    "fig12-lifetime-cell",
+    description="writes-to-failure at one coset count × technique × benchmark × repetition (Fig. 12 cell)",
+)
+def _fig12_lifetime_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One (coset count × technique × benchmark × repetition) Fig. 12 cell.
+
+    Seed derivation matches :func:`simulate_lifetime` exactly (benchmark
+    and repetition only), so rows are bit-identical to the serial path and
+    repetitions are paired across techniques like the Fig. 11 sweep.
+    """
+    spec = TechniqueSpec(
+        encoder=params["encoder"],
+        cost=params["cost"],
+        num_cosets=params["cosets"],
+        label=params["label"],
+        corrector=params["corrector"],
+    )
+    config = LifetimeStudyConfig(
+        rows=params["rows"],
+        word_bits=params["word_bits"],
+        line_bits=params["line_bits"],
+        technology=CellTechnology(params["technology"]),
+        mean_endurance_writes=params["mean_endurance_writes"],
+        endurance_cov=params["endurance_cov"],
+        failed_rows_limit=params["failed_rows_limit"],
+        max_line_writes=params["max_line_writes"],
+        trace_writebacks=params["trace_writebacks"],
+        seed=params["seed"],
+    )
+    outcome = simulate_lifetime(spec, params["benchmark"], config, seed_offset=params["rep"])
+    return [
+        {
+            "cosets": params["cosets"],
+            "benchmark": params["benchmark"],
+            "technique": spec.display_name(),
+            "rep": params["rep"],
+            "writes_to_failure": int(outcome.writes),
+            "censored": bool(outcome.censored),
+        }
+    ]
+
+
+def mean_lifetime_tasks(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    benchmarks: Sequence[str] = ("lbm", "mcf"),
+    techniques: Sequence[TechniqueSpec] = DEFAULT_LIFETIME_TECHNIQUES,
+    config: LifetimeStudyConfig = LifetimeStudyConfig(),
+    repetitions: int = 1,
+) -> List[Task]:
+    """The Fig. 12 sweep as campaign tasks (cosets × technique × benchmark × rep)."""
+    base = {
+        "rows": config.rows,
+        "word_bits": config.word_bits,
+        "line_bits": config.line_bits,
+        "technology": config.technology.value,
+        "mean_endurance_writes": config.mean_endurance_writes,
+        "endurance_cov": config.endurance_cov,
+        "failed_rows_limit": config.failed_rows_limit,
+        "max_line_writes": config.max_line_writes,
+        "trace_writebacks": config.trace_writebacks,
+        "seed": config.seed,
+    }
+    tasks: List[Task] = []
+    for cosets in coset_counts:
+        for spec in techniques:
+            for benchmark in benchmarks:
+                for rep in range(repetitions):
+                    params = dict(base)
+                    params.update(
+                        cosets=cosets,
+                        encoder=spec.encoder,
+                        cost=spec.cost,
+                        label=spec.label,
+                        corrector=spec.corrector,
+                        benchmark=benchmark,
+                        rep=rep,
+                    )
+                    tasks.append(Task(kind="fig12-lifetime-cell", params=params))
+    return tasks
+
+
 def mean_lifetime_by_coset_count(
     coset_counts: Sequence[int] = (32, 64, 128, 256),
     benchmarks: Sequence[str] = ("lbm", "mcf"),
     techniques: Sequence[TechniqueSpec] = DEFAULT_LIFETIME_TECHNIQUES,
     config: LifetimeStudyConfig = LifetimeStudyConfig(),
+    repetitions: int = 1,
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
     """Fig. 12: mean writes-to-failure across benchmarks vs. coset count.
 
     Techniques that do not depend on the coset count (Unencoded, SECDED,
     ECP3, Flipcy, DBI/FNW) are still re-simulated per count so every column
     of the paper's figure is present.
+
+    The (cosets × technique × benchmark × repetition) cross-product runs
+    through the campaign engine exactly like the Fig. 11 sweep: ``jobs``
+    worker processes produce bit-identical rows at any count, ``store``
+    enables cached resume, and ``repetitions`` adds paired seeds (the
+    repetition offsets the seed identically for every technique).
+    Censored cells are reported in the table notes rather than silently
+    averaged in as failure times.
     """
+    tasks = mean_lifetime_tasks(coset_counts, benchmarks, techniques, config, repetitions)
+    result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
+    values_by_cell: Dict[Tuple[int, str], List[int]] = {}
+    censored_cells = 0
+    for row in result.rows():
+        values_by_cell.setdefault((row["cosets"], row["technique"]), []).append(
+            row["writes_to_failure"]
+        )
+        censored_cells += bool(row.get("censored"))
+    notes = "mean across " + ", ".join(benchmarks)
+    if censored_cells:
+        notes += _censoring_note(censored_cells, len(tasks), config.max_line_writes)
     table = ResultTable(
         title="Fig. 12 — mean writes to failure vs. coset count (scaled memory)",
         columns=["cosets", "technique", "mean_writes_to_failure"],
-        notes="mean across " + ", ".join(benchmarks),
+        notes=notes,
     )
     for cosets in coset_counts:
         for spec in techniques:
-            sized = TechniqueSpec(
-                encoder=spec.encoder,
-                cost=spec.cost,
-                num_cosets=cosets,
-                label=spec.label,
-                corrector=spec.corrector,
-            )
-            values = [
-                simulate_lifetime(sized, benchmark, config) for benchmark in benchmarks
-            ]
+            values = values_by_cell[(cosets, spec.display_name())]
             table.append(
                 cosets=cosets,
                 technique=spec.display_name(),

@@ -26,7 +26,6 @@ from repro.campaign.store import ResultStore
 from repro.campaign.tasks import register_task
 from repro.pcm.cell import CellTechnology
 from repro.pcm.faultmap import FaultMap
-from repro.pcm.stats import WriteStats
 from repro.sim.harness import (
     TechniqueSpec,
     build_controller,
@@ -88,8 +87,7 @@ def _run_spec(
         return drive_random_lines(
             controller, config.num_writes, seed=derive_seed(config.seed, seed_label + "-writes")
         )
-    line_results = drive_trace(controller, trace)
-    return WriteStats.from_line_results(line_results, controller.config.words_per_line)
+    return drive_trace(controller, trace).write_stats()
 
 
 def fault_masking_study(

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.errors import TraceError
 
 __all__ = ["WritebackRecord", "Trace"]
@@ -52,6 +54,9 @@ class Trace:
     line_bits: int = 512
     word_bits: int = 64
     metadata: dict = field(default_factory=dict)
+    #: Cached array views of the records (see :meth:`addresses_array`).
+    _addresses: Optional[np.ndarray] = field(default=None, init=False, repr=False, compare=False)
+    _words: Optional[np.ndarray] = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.line_bits <= 0 or self.word_bits <= 0:
@@ -74,6 +79,39 @@ class Trace:
         """Number of words per cache line."""
         return self.line_bits // self.word_bits
 
+    # ----------------------------------------------------------- array views
+    def addresses_array(self) -> np.ndarray:
+        """All record addresses as an ``int64`` vector (cached).
+
+        Batch drivers (:meth:`repro.memctrl.controller.MemoryController.replay_trace`)
+        read the trace through these array views instead of iterating
+        :class:`WritebackRecord` objects; the cache is invalidated by
+        :meth:`append`.
+        """
+        if self._addresses is None:
+            self._addresses = np.fromiter(
+                (record.address for record in self.records),
+                dtype=np.int64,
+                count=len(self.records),
+            )
+        return self._addresses
+
+    def words_array(self) -> Optional[np.ndarray]:
+        """All record words as a ``(records, words_per_line)`` ``uint64`` matrix.
+
+        Cached like :meth:`addresses_array`.  Returns ``None`` when
+        ``word_bits`` exceeds 64 (such traces keep Python-int words and
+        batch drivers fall back to per-record access).
+        """
+        if self.word_bits > 64:
+            return None
+        if self._words is None:
+            matrix = np.empty((len(self.records), self.words_per_line), dtype=np.uint64)
+            for index, record in enumerate(self.records):
+                matrix[index] = record.words
+            self._words = matrix
+        return self._words
+
     # ------------------------------------------------------------ mutation
     def append(self, record: WritebackRecord) -> None:
         """Append one record, validating its geometry."""
@@ -86,6 +124,8 @@ class Trace:
             if word < 0 or word >= word_limit:
                 raise TraceError(f"word {word:#x} does not fit in {self.word_bits} bits")
         self.records.append(record)
+        self._addresses = None
+        self._words = None
 
     # --------------------------------------------------------------- stats
     def unique_addresses(self) -> int:

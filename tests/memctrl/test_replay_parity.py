@@ -1,0 +1,257 @@
+"""Bit-identity of the batched replay engine against the scalar write path.
+
+The contract of :meth:`repro.memctrl.controller.MemoryController.replay_trace`
+is that every per-write accounting value equals what the corresponding
+sequence of :meth:`write_line` calls produces — for every registry encoder,
+both cell technologies, with faults, wear, encryption, and wear leveling in
+play.  The scalar path is the oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.registry import available_encoders, make_encoder
+from repro.errors import ConfigurationError
+from repro.memctrl.config import ControllerConfig
+from repro.memctrl.controller import MemoryController
+from repro.pcm.array import PCMArray
+from repro.pcm.cell import CellTechnology
+from repro.pcm.endurance import EnduranceModel
+from repro.pcm.faultmap import FaultMap
+from repro.pcm.wearlevel import StartGapWearLeveler
+from repro.sim.harness import TechniqueSpec, build_controller
+from repro.traces.synthetic import generate_trace
+
+ROWS = 16
+TRACE = {"num_writebacks": 12, "memory_lines": ROWS, "line_bits": 512, "word_bits": 64}
+
+
+def _trace(seed=9):
+    return generate_trace("mcf", seed=seed, **TRACE)
+
+
+def _controller(name, technology, seed=9):
+    return build_controller(
+        TechniqueSpec(encoder=name, cost="saw-then-energy", num_cosets=16),
+        rows=ROWS,
+        technology=technology,
+        fault_map=FaultMap(
+            rows=ROWS,
+            cells_per_row=512 // technology.bits_per_cell,
+            technology=technology,
+            fault_rate=1e-2,
+            seed=seed,
+        ),
+        endurance_model=EnduranceModel(mean_writes=30, coefficient_of_variation=0.2),
+        seed=seed,
+        encrypt=True,
+    )
+
+
+def _drive_scalar(controller, trace, repetitions):
+    results = []
+    for _ in range(repetitions):
+        for record in trace:
+            results.append(controller.write_line(record.address, list(record.words)))
+    return results
+
+
+def assert_parity(scalar_results, replay):
+    assert replay.writes == len(scalar_results)
+    for index, line in enumerate(scalar_results):
+        assert line.address == replay.addresses[index]
+        assert line.row_index == replay.row_indices[index]
+        assert line.data_energy_pj == replay.data_energy_pj[index]
+        assert line.aux_energy_pj == replay.aux_energy_pj[index]
+        assert line.cells_changed == replay.cells_changed[index]
+        assert line.bits_changed == replay.bits_changed[index]
+        assert line.saw_cells == replay.saw_cells[index]
+        assert list(line.saw_bits_per_word) == list(replay.saw_bits_per_word[index])
+        assert line.newly_stuck_cells == replay.newly_stuck_cells[index]
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("name", available_encoders())
+    @pytest.mark.parametrize("technology", [CellTechnology.MLC, CellTechnology.SLC])
+    def test_registry_encoder_parity(self, name, technology):
+        """Replay accounting is bit-identical to write_line for every encoder."""
+        trace = _trace()
+        scalar = _drive_scalar(_controller(name, technology), trace, repetitions=2)
+        replay = _controller(name, technology).replay_trace(trace, repetitions=2)
+        assert_parity(scalar, replay)
+
+    @pytest.mark.parametrize("name", ["unencoded", "rcc"])
+    def test_parity_without_encryption(self, name):
+        trace = _trace()
+
+        def build():
+            return build_controller(
+                TechniqueSpec(encoder=name, cost="saw-then-energy", num_cosets=16),
+                rows=ROWS,
+                seed=3,
+                encrypt=False,
+            )
+
+        scalar = _drive_scalar(build(), trace, repetitions=2)
+        replay = build().replay_trace(trace, repetitions=2)
+        assert_parity(scalar, replay)
+
+    @pytest.mark.parametrize("fault_knowledge", ["oracle", "discovered", "none"])
+    def test_parity_across_fault_knowledge_modes(self, fault_knowledge):
+        trace = _trace()
+
+        def build():
+            technology = CellTechnology.MLC
+            array = PCMArray(
+                rows=ROWS,
+                row_bits=512,
+                technology=technology,
+                fault_map=FaultMap(
+                    rows=ROWS, cells_per_row=256, technology=technology, fault_rate=1e-2, seed=5
+                ),
+                seed=5,
+            )
+            encoder = make_encoder("unencoded", word_bits=64, technology=technology)
+            return MemoryController(
+                array=array, encoder=encoder, fault_knowledge=fault_knowledge
+            )
+
+        scalar = _drive_scalar(build(), trace, repetitions=3)
+        replay = build().replay_trace(trace, repetitions=3)
+        assert_parity(scalar, replay)
+
+    @pytest.mark.parametrize("name", ["unencoded", "dbi"])
+    def test_parity_with_wear_leveling(self, name):
+        """Start-Gap migrations happen at identical points on both paths."""
+        trace = _trace()
+
+        def build():
+            technology = CellTechnology.MLC
+            leveler = StartGapWearLeveler(rows=ROWS, gap_write_interval=5)
+            array = PCMArray(
+                rows=leveler.physical_rows_required,
+                row_bits=512,
+                technology=technology,
+                endurance_model=EnduranceModel(mean_writes=40, coefficient_of_variation=0.2),
+                seed=7,
+            )
+            encoder = make_encoder(name, word_bits=64, technology=technology)
+            return MemoryController(array=array, encoder=encoder, wear_leveler=leveler)
+
+        first = build()
+        scalar = _drive_scalar(first, trace, repetitions=3)
+        second = build()
+        replay = second.replay_trace(trace, repetitions=3)
+        assert_parity(scalar, replay)
+        assert first.wear_leveler.gap_moves == second.wear_leveler.gap_moves
+        assert first.wear_leveler.mapping_snapshot() == second.wear_leveler.mapping_snapshot()
+        # Stats integers (including the migration writes) agree exactly.
+        for key, value in first.stats.as_dict().items():
+            if isinstance(value, int):
+                assert value == second.stats.as_dict()[key], key
+
+    def test_replay_counters_continue_for_scalar_writes(self):
+        """Encryption counters advance identically, so paths can interleave."""
+        trace = _trace()
+        one = _controller("unencoded", CellTechnology.MLC)
+        two = _controller("unencoded", CellTechnology.MLC)
+        _drive_scalar(one, trace, repetitions=1)
+        two.replay_trace(trace, repetitions=1)
+        record = trace[0]
+        a = one.write_line(record.address, list(record.words))
+        b = two.write_line(record.address, list(record.words))
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["unencoded", "rcc"])
+    def test_early_stop_leaves_exact_controller_state(self, name):
+        """An early-stopped replay leaves counters, reads, and later writes
+        exactly where the equivalent scalar write_line sequence would."""
+        trace = _trace()
+        cut = 3
+        scalar = _controller(name, CellTechnology.MLC)
+        for record in list(trace)[:cut]:
+            scalar.write_line(record.address, list(record.words))
+        replayed = _controller(name, CellTechnology.MLC)
+        result = replayed.replay_trace(
+            trace, repetitions=2, stop=lambda index, row, saw, bits: index == cut - 1
+        )
+        assert result.writes == cut
+        for record in trace:
+            address = record.address
+            assert scalar.encryption.counter_for(address) == replayed.encryption.counter_for(
+                address
+            ), address
+            assert scalar.read_line(address) == replayed.read_line(address)
+        follow_up = trace[0]
+        a = scalar.write_line(follow_up.address, list(follow_up.words))
+        b = replayed.write_line(follow_up.address, list(follow_up.words))
+        assert a == b
+
+
+class TestReplayControls:
+    def test_early_stop_truncates_and_flags(self):
+        trace = _trace()
+        controller = _controller("unencoded", CellTechnology.MLC)
+        replay = controller.replay_trace(
+            trace, repetitions=5, stop=lambda index, row, saw, bits: index == 7
+        )
+        assert replay.writes == 8
+        assert replay.stopped_early
+        assert len(replay.addresses) == 8
+        assert replay.saw_bits_per_word.shape == (8, 8)
+
+    def test_stop_sees_per_write_accounting(self):
+        trace = _trace()
+        controller = _controller("unencoded", CellTechnology.MLC)
+        seen = []
+        controller.replay_trace(
+            trace,
+            repetitions=2,
+            stop=lambda index, row, saw, bits: seen.append((index, row, saw)) or False,
+        )
+        replay_writes = len(seen)
+        assert replay_writes == 2 * len(trace)
+        assert [entry[0] for entry in seen] == list(range(replay_writes))
+
+    def test_max_writes_caps_partial_repetition(self):
+        trace = _trace()
+        controller = _controller("rcc", CellTechnology.MLC)
+        replay = controller.replay_trace(trace, repetitions=5, max_writes=len(trace) + 3)
+        assert replay.writes == len(trace) + 3
+        assert not replay.stopped_early
+
+    def test_zero_work_replay(self):
+        trace = _trace()
+        controller = _controller("unencoded", CellTechnology.MLC)
+        replay = controller.replay_trace(trace, repetitions=0)
+        assert replay.writes == 0
+        assert replay.write_stats().rows_written == 0
+
+    def test_geometry_validated(self):
+        controller = _controller("unencoded", CellTechnology.MLC)
+        narrow = generate_trace(
+            "mcf", num_writebacks=4, memory_lines=ROWS, line_bits=256, word_bits=64, seed=1
+        )
+        with pytest.raises(ConfigurationError):
+            controller.replay_trace(narrow)
+        with pytest.raises(ConfigurationError):
+            controller.replay_trace(_trace(), repetitions=-1)
+
+    def test_write_stats_matches_line_results(self):
+        trace = _trace()
+        controller = _controller("rcc", CellTechnology.MLC)
+        replay = controller.replay_trace(trace, repetitions=2)
+        from repro.pcm.stats import WriteStats
+
+        rebuilt = WriteStats.from_line_results(
+            replay.line_results(), controller.config.words_per_line
+        )
+        batch = replay.write_stats()
+        assert rebuilt.rows_written == batch.rows_written
+        assert rebuilt.words_written == batch.words_written
+        assert rebuilt.bits_changed == batch.bits_changed
+        assert rebuilt.cells_changed == batch.cells_changed
+        assert rebuilt.saw_cells == batch.saw_cells
+        assert rebuilt.saw_words == batch.saw_words
+        assert rebuilt.data_energy_pj == pytest.approx(batch.data_energy_pj)
+        assert rebuilt.aux_energy_pj == pytest.approx(batch.aux_energy_pj)
