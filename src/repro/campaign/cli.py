@@ -2,12 +2,15 @@
 
 Two ways to name the work:
 
-* a **named sweep** — one of the benchmark-sweep figures (``fig9``,
-  ``fig10``, ``fig11``, ``fig12``, ``fig13``), expanded exactly as the
-  experiment registry expands it, printed as the figure's result table::
+* a **named sweep** — one of the campaign-backed figures: the benchmark
+  sweeps (``fig9``, ``fig10``, ``fig11``, ``fig12``, ``fig13``) and the
+  coset-count studies (``fig1``, ``fig2``, ``fig7``, ``fig8``), expanded
+  exactly as the experiment registry expands them, printed as the
+  figure's result table::
 
       python -m repro.campaign fig9 --jobs 4 --store .campaign-store
       python -m repro.campaign fig10 --benchmarks lbm mcf --writebacks 60
+      python -m repro.campaign fig7 --jobs 2 --coset-counts 32 64 --num-writes 100
 
 * a **spec file** — a JSON :class:`~repro.campaign.spec.SweepSpec`
   (``kind`` + ``base`` + ``grid`` + ``seeds``) for ad-hoc grids over any
@@ -40,7 +43,7 @@ from repro.sim.results import ResultTable
 __all__ = ["main"]
 
 #: Named sweeps the CLI exposes — the campaign-backed figure experiments.
-NAMED_SWEEPS = ("fig9", "fig10", "fig11", "fig12", "fig13")
+NAMED_SWEEPS = ("fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13")
 
 
 def _progress_printer(quiet: bool):
@@ -72,7 +75,9 @@ def _named_sweep_table(args: argparse.Namespace, progress) -> ResultTable:
     option_map = {
         "benchmarks": args.benchmarks,
         "num_cosets": args.num_cosets,
+        "coset_counts": args.coset_counts,
         "writebacks_per_benchmark": args.writebacks,
+        "num_writes": args.num_writes,
         "rows": args.rows,
         "seed": args.seed,
         "repetitions": args.repetitions,
@@ -122,7 +127,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--benchmarks", nargs="+", default=None, help="benchmark subset")
     parser.add_argument("--num-cosets", type=int, default=None, help="coset candidate count")
     parser.add_argument(
+        "--coset-counts",
+        nargs="+",
+        type=int,
+        default=None,
+        help="coset-count axis (fig1/fig2/fig7/fig8/fig12)",
+    )
+    parser.add_argument(
         "--writebacks", type=int, default=None, help="writebacks per benchmark trace"
+    )
+    parser.add_argument(
+        "--num-writes",
+        type=int,
+        default=None,
+        help="random line writes per cell (fig2/fig7/fig8)",
     )
     parser.add_argument("--rows", type=int, default=None, help="memory rows")
     parser.add_argument("--seed", type=int, default=None, help="campaign seed")

@@ -49,6 +49,7 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
     "repro.sim.energy_sim",
     "repro.sim.saw_sim",
     "repro.sim.lifetime_sim",
+    "repro.experiments.fig01_coding_analysis",
     "repro.experiments.fig13_ipc",
 )
 

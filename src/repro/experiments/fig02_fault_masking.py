@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback
+from repro.campaign.store import ResultStore
 from repro.sim.results import ResultTable
 from repro.sim.saw_sim import SawStudyConfig, fault_masking_study
 
@@ -15,7 +18,21 @@ def run(
     rows: int = 96,
     num_writes: int = 200,
     seed: int = 7,
+    jobs: int = 1,
+    store_dir: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
-    """Regenerate Fig. 2 on a scaled memory snapshot with a 1e-2 fault rate."""
+    """Regenerate Fig. 2 on a scaled memory snapshot with a 1e-2 fault rate.
+
+    ``jobs`` fans the per-count cells out over worker processes through
+    the campaign engine (rows are bit-identical for any count);
+    ``store_dir`` enables cached resume across runs.
+    """
     config = SawStudyConfig(rows=rows, num_writes=num_writes, seed=seed)
-    return fault_masking_study(coset_counts=coset_counts, config=config)
+    return fault_masking_study(
+        coset_counts=coset_counts,
+        config=config,
+        jobs=jobs,
+        store=store_dir,
+        progress=progress,
+    )

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
+from repro.campaign.engine import ProgressCallback
+from repro.campaign.store import ResultStore
 from repro.sim.energy_sim import EnergyStudyConfig, random_data_energy_study
 from repro.sim.results import ResultTable
 
@@ -15,7 +18,21 @@ def run(
     rows: int = 96,
     num_writes: int = 250,
     seed: int = 2022,
+    jobs: int = 1,
+    store_dir: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
-    """Regenerate the Fig. 7 comparison on a scaled-down random workload."""
+    """Regenerate the Fig. 7 comparison on a scaled-down random workload.
+
+    ``jobs`` fans the coset × technique cells out over worker processes
+    through the campaign engine (rows are bit-identical for any count);
+    ``store_dir`` enables cached resume across runs.
+    """
     config = EnergyStudyConfig(rows=rows, num_writes=num_writes, seed=seed)
-    return random_data_energy_study(coset_counts=coset_counts, config=config)
+    return random_data_energy_study(
+        coset_counts=coset_counts,
+        config=config,
+        jobs=jobs,
+        store=store_dir,
+        progress=progress,
+    )

@@ -7,9 +7,10 @@ Usage::
     python -m repro.experiments.runner all --json-dir results/
     python -m repro.experiments.runner fig9 fig10 --jobs 4 --store-dir .campaign-store
 
-``--jobs N`` fans the benchmark-sweep experiments (fig9/fig10/fig11/
-fig12/fig13) out over N worker processes through the campaign engine
-(:mod:`repro.campaign`); results are bit-identical to a serial run.
+``--jobs N`` fans the campaign-backed experiments (fig1/fig2/fig7/fig8
+and fig9/fig10/fig11/fig12/fig13) out over N worker processes through
+the campaign engine (:mod:`repro.campaign`); results are bit-identical
+to a serial run.
 ``--store-dir`` caches completed sweep cells on disk, so re-running an
 interrupted sweep resumes instead of starting over.  Experiments whose
 entry points take no ``jobs`` parameter simply run serially.

@@ -4,10 +4,12 @@ The controller owns the per-line write counters (via the counter-mode
 engine), the per-word auxiliary bits produced by the encoder, and the
 accounting of write energy / bit changes / stuck-at-wrong cells.  It is the
 single integration point the simulators drive — either one
-:meth:`MemoryController.write_line` call per trace record, or a whole
+:meth:`MemoryController.write_line` call per trace record, a whole
 trace at once through the batched :meth:`MemoryController.replay_trace`
-engine (bit-identical accounting, per-write results accumulated into the
-preallocated arrays of a :class:`ReplayResult`).
+engine, or a stream of uniformly random lines through
+:meth:`MemoryController.write_random_lines` (both batched drivers share
+the same internals: bit-identical accounting, per-write results
+accumulated into the preallocated arrays of a :class:`ReplayResult`).
 
 The write path is line-granular end to end: each write issues a single
 :meth:`repro.coding.base.Encoder.encode_line` call (vectorised for every
@@ -38,7 +40,7 @@ from repro.pcm.energy import DEFAULT_MLC_ENERGY, DEFAULT_SLC_ENERGY, MLCEnergyMo
 from repro.pcm.faultrepo import FaultRepository
 from repro.pcm.stats import WriteStats
 from repro.pcm.wearlevel import StartGapWearLeveler
-from repro.utils.bitops import popcount64_array
+from repro.utils.bitops import popcount64_array, random_word
 
 __all__ = ["LineWriteResult", "ReplayResult", "MemoryController"]
 
@@ -537,6 +539,10 @@ class MemoryController:
         addresses = np.tile(trace.addresses_array(), reps_needed)[:total]
         words = trace.words_array()
 
+        def plaintext_for(index: int) -> List[int]:
+            # Wide/odd word sizes: per-record scalar fallback.
+            return list(trace[index % num_records].words)
+
         # Chunked execution: pads and cell conversions are produced only
         # for writes about to be performed.  The geometric chunk ramp
         # bounds the work wasted when an early stop ends the replay after
@@ -571,7 +577,7 @@ class MemoryController:
                 )
             else:
                 performed, stopped = self._replay_generic(
-                    replay, trace, addresses, encrypted_chunk, start, end, stop
+                    replay, plaintext_for, addresses, encrypted_chunk, start, end, stop
                 )
             if (
                 stopped
@@ -698,7 +704,7 @@ class MemoryController:
     def _replay_generic(
         self,
         replay: ReplayResult,
-        trace,
+        plaintext_for: Callable[[int], List[int]],
         addresses: np.ndarray,
         encrypted_chunk: Optional[np.ndarray],
         start: int,
@@ -708,12 +714,14 @@ class MemoryController:
         """Replay path for arbitrary encoders over writes [start, end).
 
         Still faster than a :meth:`write_line` loop — encryption pads are
-        generated per chunk, trace records are read from arrays, and no
+        generated per chunk, line data is read from arrays, and no
         per-write result objects or stats updates are built — while the
         write itself runs the identical :meth:`_apply_line_write` code.
-        Returns ``(performed, stopped)`` like :meth:`_replay_identity`.
+        ``plaintext_for`` supplies the plaintext word list of one write for
+        the scalar-encryption fallback (odd word widths, where no batched
+        ciphertext chunk exists).  Returns ``(performed, stopped)`` like
+        :meth:`_replay_identity`.
         """
-        num_records = len(trace)
         encryption = self.encryption
         performed = start
         stopped = False
@@ -721,14 +729,13 @@ class MemoryController:
             if encrypted_chunk is not None:
                 encrypted = encrypted_chunk[index - start].tolist()
             else:
-                # Wide/odd word sizes: per-record scalar fallback.
-                record = trace[index % num_records]
+                words = plaintext_for(index)
                 if encryption is not None:
                     encrypted = list(
-                        encryption.encrypt_line(record.address, list(record.words)).words
+                        encryption.encrypt_line(int(addresses[index]), words).words
                     )
                 else:
-                    encrypted = [int(w) for w in record.words]
+                    encrypted = [int(w) for w in words]
             (
                 row_index,
                 data_energy,
@@ -754,6 +761,145 @@ class MemoryController:
                 stopped = True
                 break
         return performed, stopped
+
+    # -------------------------------------------------------- random lines
+    def write_random_lines(
+        self,
+        num_lines: int,
+        rng: np.random.Generator,
+        address_space: Optional[int] = None,
+    ) -> ReplayResult:
+        """Write ``num_lines`` uniformly random lines to random addresses.
+
+        The batched sibling of the scalar random-line loop (one
+        ``rng.integers`` address draw plus one :func:`repro.utils.bitops.random_word`
+        per word, then :meth:`write_line`): line data is drawn in chunks
+        with the *exact same generator call sequence* — so the addresses
+        and words are bit-identical to the scalar loop's — and driven
+        through :meth:`replay_trace`'s internals: chunked counter-mode
+        pads, the identity-encoder fast path for the unencoded baselines,
+        and per-write accounting in the preallocated arrays of a
+        :class:`ReplayResult`.  Controller state (array contents,
+        encryption counters, auxiliary bits, wear) after the call matches
+        the scalar sequence exactly, so scalar and batched drives can
+        interleave.
+
+        Parameters
+        ----------
+        num_lines:
+            Number of random lines to write.
+        rng:
+            Source generator for addresses and line data (the caller owns
+            the seeding; pass a fresh ``make_rng(seed, label)`` stream for
+            reproducible studies).
+        address_space:
+            Addresses are drawn uniformly from ``[0, address_space)``;
+            defaults to the array's row count.
+        """
+        if num_lines < 0:
+            raise ConfigurationError("num_lines must be non-negative")
+        if address_space is None:
+            address_space = self.array.rows
+        if address_space <= 0:
+            raise ConfigurationError("address_space must be positive")
+        words_per_line = self.config.words_per_line
+        replay = ReplayResult.empty(num_lines, words_per_line)
+        if num_lines == 0:
+            return replay._trim(0, False)
+
+        # Chunked like replay_trace: pads and cell conversions are only
+        # produced for a bounded window of writes at a time, with the same
+        # geometric ramp.  There is no early-stop predicate here (the
+        # random-line studies always run to completion), so no counter
+        # rollback is ever needed.
+        addresses = np.empty(num_lines, dtype=np.int64)
+        chunk = 512
+        start = 0
+        performed = 0
+        while start < num_lines:
+            end = min(start + chunk, num_lines)
+            chunk = min(chunk * 2, 8192)
+            chunk_addresses, plaintext = self._draw_random_lines(
+                rng, end - start, address_space
+            )
+            addresses[start:end] = chunk_addresses
+            encrypted_chunk: Optional[np.ndarray] = None
+            if isinstance(plaintext, np.ndarray):
+                if self.encryption is None:
+                    encrypted_chunk = plaintext
+                else:
+                    encrypted_chunk = self.encryption.encrypt_lines(
+                        chunk_addresses, plaintext
+                    )
+            if encrypted_chunk is not None and self.encoder.is_identity:
+                performed, _ = self._replay_identity(
+                    replay, addresses, encrypted_chunk, start, end, None
+                )
+            else:
+                def plaintext_for(index: int, _base=start, _rows=plaintext) -> List[int]:
+                    return [int(word) for word in _rows[index - _base]]
+
+                performed, _ = self._replay_generic(
+                    replay, plaintext_for, addresses, encrypted_chunk, start, end, None
+                )
+            start = end
+        replay._trim(performed, False)
+        self.stats.absorb(replay.write_stats())
+        return replay
+
+    def _draw_random_lines(
+        self, rng: np.random.Generator, count: int, address_space: int
+    ):
+        """Draw ``count`` random (address, line) pairs from ``rng``.
+
+        Consumes the generator with the exact call sequence of the scalar
+        oracle loop — per line one ``integers(0, address_space)`` draw
+        followed by the per-word chunk draws of
+        :func:`repro.utils.bitops.random_word` — so a batched drive sees
+        the same addresses and words a :meth:`write_line` loop would.  The
+        word-chunk draws are vectorised per line (one ``integers`` call
+        covering all words), which numpy fills sequentially and therefore
+        stream-identically to the scalar calls.
+
+        Returns ``(addresses, words)`` with ``words`` a
+        ``(count, words_per_line)`` ``uint64`` matrix when the word width
+        fits, else a list of per-line Python-int word lists.
+        """
+        word_bits = self.config.word_bits
+        words_per_line = self.config.words_per_line
+        chunk_widths = []
+        remaining = word_bits
+        while remaining > 0:
+            width = min(remaining, 32)
+            chunk_widths.append(width)
+            remaining -= width
+        addresses = np.empty(count, dtype=np.int64)
+        if word_bits <= 64 and len(set(chunk_widths)) == 1:
+            width = chunk_widths[0]
+            chunks_per_word = len(chunk_widths)
+            draws_per_line = words_per_line * chunks_per_word
+            high = 1 << width
+            draws = np.empty((count, draws_per_line), dtype=np.uint64)
+            for line in range(count):
+                addresses[line] = rng.integers(0, address_space)
+                draws[line] = rng.integers(0, high, size=draws_per_line)
+            if chunks_per_word == 1:
+                return addresses, draws
+            # random_word draws the most significant chunk first.
+            shaped = draws.reshape(count, words_per_line, chunks_per_word)
+            words = np.zeros((count, words_per_line), dtype=np.uint64)
+            for position in range(chunks_per_word):
+                words = (words << np.uint64(width)) | shaped[:, :, position]
+            return addresses, words
+        # Mixed chunk widths (word_bits not a multiple of 32) or words
+        # wider than uint64: fall back to the scalar word generator.
+        lines = []
+        for line in range(count):
+            addresses[line] = rng.integers(0, address_space)
+            lines.append([random_word(rng, word_bits) for _ in range(words_per_line)])
+        if word_bits <= 64:
+            return addresses, np.array(lines, dtype=np.uint64)
+        return addresses, lines
 
     # ---------------------------------------------------------------- read
     def read_line(self, address: int) -> List[int]:

@@ -14,6 +14,14 @@ Two experiments share this module:
   ("Opt. Energy" = energy first, SAW second; "Opt. SAW" = the reverse) is
   compared with the unencoded baseline.  Energy accounting includes the
   auxiliary bits, as in the paper.
+
+Both run through the campaign engine as grids of per-cell task kinds
+(``fig7-energy-cell``, ``fig9-energy-cell``): ``jobs`` worker processes
+produce bit-identical rows at any count, and a ``store`` enables cached
+resume.  The Fig. 7 cells drive the batched
+:meth:`~repro.memctrl.controller.MemoryController.write_random_lines`
+engine, whose accounting is bit-identical to the scalar ``write_line``
+loop the study historically ran.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.sim.harness import (
     build_controller,
     cached_fault_map,
     cached_trace,
+    checked_coset_counts,
     drive_random_lines,
     drive_trace,
 )
@@ -42,6 +51,7 @@ from repro.utils.rng import derive_seed
 __all__ = [
     "EnergyStudyConfig",
     "random_data_energy_study",
+    "random_energy_tasks",
     "benchmark_energy_study",
     "benchmark_energy_tasks",
 ]
@@ -70,58 +80,120 @@ class EnergyStudyConfig:
     seed: int = 2022
 
 
+#: The Fig. 7 technique line-up, in table order (the unencoded baseline
+#: leads so aggregation can normalise the coset techniques against it).
+_FIG7_TECHNIQUES = (
+    ("unencoded", "Unencoded"),
+    ("rcc", "RCC"),
+    ("vcc", "VCC-Generated"),
+    ("vcc-stored", "VCC-Stored"),
+)
+
+
+@register_task(
+    "fig7-energy-cell",
+    description="random-data write energy of one technique at one coset count (Fig. 7 cell)",
+)
+def _fig7_energy_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One (coset count × technique) cell of the Fig. 7 sweep.
+
+    Seed derivation labels (``fig7-{label}-{cosets}`` for the stack,
+    ``fig7-writes-{cosets}`` for the random lines) match the historical
+    serial study exactly, so campaign rows are bit-identical to the
+    in-process loop.  The random lines run through the batched
+    :meth:`~repro.memctrl.controller.MemoryController.write_random_lines`
+    driver (accounting bit-identical to the scalar ``write_line`` loop).
+    """
+    cosets = params["cosets"]
+    seed = params["seed"]
+    spec = TechniqueSpec(
+        encoder=params["encoder"], cost=params["cost"], num_cosets=cosets, label=params["label"]
+    )
+    controller = build_controller(
+        spec,
+        rows=params["rows"],
+        technology=CellTechnology(params["technology"]),
+        word_bits=params["word_bits"],
+        line_bits=params["line_bits"],
+        seed=derive_seed(seed, f"fig7-{spec.label}-{cosets}"),
+        encrypt=True,
+    )
+    stats = drive_random_lines(
+        controller,
+        params["num_writes"],
+        seed=derive_seed(seed, f"fig7-writes-{cosets}"),
+    )
+    return [
+        {
+            "cosets": cosets,
+            "technique": spec.label,
+            "encoder": spec.encoder,
+            "total_energy_pj": float(stats.total_energy_pj),
+        }
+    ]
+
+
+def random_energy_tasks(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    config: EnergyStudyConfig = EnergyStudyConfig(),
+) -> List[Task]:
+    """The Fig. 7 sweep as campaign tasks, one per coset count × technique."""
+    base = {
+        "rows": config.rows,
+        "num_writes": config.num_writes,
+        "word_bits": config.word_bits,
+        "line_bits": config.line_bits,
+        "technology": config.technology.value,
+        "seed": config.seed,
+    }
+    tasks: List[Task] = []
+    for cosets in checked_coset_counts(coset_counts, minimum=2):
+        for encoder, label in _FIG7_TECHNIQUES:
+            params = dict(base)
+            params.update(cosets=cosets, encoder=encoder, cost="energy", label=label)
+            tasks.append(Task(kind="fig7-energy-cell", params=params))
+    return tasks
+
+
 def random_data_energy_study(
     coset_counts: Sequence[int] = (32, 64, 128, 256),
     config: EnergyStudyConfig = EnergyStudyConfig(),
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
     """Fig. 7: write energy of RCC / VCC-generated / VCC-stored / unencoded.
 
     Returns a table with one row per (coset count, technique) holding the
     total write energy (data + auxiliary bits) and the saving relative to
     the unencoded baseline.
+
+    The (coset count × technique) cells run through the campaign engine:
+    ``jobs`` worker processes (bit-identical rows for any count) with
+    optional result caching and resume via ``store``.
     """
+    tasks = random_energy_tasks(coset_counts, config)
+    result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
+    energy_by_cell: Dict[Any, float] = {
+        (row["cosets"], row["technique"]): row["total_energy_pj"] for row in result.rows()
+    }
     table = ResultTable(
         title="Fig. 7 — write energy vs. coset count (random data, MLC PCM)",
         columns=["cosets", "technique", "total_energy_pj", "saving_percent"],
         notes="scaled-down memory/write count; savings are relative to unencoded",
     )
-    techniques = [
-        TechniqueSpec(encoder="unencoded", cost="energy", label="Unencoded"),
-        TechniqueSpec(encoder="rcc", cost="energy", label="RCC"),
-        TechniqueSpec(encoder="vcc", cost="energy", label="VCC-Generated"),
-        TechniqueSpec(encoder="vcc-stored", cost="energy", label="VCC-Stored"),
-    ]
-    for cosets in coset_counts:
-        baseline_energy: Optional[float] = None
-        for spec in techniques:
-            spec_with_count = TechniqueSpec(
-                encoder=spec.encoder, cost=spec.cost, num_cosets=cosets, label=spec.label
-            )
-            controller = build_controller(
-                spec_with_count,
-                rows=config.rows,
-                technology=config.technology,
-                word_bits=config.word_bits,
-                line_bits=config.line_bits,
-                seed=derive_seed(config.seed, f"fig7-{spec.label}-{cosets}"),
-                encrypt=True,
-            )
-            stats = drive_random_lines(
-                controller,
-                config.num_writes,
-                seed=derive_seed(config.seed, f"fig7-writes-{cosets}"),
-            )
-            energy = stats.total_energy_pj
-            if spec.encoder == "unencoded":
-                baseline_energy = energy
+    for cosets in checked_coset_counts(coset_counts, minimum=2):
+        baseline_energy = energy_by_cell[(cosets, "Unencoded")]
+        for _, label in _FIG7_TECHNIQUES:
+            energy = energy_by_cell[(cosets, label)]
             saving = (
                 0.0
-                if baseline_energy in (None, 0.0)
+                if label == "Unencoded" or baseline_energy == 0.0
                 else 100.0 * (baseline_energy - energy) / baseline_energy
             )
             table.append(
                 cosets=cosets,
-                technique=spec.label,
+                technique=label,
                 total_energy_pj=energy,
                 saving_percent=saving,
             )

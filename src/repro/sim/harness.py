@@ -45,9 +45,12 @@ __all__ = [
     "build_controller",
     "cached_fault_map",
     "cached_trace",
+    "checked_coset_counts",
     "drive_random_lines",
+    "drive_random_lines_scalar",
     "drive_trace",
     "make_cost",
+    "scalar_random_line_results",
 ]
 
 #: Cost-function spellings accepted by :class:`TechniqueSpec.cost`.
@@ -86,9 +89,37 @@ def make_cost(
     raise ConfigurationError(f"unknown cost function {name!r}; expected one of {_COST_NAMES}")
 
 
+def checked_coset_counts(coset_counts: Sequence[int], minimum: int = 1) -> List[int]:
+    """Validate a coset-count sweep axis before any simulation work.
+
+    The shared guard of every coset-grid task builder (fig1/fig2/fig7/
+    fig8/fig12): each count must be an integer of at least ``minimum``,
+    rejected here — when the grid is declared — rather than deep inside
+    a worker process.
+    """
+    counts = []
+    for cosets in coset_counts:
+        if isinstance(cosets, bool) or not isinstance(cosets, (int, np.integer)):
+            raise ConfigurationError(
+                f"coset counts must be integers, got {cosets!r}"
+            )
+        count = int(cosets)
+        if count < minimum:
+            raise ConfigurationError(
+                f"coset counts must be at least {minimum}, got {cosets!r}"
+            )
+        counts.append(count)
+    return counts
+
+
 @dataclass(frozen=True)
 class TechniqueSpec:
     """One technique line in an experiment.
+
+    Validated on construction: a misspelt cost name or a non-positive
+    coset count raises :class:`~repro.errors.ConfigurationError` when the
+    spec (and therefore the sweep grid) is built, before any array,
+    encoder, or simulation work happens.
 
     Attributes
     ----------
@@ -111,6 +142,20 @@ class TechniqueSpec:
     num_cosets: int = 256
     label: str = ""
     corrector: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cost, str) or self.cost.lower() not in _COST_NAMES:
+            raise ConfigurationError(
+                f"unknown cost function {self.cost!r}; expected one of {_COST_NAMES}"
+            )
+        count = self.num_cosets
+        if isinstance(count, bool) or not isinstance(count, (int, np.integer)):
+            raise ConfigurationError(
+                f"num_cosets must be a positive integer, got {count!r}"
+            )
+        if count < 1:
+            raise ConfigurationError(f"num_cosets must be at least 1, got {count}")
+        object.__setattr__(self, "num_cosets", int(count))
 
     def display_name(self) -> str:
         """Label used in result tables."""
@@ -216,10 +261,45 @@ def drive_random_lines(
 ) -> WriteStats:
     """Write ``num_lines`` uniformly random cache lines to random addresses.
 
+    Runs the batched
+    :meth:`~repro.memctrl.controller.MemoryController.write_random_lines`
+    driver: random line data is drawn in chunks (with the exact generator
+    call sequence of the scalar loop, so addresses and words match
+    :func:`drive_random_lines_scalar` bit for bit) and written through
+    ``replay_trace``'s internals — chunked counter-mode pads, the
+    identity-encoder fast path for unencoded baselines, and preallocated
+    accounting arrays.
+
     Returns a fresh :class:`WriteStats` covering exactly this call's writes
     (mirroring :func:`drive_trace`'s per-call results), so callers consume
     the result directly instead of reaching into ``controller.stats`` by
     side effect — and phased drives on one controller don't alias.
+    """
+    if num_lines < 0:
+        raise SimulationError("num_lines must be non-negative")
+    rng = make_rng(seed, "random-lines")
+    # Historical harness behaviour (shared with the scalar oracle): a
+    # falsy address_space means "the whole array".
+    address_space = address_space or controller.array.rows
+    replay = controller.write_random_lines(num_lines, rng, address_space=address_space)
+    return replay.write_stats()
+
+
+def scalar_random_line_results(
+    controller: MemoryController,
+    num_lines: int,
+    address_space: Optional[int] = None,
+    seed: int = 0,
+) -> List[LineWriteResult]:
+    """The scalar random-line oracle loop, one result per write.
+
+    This is the single definition of the reference draw-and-write
+    sequence: one address draw plus one :func:`repro.utils.bitops.random_word`
+    per word from the seeded stream, then one
+    :meth:`~repro.memctrl.controller.MemoryController.write_line` call.
+    :func:`drive_random_lines_scalar`, the parity tests, and
+    ``benchmarks/bench_random_lines.py`` all wrap exactly this loop, so
+    the oracle cannot drift between them.
     """
     if num_lines < 0:
         raise SimulationError("num_lines must be non-negative")
@@ -231,7 +311,22 @@ def drive_random_lines(
         address = int(rng.integers(0, address_space))
         words = [random_word(rng, controller.config.word_bits) for _ in range(words_per_line)]
         results.append(controller.write_line(address, words))
-    return WriteStats.from_line_results(results, words_per_line)
+    return results
+
+
+def drive_random_lines_scalar(
+    controller: MemoryController,
+    num_lines: int,
+    address_space: Optional[int] = None,
+    seed: int = 0,
+) -> WriteStats:
+    """Scalar reference of :func:`drive_random_lines` (the parity oracle).
+
+    Aggregates :func:`scalar_random_line_results` into a
+    :class:`WriteStats` the way the harness always has.
+    """
+    results = scalar_random_line_results(controller, num_lines, address_space, seed)
+    return WriteStats.from_line_results(results, controller.config.words_per_line)
 
 
 def drive_trace(

@@ -12,6 +12,14 @@ Three experiments share this module:
 
 All three use a pre-generated stuck-at fault map at the paper's extreme
 1e-2 incidence rate and accumulate no additional wear during the run.
+
+All three run through the campaign engine as grids of per-cell task
+kinds (``fig2-masking-cell``, ``fig8-saw-cell``, ``fig10-saw-cell``):
+``jobs`` worker processes produce bit-identical rows at any count, and a
+``store`` enables cached resume.  The random-line cells drive the
+batched :meth:`~repro.memctrl.controller.MemoryController.write_random_lines`
+engine, whose accounting is bit-identical to the scalar ``write_line``
+loop the studies historically ran.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.sim.harness import (
     build_controller,
     cached_fault_map,
     cached_trace,
+    checked_coset_counts,
     drive_random_lines,
     drive_trace,
 )
@@ -42,7 +51,9 @@ __all__ = [
     "benchmark_saw_study",
     "benchmark_saw_tasks",
     "fault_masking_study",
+    "fault_masking_tasks",
     "saw_vs_coset_count_study",
+    "saw_vs_coset_count_tasks",
 ]
 
 DEFAULT_BENCHMARKS = ("lbm", "mcf", "bwaves", "fotonik3d", "xalancbmk", "xz")
@@ -90,9 +101,92 @@ def _run_spec(
     return drive_trace(controller, trace).write_stats()
 
 
+def _random_study_base(config: SawStudyConfig) -> Dict[str, Any]:
+    """The shared task parameters of the random-line SAW cells."""
+    return {
+        "rows": config.rows,
+        "num_writes": config.num_writes,
+        "word_bits": config.word_bits,
+        "line_bits": config.line_bits,
+        "technology": config.technology.value,
+        "fault_rate": config.fault_rate,
+        "seed": config.seed,
+    }
+
+
+def _random_study_config(params: Dict[str, Any]) -> SawStudyConfig:
+    """Rebuild a :class:`SawStudyConfig` from one task's parameters."""
+    return SawStudyConfig(
+        rows=params["rows"],
+        num_writes=params["num_writes"],
+        word_bits=params["word_bits"],
+        line_bits=params["line_bits"],
+        technology=CellTechnology(params["technology"]),
+        fault_rate=params["fault_rate"],
+        seed=params["seed"],
+    )
+
+
+@register_task(
+    "fig2-masking-cell",
+    description="observed fault rate at one coset candidate count (Fig. 2 cell)",
+)
+def _fig2_masking_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One coset-count cell of the Fig. 2 sweep.
+
+    Seed derivation labels (``fig2-faults``, ``fig2-{cosets}``) match the
+    historical serial study exactly, so campaign rows are bit-identical
+    to the in-process loop — every cell rebuilds the same shared fault
+    snapshot from the study seed.
+    """
+    config = _random_study_config(params)
+    cosets = params["cosets"]
+    fault_map = cached_fault_map(
+        rows=config.rows,
+        cells_per_row=config.cells_per_row,
+        technology=config.technology,
+        fault_rate=config.fault_rate,
+        seed=derive_seed(config.seed, "fig2-faults"),
+    )
+    if cosets <= 1:
+        spec = TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="1 coset")
+    else:
+        spec = TechniqueSpec(
+            encoder="rcc", cost="saw-then-energy", num_cosets=cosets, label=f"{cosets} cosets"
+        )
+    stats = _run_spec(spec, config, fault_map, f"fig2-{cosets}")
+    cells_written = stats.rows_written * config.cells_per_row
+    rate = stats.saw_cells / cells_written if cells_written else 0.0
+    return [
+        {
+            "cosets": cosets,
+            "observed_fault_rate": rate,
+            "saw_cells": int(stats.saw_cells),
+            "cells_written": int(cells_written),
+        }
+    ]
+
+
+def fault_masking_tasks(
+    coset_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    config: SawStudyConfig = SawStudyConfig(),
+) -> List[Task]:
+    """The Fig. 2 sweep as campaign tasks, one per coset count."""
+    base = _random_study_base(config)
+    tasks: List[Task] = []
+    for cosets in checked_coset_counts(coset_counts, minimum=1):
+        params = dict(base)
+        params.update(cosets=cosets)
+        tasks.append(Task(kind="fig2-masking-cell", params=params))
+    return tasks
+
+
 def fault_masking_study(
     coset_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
     config: SawStudyConfig = SawStudyConfig(),
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> ResultTable:
     """Fig. 2: mean observed fault rate as the coset candidate count grows.
 
@@ -100,85 +194,104 @@ def fault_masking_study(
     by the number of cells written; applying more random coset candidates
     lets more faulty cells be matched, so the rate falls monotonically (on
     average) with N.
+
+    The per-count cells run through the campaign engine: ``jobs`` worker
+    processes (bit-identical rows for any count) with optional result
+    caching and resume via ``store``.
     """
+    tasks = fault_masking_tasks(coset_counts, config)
+    result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
     table = ResultTable(
         title="Fig. 2 — mean observed fault rate vs. number of coset codes",
         columns=["cosets", "observed_fault_rate", "saw_cells", "cells_written"],
         notes=f"pre-generated fault map at rate {config.fault_rate}",
     )
-    fault_map = FaultMap(
-        rows=config.rows,
-        cells_per_row=config.cells_per_row,
-        technology=config.technology,
-        fault_rate=config.fault_rate,
-        seed=derive_seed(config.seed, "fig2-faults"),
-    )
-    cells_per_line = config.cells_per_row
-    for cosets in coset_counts:
-        if cosets <= 1:
-            spec = TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="1 coset")
-        else:
-            spec = TechniqueSpec(
-                encoder="rcc", cost="saw-then-energy", num_cosets=cosets, label=f"{cosets} cosets"
-            )
-        stats = _run_spec(spec, config, fault_map, f"fig2-{cosets}")
-        cells_written = stats.rows_written * cells_per_line
-        rate = stats.saw_cells / cells_written if cells_written else 0.0
-        table.append(
-            cosets=cosets,
-            observed_fault_rate=rate,
-            saw_cells=stats.saw_cells,
-            cells_written=cells_written,
-        )
-    return table
+    return table.extend(result.rows())
 
 
-def saw_vs_coset_count_study(
-    coset_counts: Sequence[int] = (32, 64, 128, 256),
-    config: SawStudyConfig = SawStudyConfig(),
-) -> ResultTable:
-    """Fig. 8: SAW cell count of VCC vs. unencoded across coset cardinalities."""
-    table = ResultTable(
-        title="Fig. 8 — SAW cells vs. coset cardinality (fixed 1e-2 fault snapshot)",
-        columns=["cosets", "technique", "saw_cells", "reduction_percent"],
-        notes="reduction is relative to the unencoded writeback at the same coset count",
-    )
-    fault_map = FaultMap(
+@register_task(
+    "fig8-saw-cell",
+    description="SAW cells of one series at one coset cardinality (Fig. 8 cell)",
+)
+def _fig8_saw_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """One (coset count × series) cell of the Fig. 8 sweep.
+
+    ``series`` is ``"unencoded"`` or ``"vcc"``; seed derivation labels
+    (``fig8-faults``, ``fig8-{series}-{cosets}``) match the historical
+    serial study exactly, so campaign rows are bit-identical to the
+    in-process loop.
+    """
+    config = _random_study_config(params)
+    cosets = params["cosets"]
+    series = params["series"]
+    fault_map = cached_fault_map(
         rows=config.rows,
         cells_per_row=config.cells_per_row,
         technology=config.technology,
         fault_rate=config.fault_rate,
         seed=derive_seed(config.seed, "fig8-faults"),
     )
-    for cosets in coset_counts:
-        unencoded = _run_spec(
-            TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded"),
-            config,
-            fault_map,
-            f"fig8-unencoded-{cosets}",
-        )
+    if series == "unencoded":
+        spec = TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="Unencoded")
+    else:
         # The "VCC" series uses stored kernels over the full word: the
         # generated-kernel variant cannot change the left digit of a symbol
         # and therefore cannot reach the paper's masking coverage (see
         # DESIGN.md, data-representation notes).
-        vcc = _run_spec(
-            TechniqueSpec(
-                encoder="vcc-stored", cost="saw-then-energy", num_cosets=cosets, label="VCC"
-            ),
-            config,
-            fault_map,
-            f"fig8-vcc-{cosets}",
+        spec = TechniqueSpec(
+            encoder="vcc-stored", cost="saw-then-energy", num_cosets=cosets, label="VCC"
         )
-        reduction = (
-            100.0 * (unencoded.saw_cells - vcc.saw_cells) / unencoded.saw_cells
-            if unencoded.saw_cells
-            else 0.0
+    stats = _run_spec(spec, config, fault_map, f"fig8-{series}-{cosets}")
+    return [{"cosets": cosets, "series": series, "saw_cells": int(stats.saw_cells)}]
+
+
+def saw_vs_coset_count_tasks(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    config: SawStudyConfig = SawStudyConfig(),
+) -> List[Task]:
+    """The Fig. 8 sweep as campaign tasks, one per coset count × series."""
+    base = _random_study_base(config)
+    tasks: List[Task] = []
+    for cosets in checked_coset_counts(coset_counts, minimum=2):
+        for series in ("unencoded", "vcc"):
+            params = dict(base)
+            params.update(cosets=cosets, series=series)
+            tasks.append(Task(kind="fig8-saw-cell", params=params))
+    return tasks
+
+
+def saw_vs_coset_count_study(
+    coset_counts: Sequence[int] = (32, 64, 128, 256),
+    config: SawStudyConfig = SawStudyConfig(),
+    jobs: int = 1,
+    store: Union[ResultStore, str, Path, None] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> ResultTable:
+    """Fig. 8: SAW cell count of VCC vs. unencoded across coset cardinalities.
+
+    The (coset count × series) cells run through the campaign engine:
+    ``jobs`` worker processes (bit-identical rows for any count) with
+    optional result caching and resume via ``store``.
+    """
+    tasks = saw_vs_coset_count_tasks(coset_counts, config)
+    result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
+    saw_cells: Dict[Any, int] = {
+        (row["cosets"], row["series"]): row["saw_cells"] for row in result.rows()
+    }
+    table = ResultTable(
+        title="Fig. 8 — SAW cells vs. coset cardinality (fixed 1e-2 fault snapshot)",
+        columns=["cosets", "technique", "saw_cells", "reduction_percent"],
+        notes="reduction is relative to the unencoded writeback at the same coset count",
+    )
+    for cosets in checked_coset_counts(coset_counts, minimum=2):
+        unencoded = saw_cells[(cosets, "unencoded")]
+        vcc = saw_cells[(cosets, "vcc")]
+        reduction = 100.0 * (unencoded - vcc) / unencoded if unencoded else 0.0
+        table.append(
+            cosets=cosets, technique="Unencoded", saw_cells=unencoded, reduction_percent=0.0
         )
         table.append(
-            cosets=cosets, technique="Unencoded", saw_cells=unencoded.saw_cells, reduction_percent=0.0
-        )
-        table.append(
-            cosets=cosets, technique="VCC", saw_cells=vcc.saw_cells, reduction_percent=reduction
+            cosets=cosets, technique="VCC", saw_cells=vcc, reduction_percent=reduction
         )
     return table
 

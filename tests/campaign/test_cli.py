@@ -70,10 +70,27 @@ class TestCampaignCli:
         assert "error:" in capsys.readouterr().err
 
     def test_non_sweep_experiment_exits_2_with_hint(self, capsys):
-        """fig1 is a real experiment but not a campaign sweep — no traceback."""
-        assert main(["fig1", "--quiet", "--no-store"]) == 2
+        """fig3 is a real experiment but not a campaign sweep — no traceback."""
+        assert main(["fig3", "--quiet", "--no-store"]) == 2
         err = capsys.readouterr().err
         assert "fig9" in err and "repro.experiments.runner" in err
+
+    def test_fig7_named_sweep_with_coset_counts(self, tmp_path, capsys):
+        """The random-line studies run as named sweeps with their own knobs."""
+        args = [
+            "fig7",
+            "--store", str(tmp_path / "store"),
+            "--coset-counts", "32", "64",
+            "--num-writes", "20",
+            "--rows", "24",
+            "--quiet",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "8 executed, 0 from cache" in out
+        assert main(args) == 0
+        assert "0 executed, 8 from cache" in capsys.readouterr().out
 
     def test_inapplicable_option_exits_2(self, capsys):
         assert main(["fig13", "--writebacks", "5", "--quiet", "--no-store"]) == 2

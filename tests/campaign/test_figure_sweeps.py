@@ -1,0 +1,94 @@
+"""Determinism and resume contracts of the fig1/fig2/fig7/fig8 sweeps.
+
+The four coset-count studies moved from serial in-process loops onto the
+campaign engine; these tests pin the contract that made that move safe:
+the legacy serial entry point (``run()`` at ``jobs=1``) and the parallel
+campaign path (``jobs=4``) produce bit-identical rows, and a completed
+sweep resumes from a result store with zero executions.
+"""
+
+import pytest
+
+from repro.campaign.tasks import available_task_kinds
+from repro.errors import ConfigurationError
+from repro.experiments import fig01_coding_analysis, fig02_fault_masking
+from repro.experiments import fig07_write_energy, fig08_saw_cosets
+from repro.sim.energy_sim import random_energy_tasks
+from repro.sim.saw_sim import fault_masking_tasks, saw_vs_coset_count_tasks
+
+#: name -> (entry point, small-config kwargs) for every new sweep.
+SWEEPS = {
+    "fig1": (fig01_coding_analysis.run, {"coset_counts": (2, 4, 16)}),
+    "fig2": (
+        fig02_fault_masking.run,
+        {"coset_counts": (1, 4, 32), "rows": 24, "num_writes": 20, "seed": 9},
+    ),
+    "fig7": (
+        fig07_write_energy.run,
+        {"coset_counts": (32,), "rows": 24, "num_writes": 20, "seed": 5},
+    ),
+    "fig8": (
+        fig08_saw_cosets.run,
+        {"coset_counts": (32,), "rows": 24, "num_writes": 20, "seed": 9},
+    ),
+}
+
+
+def _progress_counter():
+    events = {"total": 0, "cached": 0}
+
+    def progress(event):
+        events["total"] += 1
+        events["cached"] += bool(event.from_cache)
+
+    return events, progress
+
+
+class TestNewTaskKinds:
+    def test_kinds_registered(self):
+        names = {kind.name for kind in available_task_kinds()}
+        assert {
+            "fig1-analysis-cell",
+            "fig2-masking-cell",
+            "fig7-energy-cell",
+            "fig8-saw-cell",
+        } <= names
+
+    def test_bad_coset_counts_rejected_before_simulation(self):
+        with pytest.raises(ConfigurationError):
+            fault_masking_tasks(coset_counts=(0,))
+        with pytest.raises(ConfigurationError):
+            saw_vs_coset_count_tasks(coset_counts=(1,))
+        with pytest.raises(ConfigurationError):
+            random_energy_tasks(coset_counts=(-4,))
+        with pytest.raises(ConfigurationError):
+            fig01_coding_analysis.coding_analysis_tasks(coset_counts=(0,))
+        with pytest.raises(ConfigurationError):
+            fig01_coding_analysis.coding_analysis_tasks(n=0)
+
+
+class TestFigureSweepDeterminism:
+    @pytest.mark.parametrize("name", sorted(SWEEPS))
+    def test_serial_and_parallel_rows_bit_identical(self, name):
+        """The legacy serial path and a 4-worker campaign agree exactly."""
+        entry, kwargs = SWEEPS[name]
+        serial = entry(**kwargs)
+        parallel = entry(**kwargs, jobs=4)
+        assert serial.rows == parallel.rows
+        assert list(serial.columns) == list(parallel.columns)
+
+    @pytest.mark.parametrize("name", sorted(SWEEPS))
+    def test_cached_resume_executes_nothing(self, name, tmp_path):
+        """A finished sweep re-runs entirely from the store: zero executions."""
+        entry, kwargs = SWEEPS[name]
+        store = tmp_path / "store"
+        first_events, first_progress = _progress_counter()
+        first = entry(**kwargs, store_dir=store, progress=first_progress)
+        assert first_events["cached"] == 0
+        assert first_events["total"] > 0
+
+        second_events, second_progress = _progress_counter()
+        second = entry(**kwargs, store_dir=store, jobs=2, progress=second_progress)
+        assert second_events["total"] == first_events["total"]
+        assert second_events["cached"] == second_events["total"]  # zero executed
+        assert first.rows == second.rows

@@ -16,7 +16,17 @@ from repro.errors import ConfigurationError, SimulationError
 class TestRegistry:
     def test_builtin_kinds_registered(self):
         names = {kind.name for kind in available_task_kinds()}
-        assert {"fig9-energy-cell", "fig10-saw-cell", "fig11-lifetime-cell", "fig13-ipc-cell"} <= names
+        assert {
+            "fig1-analysis-cell",
+            "fig2-masking-cell",
+            "fig7-energy-cell",
+            "fig8-saw-cell",
+            "fig9-energy-cell",
+            "fig10-saw-cell",
+            "fig11-lifetime-cell",
+            "fig12-lifetime-cell",
+            "fig13-ipc-cell",
+        } <= names
 
     def test_unknown_kind_lists_available(self):
         with pytest.raises(ConfigurationError, match="fig9-energy-cell"):

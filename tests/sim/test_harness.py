@@ -8,7 +8,14 @@ from repro.memctrl.controller import LineWriteResult
 from repro.pcm.cell import CellTechnology
 from repro.pcm.faultmap import FaultMap
 from repro.pcm.stats import WriteStats
-from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines, drive_trace, make_cost
+from repro.sim.harness import (
+    TechniqueSpec,
+    build_controller,
+    drive_random_lines,
+    drive_random_lines_scalar,
+    drive_trace,
+    make_cost,
+)
 from repro.traces.synthetic import generate_trace
 
 
@@ -31,6 +38,26 @@ class TestMakeCost:
         with pytest.raises(ConfigurationError):
             make_cost("maximise-entropy")
 
+    def test_unknown_name_error_lists_valid_names(self):
+        """The error names every accepted spelling, so typos self-diagnose."""
+        with pytest.raises(ConfigurationError) as excinfo:
+            make_cost("engery")
+        message = str(excinfo.value)
+        assert "engery" in message
+        for name in (
+            "bit-changes",
+            "cell-changes",
+            "ones",
+            "energy",
+            "saw",
+            "energy-then-saw",
+            "saw-then-energy",
+        ):
+            assert name in message
+
+    def test_names_case_insensitive(self):
+        assert make_cost("Energy").name == make_cost("energy").name
+
     def test_lexicographic_ordering(self):
         assert make_cost("saw-then-energy").name == "saw>energy"
         assert make_cost("energy-then-saw").name == "energy>saw"
@@ -42,6 +69,28 @@ class TestTechniqueSpec:
 
     def test_display_name_uses_label(self):
         assert TechniqueSpec(encoder="rcc", label="RCC Opt. SAW").display_name() == "RCC Opt. SAW"
+
+    def test_unknown_cost_rejected_at_construction(self):
+        """A misspelt cost fails when the spec is built, not mid-simulation."""
+        with pytest.raises(ConfigurationError, match="energy-then-saw"):
+            TechniqueSpec(encoder="rcc", cost="engery")
+
+    @pytest.mark.parametrize("bad_count", [0, -1, -256])
+    def test_non_positive_coset_counts_rejected(self, bad_count):
+        with pytest.raises(ConfigurationError):
+            TechniqueSpec(encoder="rcc", num_cosets=bad_count)
+
+    @pytest.mark.parametrize("bad_count", [2.5, "256", None, True])
+    def test_non_integer_coset_counts_rejected(self, bad_count):
+        with pytest.raises(ConfigurationError):
+            TechniqueSpec(encoder="rcc", num_cosets=bad_count)
+
+    def test_numpy_integer_coset_count_normalised(self):
+        import numpy as np
+
+        spec = TechniqueSpec(encoder="rcc", num_cosets=np.int64(32))
+        assert spec.num_cosets == 32
+        assert type(spec.num_cosets) is int
 
 
 class TestBuildController:
@@ -94,6 +143,31 @@ class TestDrivers:
         controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=8)
         with pytest.raises(SimulationError):
             drive_random_lines(controller, -1)
+        with pytest.raises(SimulationError):
+            drive_random_lines_scalar(controller, -1)
+
+    def test_drive_random_lines_matches_scalar_oracle(self):
+        # The batched driver consumes the same seeded stream as the scalar
+        # loop; integer accounting agrees exactly and the energy totals to
+        # floating-point summation order.
+        batched = drive_random_lines(
+            build_controller(TechniqueSpec(encoder="rcc", num_cosets=16), rows=8, seed=3),
+            25,
+            seed=3,
+        )
+        scalar = drive_random_lines_scalar(
+            build_controller(TechniqueSpec(encoder="rcc", num_cosets=16), rows=8, seed=3),
+            25,
+            seed=3,
+        )
+        assert batched.rows_written == scalar.rows_written
+        assert batched.words_written == scalar.words_written
+        assert batched.bits_changed == scalar.bits_changed
+        assert batched.cells_changed == scalar.cells_changed
+        assert batched.saw_cells == scalar.saw_cells
+        assert batched.saw_words == scalar.saw_words
+        assert batched.data_energy_pj == pytest.approx(scalar.data_energy_pj)
+        assert batched.aux_energy_pj == pytest.approx(scalar.aux_energy_pj)
 
     def test_drive_trace(self):
         controller = build_controller(TechniqueSpec(encoder="unencoded"), rows=32, seed=4)
