@@ -121,6 +121,22 @@ def main() -> None:
     print(f"{PARALLEL_JOBS:>6} {parallel_s:>9.2f} {len(tasks) / parallel_s:>9.2f}")
     print(f"speedup: {serial_s / parallel_s:.2f}x on {cores} core(s); rows {identical}")
 
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_util import write_bench_json
+
+    write_bench_json(
+        "campaign_scaling",
+        config={"tasks": len(tasks), "parallel_jobs": PARALLEL_JOBS},
+        results={
+            "serial_tasks_per_s": len(tasks) / serial_s,
+            "parallel_tasks_per_s": len(tasks) / parallel_s,
+            "speedup": serial_s / parallel_s,
+            "rows_bit_identical": serial_rows == parallel_rows,
+        },
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -108,11 +108,34 @@ def test_batched_path_speedup():
 
 
 def main() -> None:
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_util import write_bench_json
+
     print(f"line-encoding throughput ({NUM_COSETS} cosets, energy-then-saw, "
           f"{WORDS_PER_LINE}x{WORD_BITS}-bit lines)\n")
     print(f"{'encoder':<12} {'scalar lines/s':>15} {'batch lines/s':>15} {'speedup':>9}")
+    results = {}
     for name, (scalar, batch) in run_all().items():
         print(f"{name:<12} {scalar:>15.0f} {batch:>15.0f} {batch / scalar:>8.2f}x")
+        results[name] = {
+            "scalar_lines_per_s": scalar,
+            "batch_lines_per_s": batch,
+            "speedup": batch / scalar,
+        }
+    write_bench_json(
+        "encode_throughput",
+        config={
+            "num_cosets": NUM_COSETS,
+            "words_per_line": WORDS_PER_LINE,
+            "word_bits": WORD_BITS,
+            "cost": "energy-then-saw",
+            "speedup_floors": SPEEDUP_FLOORS,
+        },
+        results=results,
+    )
 
 
 if __name__ == "__main__":

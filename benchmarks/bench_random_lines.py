@@ -123,6 +123,11 @@ def test_random_lines_parity_and_speedup():
 
 
 def main() -> None:
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_util import write_bench_json
+
     print(
         f"random-line benchmark: {MEASURE_WRITES} writes, {ROWS} rows, encrypted"
     )
@@ -131,12 +136,27 @@ def main() -> None:
         ("rcc-256 (generic path)", TechniqueSpec(encoder="rcc", cost="saw-then-energy", num_cosets=256), 2_000),
     ]
     print(f"{'technique':32s} {'scalar w/s':>11} {'batched w/s':>12} {'speedup':>8}")
+    results = {}
     for label, spec, total in specs:
         scalar_wps, batched_wps = measure(spec, total)
         print(
             f"{label:32s} {scalar_wps:>11.0f} {batched_wps:>12.0f} "
             f"{batched_wps / scalar_wps:>7.2f}x"
         )
+        results[spec.encoder] = {
+            "scalar_writes_per_s": scalar_wps,
+            "batched_writes_per_s": batched_wps,
+            "speedup": batched_wps / scalar_wps,
+        }
+    write_bench_json(
+        "random_lines",
+        config={
+            "rows": ROWS,
+            "measure_writes": MEASURE_WRITES,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        results=results,
+    )
     print("parity: checking per-write bit-identity on both paths ...", end=" ")
     _assert_parity(TechniqueSpec(encoder="unencoded", cost="saw-then-energy"), PARITY_WRITES)
     _assert_parity(TechniqueSpec(encoder="rcc", cost="saw-then-energy", num_cosets=16), PARITY_WRITES)

@@ -147,6 +147,11 @@ def test_trace_replay_parity_and_speedup():
 
 
 def main() -> None:
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from bench_util import write_bench_json
+
     print(
         f"trace replay benchmark: {MEASURE_WRITES} writes, {ROWS} rows, "
         f"{TRACE_WRITEBACKS}-writeback lbm trace, encrypted"
@@ -156,12 +161,28 @@ def main() -> None:
         ("rcc-256 (generic path)", TechniqueSpec(encoder="rcc", cost="saw-then-energy", num_cosets=256), 2_000),
     ]
     print(f"{'technique':32s} {'scalar w/s':>11} {'replay w/s':>11} {'speedup':>8}")
+    results = {}
     for label, spec, total in specs:
         scalar_wps, replay_wps = measure(spec, total)
         print(
             f"{label:32s} {scalar_wps:>11.0f} {replay_wps:>11.0f} "
             f"{replay_wps / scalar_wps:>7.2f}x"
         )
+        results[spec.encoder] = {
+            "scalar_writes_per_s": scalar_wps,
+            "replay_writes_per_s": replay_wps,
+            "speedup": replay_wps / scalar_wps,
+        }
+    write_bench_json(
+        "trace_replay",
+        config={
+            "rows": ROWS,
+            "trace_writebacks": TRACE_WRITEBACKS,
+            "measure_writes": MEASURE_WRITES,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        results=results,
+    )
     print("parity: checking per-write bit-identity on both paths ...", end=" ")
     _assert_parity(TechniqueSpec(encoder="unencoded", cost="saw-then-energy"), PARITY_WRITES)
     _assert_parity(TechniqueSpec(encoder="rcc", cost="saw-then-energy", num_cosets=16), PARITY_WRITES)

@@ -1,0 +1,50 @@
+"""Shared helpers for the performance benchmarks.
+
+Every ``bench_*.py`` that measures throughput writes a machine-readable
+``BENCH_<name>.json`` next to the human-readable output so the perf
+trajectory can be tracked across PRs (and uploaded as a CI artifact):
+
+* ``name`` / ``created_unix`` identify the measurement;
+* ``config`` records the knobs the numbers depend on (geometry, writes,
+  encoder settings, host core count);
+* ``results`` holds the measured throughputs and speedups.
+
+The files land in ``benchmarks/results/`` like the figure outputs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+__all__ = ["write_bench_json", "RESULTS_DIR"]
+
+#: Output directory shared with the figure benchmarks.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_bench_json(
+    name: str, config: Dict[str, Any], results: Dict[str, Any]
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The payload is small and flat on purpose: one file per benchmark run,
+    overwritten in place, so diffing two checkouts (or two CI artifacts)
+    shows the perf movement directly.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    payload = {
+        "name": name,
+        "created_unix": int(time.time()),
+        "cpu_count": os.cpu_count() or 1,
+        "config": config,
+        "results": results,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

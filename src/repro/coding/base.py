@@ -26,6 +26,20 @@ bits), so the interface also exposes a line-granularity batch path:
   :meth:`repro.coding.cost.CostFunction.line_cell_costs` call;
 * :class:`Encoder.decode_line` is the inverse batch operation.
 
+Above the line level sits the multi-line batch path used by the memory
+controller's wave-based replay engine:
+
+* :meth:`Encoder.encode_lines` encodes a whole chunk of queued writes (one
+  :class:`LineContext` per line) in one call; the base implementation is a
+  scalar loop over :meth:`Encoder.encode_line` so third-party encoders keep
+  working, while every builtin override evaluates the candidate×word costs
+  of all lines through a single
+  :meth:`repro.coding.cost.CostFunction.batch_line_cell_costs` kernel;
+* :func:`stack_line_contexts` concatenates per-line contexts into one
+  context covering every word of the batch, which is how per-word
+  independent encoders reduce the multi-line problem to one big
+  vectorised line.
+
 Costs are evaluated through the :class:`repro.coding.cost.CostFunction`
 interface at *cell* granularity, which lets the same encoder minimise
 written '1's, bit changes, MLC write energy, stuck-at-wrong cells, or
@@ -50,6 +64,7 @@ __all__ = [
     "EncodedWord",
     "EncodedLine",
     "Encoder",
+    "stack_line_contexts",
     "words_to_cell_matrix",
     "words_matrix_to_cells",
     "cells_matrix_to_words",
@@ -250,7 +265,12 @@ class LineContext:
                 auxes = np.array([int(a) for a in self.old_auxes], dtype=object)
             if auxes.shape != (old.shape[0],):
                 raise ConfigurationError("old_auxes must hold one value per word")
-            if any(int(a) < 0 for a in auxes):
+            negative = (
+                bool((auxes < 0).any())
+                if auxes.dtype != object
+                else any(int(a) < 0 for a in auxes)
+            )
+            if negative:
                 raise ConfigurationError("auxiliary values must be non-negative")
         object.__setattr__(self, "old_auxes", auxes)
 
@@ -347,6 +367,48 @@ class LineContext:
         )
 
     @classmethod
+    def from_rows(
+        cls,
+        rows_cells: np.ndarray,
+        words_per_line: int,
+        bits_per_cell: int = 2,
+        stuck_masks: Optional[np.ndarray] = None,
+        old_auxes: Optional[np.ndarray] = None,
+        line_index: int = 0,
+    ) -> "LineContext":
+        """Build the context of one line from batched wave gathers.
+
+        ``rows_cells`` (and the optional ``stuck_masks`` / ``old_auxes``)
+        hold one entry per line of a wave — the result of a single
+        :meth:`repro.pcm.array.PCMArray.read_rows` gather — and
+        ``line_index`` selects the line this context describes.  Like
+        :meth:`repro.pcm.array.PCMArray.write_row_fast`, this is the
+        validation-free core for batch drivers: the gathered arrays already
+        satisfy every ``__post_init__`` invariant (uint8 cell rows, aligned
+        boolean masks, non-negative auxiliary values), so re-checking each
+        line of every wave would only burn the time the batching saves.
+        """
+        row = rows_cells[line_index]
+        context = object.__new__(cls)
+        object.__setattr__(context, "old_cells", row.reshape(words_per_line, -1))
+        object.__setattr__(
+            context,
+            "stuck_mask",
+            None
+            if stuck_masks is None
+            else stuck_masks[line_index].reshape(words_per_line, -1),
+        )
+        object.__setattr__(context, "bits_per_cell", bits_per_cell)
+        object.__setattr__(
+            context,
+            "old_auxes",
+            np.zeros(words_per_line, dtype=np.int64)
+            if old_auxes is None
+            else old_auxes[line_index],
+        )
+        return context
+
+    @classmethod
     def from_contexts(cls, contexts: Sequence[WordContext]) -> "LineContext":
         """Stack per-word contexts (all sharing a geometry) into a line context."""
         if not contexts:
@@ -372,6 +434,43 @@ class LineContext:
             bits_per_cell=bits_per_cell,
             old_auxes=np.array([c.old_aux for c in contexts], dtype=np.int64),
         )
+
+
+def stack_line_contexts(contexts: Sequence[LineContext]) -> LineContext:
+    """Concatenate per-line contexts into one context over all their words.
+
+    The stacked context views a batch of ``lines`` cache lines as a single
+    ``lines * words_per_line``-word line, which is how per-word independent
+    encoders (every builtin) evaluate the candidates of many queued writes
+    in one vectorised kernel call: word ``w`` of line ``l`` becomes word
+    ``l * words_per_line + w`` of the stacked context, and the per-word
+    results are bit-identical to encoding each line separately.
+    """
+    if not contexts:
+        raise ConfigurationError("at least one line context is required")
+    if len(contexts) == 1:
+        return contexts[0]
+    first = contexts[0]
+    if any(c.bits_per_cell != first.bits_per_cell for c in contexts):
+        raise ConfigurationError("line contexts must share bits_per_cell")
+    if any(c.old_cells.shape != first.old_cells.shape for c in contexts):
+        raise ConfigurationError("line contexts must share the line geometry")
+    stuck = None
+    if any(c.stuck_mask is not None for c in contexts):
+        stuck = np.concatenate(
+            [
+                c.stuck_mask
+                if c.stuck_mask is not None
+                else np.zeros_like(c.old_cells, dtype=bool)
+                for c in contexts
+            ]
+        )
+    return LineContext(
+        old_cells=np.concatenate([c.old_cells for c in contexts]),
+        stuck_mask=stuck,
+        bits_per_cell=first.bits_per_cell,
+        old_auxes=np.concatenate([np.asarray(c.old_auxes) for c in contexts]),
+    )
 
 
 @dataclass(frozen=True)
@@ -443,17 +542,23 @@ class EncodedLine:
     technique: str
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "codewords", tuple(int(c) for c in self.codewords))
-        object.__setattr__(self, "auxes", tuple(int(a) for a in self.auxes))
-        object.__setattr__(self, "costs", tuple(float(c) for c in self.costs))
+        object.__setattr__(self, "codewords", tuple(map(int, self.codewords)))
+        object.__setattr__(self, "auxes", tuple(map(int, self.auxes)))
+        object.__setattr__(self, "costs", tuple(map(float, self.costs)))
         if not (len(self.codewords) == len(self.auxes) == len(self.costs)):
             raise ConfigurationError(
                 "codewords, auxes, and costs must have one entry per word"
             )
         if not self.codewords:
             raise ConfigurationError("an encoded line must hold at least one word")
+        if self.aux_bits < 0:
+            raise ConfigurationError("aux_bits must be non-negative")
+        limit = 1 << self.aux_bits
         for aux in self.auxes:
-            _validate_aux(aux, self.aux_bits)
+            if aux < 0 or aux >= limit:
+                raise ConfigurationError(
+                    f"aux value {aux} does not fit in {self.aux_bits} bits"
+                )
 
     @property
     def words_per_line(self) -> int:
@@ -567,6 +672,29 @@ class Encoder(abc.ABC):
             raise EncodingError("decode_line needs one aux value per codeword")
         return [self.decode(int(c), int(a)) for c, a in zip(codewords, auxes)]
 
+    # ----------------------------------------------------- multi-line batch
+    def encode_lines(
+        self, words_matrix, contexts: Sequence[LineContext]
+    ) -> List[EncodedLine]:
+        """Encode a chunk of queued line writes, one context per line.
+
+        ``words_matrix`` is a ``(lines, words_per_line)`` matrix of data
+        words (an integer ndarray or a sequence of per-line sequences) and
+        ``contexts[l]`` describes the target row of line ``l``.  The base
+        implementation is the reference loop over :meth:`encode_line`, so
+        any third-party encoder works on the multi-line path unchanged;
+        every builtin technique overrides it so one
+        :meth:`repro.coding.cost.CostFunction.batch_line_cell_costs` call
+        evaluates the candidate×word costs of the whole chunk.  Results are
+        bit-identical to encoding each line separately — the memory
+        controller's replay waves rely on that contract.
+        """
+        rows = self._line_batch_rows(words_matrix, contexts)
+        return [
+            self.encode_line(words, context)
+            for words, context in zip(rows, contexts)
+        ]
+
     # ------------------------------------------------------------- helpers
     def _check_data(self, data: int) -> None:
         if data < 0 or data >= (1 << self.word_bits):
@@ -594,6 +722,39 @@ class Encoder(abc.ABC):
                 f"line context covers {context.words_per_line} words, "
                 f"but {num_words} words were supplied"
             )
+
+    def _line_batch_rows(self, words_matrix, contexts: Sequence[LineContext]) -> List[List[int]]:
+        """Normalise a multi-line word matrix to per-line Python-int lists."""
+        if isinstance(words_matrix, np.ndarray) and words_matrix.ndim != 2:
+            raise EncodingError(
+                "encode_lines expects a (lines, words_per_line) word matrix"
+            )
+        rows = [[int(word) for word in row] for row in words_matrix]
+        if not rows:
+            raise EncodingError("encode_lines needs at least one line")
+        if len(rows) != len(contexts):
+            raise EncodingError(
+                f"encode_lines got {len(rows)} lines but {len(contexts)} contexts"
+            )
+        return rows
+
+    def _check_lines_batch(self, values: np.ndarray, contexts: Sequence[LineContext]) -> None:
+        """Validate a uint64 ``(lines, words)`` batch against its contexts."""
+        if values.ndim != 2 or values.size == 0:
+            raise EncodingError(
+                "encode_lines expects a non-empty (lines, words_per_line) word matrix"
+            )
+        if len(contexts) != values.shape[0]:
+            raise EncodingError(
+                f"encode_lines got {values.shape[0]} lines but {len(contexts)} contexts"
+            )
+        if self.word_bits < 64 and bool((values >> np.uint64(self.word_bits)).any()):
+            bad = values[(values >> np.uint64(self.word_bits)) != 0].flat[0]
+            raise EncodingError(
+                f"data word {int(bad):#x} does not fit in {self.word_bits} bits"
+            )
+        for context in contexts:
+            self._check_line_context(context, values.shape[1])
 
     def _select_best(self, candidates, auxes, context: WordContext) -> EncodedWord:
         """Pick the lowest-cost candidate from parallel candidate/aux lists."""
@@ -659,6 +820,75 @@ class Encoder(abc.ABC):
             costs=tuple(float(t) for t in totals[best, word_index]),
             technique=self.name,
         )
+
+    def _select_best_lines(
+        self,
+        candidates: np.ndarray,
+        auxes: np.ndarray,
+        contexts: Sequence[LineContext],
+        cells: Optional[np.ndarray] = None,
+        data_costs: Optional[np.ndarray] = None,
+    ) -> List[EncodedLine]:
+        """Vectorised per-word argmin over a ``(lines, candidates, words)`` batch.
+
+        The multi-line sibling of :meth:`_select_best_line`: one
+        :meth:`repro.coding.cost.CostFunction.batch_line_cell_costs` call
+        scores every candidate of every word of every line, and the
+        selected codewords, auxiliary values, and costs are bit-identical
+        to running :meth:`_select_best_line` per line.
+
+        Parameters
+        ----------
+        candidates:
+            ``(lines, num_candidates, words)`` candidate codeword values.
+        auxes:
+            ``(num_candidates,)`` auxiliary values shared by all words.
+        contexts:
+            One line context per line; ``old_auxes`` is charged per word.
+        cells:
+            Optional precomputed ``(lines, num_candidates, words, cells)``
+            candidate cell values.
+        data_costs:
+            Optional precomputed ``(lines, num_candidates, words)`` data
+            costs (e.g. RCC's transition-table gather), skipping the cell
+            evaluation entirely.
+        """
+        cand = np.asarray(candidates, dtype=np.uint64)
+        if cand.ndim != 3 or cand.size == 0:
+            raise EncodingError(
+                "candidates must form a non-empty (lines, candidates, words) batch"
+            )
+        lines, num_candidates, words = cand.shape
+        aux = np.asarray(auxes, dtype=np.int64)
+        if aux.shape != (num_candidates,):
+            raise EncodingError("aux values must align with the candidate axis")
+        if data_costs is None:
+            if cells is None:
+                cells = words_matrix_to_cells(cand, self.word_bits, self.bits_per_cell)
+            data_costs = self.cost_function.batch_line_cell_costs(cells, contexts).sum(axis=3)
+        old_auxes = np.concatenate([np.asarray(c.old_auxes) for c in contexts])
+        aux_costs = self.cost_function.aux_costs_matrix(
+            np.broadcast_to(aux[:, None], (num_candidates, lines * words)),
+            old_auxes,
+            self.aux_bits,
+        )
+        totals = data_costs + aux_costs.reshape(num_candidates, lines, words).transpose(1, 0, 2)
+        best = np.argmin(totals, axis=1)
+        line_index = np.arange(lines)[:, None]
+        word_index = np.arange(words)[None, :]
+        codeword_rows = cand[line_index, best, word_index].tolist()
+        aux_rows = aux[best].tolist()
+        cost_rows = totals[line_index, best, word_index].tolist()
+        return [
+            EncodedLine(
+                codewords=codeword_rows[line],
+                auxes=aux_rows[line],
+                aux_bits=self.aux_bits,
+                costs=cost_rows[line],
+                technique=self.name,
+            )
+            for line in range(lines)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

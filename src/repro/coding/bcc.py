@@ -26,7 +26,12 @@ __all__ = ["BCCEncoder"]
     params=("word_bits", "num_cosets", "technology", "cost_function"),
 )
 class BCCEncoder(FNWEncoder):
-    """Biased coset coding with ``N`` candidates (``log2 N`` partitions)."""
+    """Biased coset coding with ``N`` candidates (``log2 N`` partitions).
+
+    Inherits both batch paths from Flip-N-Write: the vectorised
+    ``encode_line`` and the multi-line ``encode_lines`` used by the memory
+    controller's replay waves.
+    """
 
     name = "bcc"
 

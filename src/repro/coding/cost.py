@@ -14,17 +14,35 @@ paper exercises several:
   vice versa — via :class:`LexicographicCost` (Section VI-B).
 
 Costs are evaluated per cell so the same function can score a whole word,
-a 16-bit sub-block, or a batch of candidates at once.
+a 16-bit sub-block, or a batch of candidates at once.  Two batched entry
+points exist above the word level:
+
+* :meth:`CostFunction.line_cell_costs` scores a ``(candidates, words,
+  cells)`` batch against one :class:`~repro.coding.base.LineContext` (one
+  cache line);
+* :meth:`CostFunction.batch_line_cell_costs` scores a ``(lines,
+  candidates, words, cells)`` batch against one context *per line*, which
+  is how :meth:`repro.coding.base.Encoder.encode_lines` evaluates the
+  candidate×word costs of a whole chunk of queued writes in one kernel.
+
+Every builtin cost is *cellwise* — the cost of a cell depends only on that
+cell's new value and the write-time context of that cell — which admits an
+evaluation trick the multi-line path leans on: build a tiny per-cell
+transition table (:meth:`CostFunction.transition_tables`, one entry per
+possible cell value) with a single elementwise pass, then score any number
+of candidates with one gather.  The gathered values are bit-identical to
+the elementwise pipeline because every table entry is produced by exactly
+that pipeline.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.coding.base import LineContext, WordContext
+from repro.coding.base import LineContext, WordContext, stack_line_contexts
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 from repro.pcm.energy import MLCEnergyModel, SLCEnergyModel, DEFAULT_MLC_ENERGY, DEFAULT_SLC_ENERGY
@@ -57,11 +75,33 @@ _XOR_POPCOUNT_FLAT = {
 }
 
 
+def _gather_transition_costs(tables: np.ndarray, new_cells: np.ndarray) -> np.ndarray:
+    """Score a ``(lines, candidates, words, cells)`` batch from cost tables.
+
+    ``tables`` is the ``(lines, words, cells, levels)`` output of
+    :meth:`CostFunction.transition_tables`; the result has the shape and
+    dtype the per-line pipeline would produce, with every element gathered
+    from the table instead of recomputed.
+    """
+    lines, words, cells, levels = tables.shape
+    base = np.arange(lines * words * cells, dtype=np.intp).reshape(lines, 1, words, cells)
+    base *= levels
+    # A flat 1-D take hits numpy's fast contiguous-gather path.
+    return np.take(tables.reshape(-1), (base + new_cells).ravel()).reshape(new_cells.shape)
+
+
 class CostFunction(abc.ABC):
     """Scores candidate cell values against the write-time context."""
 
     #: Short name used in result tables.
     name: str = "cost"
+
+    #: True when the cost of a cell depends only on that cell's new value
+    #: and the context of that cell (old value, stuck flag) — i.e. not on
+    #: the other cells of the candidate.  Enables the transition-table
+    #: evaluation of :meth:`batch_line_cell_costs`.  Third-party subclasses
+    #: inherit the conservative default and keep the per-line loop.
+    cellwise: bool = False
 
     @abc.abstractmethod
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
@@ -124,6 +164,83 @@ class CostFunction(abc.ABC):
             )
         return out
 
+    def batch_line_cell_costs(
+        self, new_cells: np.ndarray, contexts: Sequence[LineContext]
+    ) -> np.ndarray:
+        """Per-cell costs for a batch of candidates over many lines at once.
+
+        Parameters
+        ----------
+        new_cells:
+            ``(lines, candidates, words, cells)`` array of candidate cell
+            values; line ``l`` is scored against ``contexts[l]``.
+        contexts:
+            One :class:`~repro.coding.base.LineContext` per line, all
+            sharing the line geometry.
+
+        Returns
+        -------
+        numpy.ndarray
+            Costs of the same 4-D shape, dtype-compatible with what
+            :meth:`line_cell_costs` returns per line.  For cellwise cost
+            functions the default evaluates one transition-table gather;
+            otherwise it loops :meth:`line_cell_costs` per line, so
+            third-party cost functions work on the multi-line path
+            unchanged.
+        """
+        new = self._validate_batch(new_cells, contexts)
+        tables = self.transition_tables(contexts)
+        if tables is not None:
+            return _gather_transition_costs(tables, new)
+        out: Optional[np.ndarray] = None
+        for index, context in enumerate(contexts):
+            costs = self.line_cell_costs(new[index], context)
+            if out is None:
+                out = np.empty(new.shape, dtype=costs.dtype)
+            out[index] = costs
+        return out
+
+    def transition_tables(self, contexts: Sequence[LineContext]) -> Optional[np.ndarray]:
+        """Per-cell write-cost tables, or None for non-cellwise costs.
+
+        Returns a ``(lines, words, cells, levels)`` array whose entry
+        ``[l, w, c, v]`` is the cost of writing cell value ``v`` to cell
+        ``c`` of word ``w`` of line ``l``.  Built with a single
+        :meth:`line_cell_costs` call over the constant level planes, so
+        every entry is bit-identical to the elementwise pipeline; encoders
+        with structured candidates (e.g. RCC's XOR cosets) gather from the
+        table instead of materialising every candidate cell.
+        """
+        if not self.cellwise:
+            return None
+        stacked = stack_line_contexts(list(contexts))
+        levels = 1 << stacked.bits_per_cell
+        total_words, cells = stacked.old_cells.shape
+        planes = np.empty((levels, total_words, cells), dtype=np.uint8)
+        for value in range(levels):
+            planes[value] = value
+        table = self.line_cell_costs(planes, stacked)
+        lines = len(contexts)
+        return np.ascontiguousarray(np.transpose(table, (1, 2, 0))).reshape(
+            lines, total_words // lines, cells, levels
+        )
+
+    @staticmethod
+    def _validate_batch(new_cells: np.ndarray, contexts: Sequence[LineContext]) -> np.ndarray:
+        """Shared argument validation of :meth:`batch_line_cell_costs`."""
+        new = np.asarray(new_cells, dtype=np.uint8)
+        if new.ndim != 4 or new.shape[0] == 0:
+            raise ConfigurationError(
+                "batch_line_cell_costs expects a non-empty "
+                "(lines, candidates, words, cells) array"
+            )
+        if len(contexts) != new.shape[0]:
+            raise ConfigurationError(
+                f"batch of {new.shape[0]} lines needs {new.shape[0]} contexts, "
+                f"got {len(contexts)}"
+            )
+        return new
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         """Cost of storing the auxiliary bits.
 
@@ -170,10 +287,16 @@ def _changed_aux_bits(new_auxes: np.ndarray, old_auxes: np.ndarray) -> np.ndarra
     return popcount64_array(new ^ old).astype(np.float64)
 
 
+def _stacked_old_cells(contexts: Sequence[LineContext]) -> np.ndarray:
+    """``(lines, words, cells)`` stack of the contexts' old cell values."""
+    return np.stack([context.old_cells for context in contexts])
+
+
 class OnesCost(CostFunction):
     """Number of '1' bits written (the Fig. 3 objective)."""
 
     name = "ones"
+    cellwise = True
 
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
         new = np.asarray(new_cells, dtype=np.int64)
@@ -182,6 +305,13 @@ class OnesCost(CostFunction):
     def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
         del context
         return _CELL_POPCOUNT[np.asarray(new_cells, dtype=np.int64)]
+
+    def batch_line_cell_costs(
+        self, new_cells: np.ndarray, contexts: Sequence[LineContext]
+    ) -> np.ndarray:
+        # Context-free: the popcount LUT applies directly to the 4-D batch.
+        new = self._validate_batch(new_cells, contexts)
+        return _CELL_POPCOUNT[new.astype(np.int64)]
 
     def aux_costs_matrix(
         self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
@@ -194,6 +324,7 @@ class BitChangeCost(CostFunction):
     """Number of bits that differ from the current cell contents."""
 
     name = "bit-changes"
+    cellwise = True
 
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
         new = np.asarray(new_cells, dtype=np.int64)
@@ -204,6 +335,14 @@ class BitChangeCost(CostFunction):
         lut = _XOR_POPCOUNT_FLAT[context.bits_per_cell]
         old_scaled = context.old_cells.astype(np.intp) << context.bits_per_cell
         return lut[old_scaled[None, :, :] + np.asarray(new_cells)]
+
+    def batch_line_cell_costs(
+        self, new_cells: np.ndarray, contexts: Sequence[LineContext]
+    ) -> np.ndarray:
+        new = self._validate_batch(new_cells, contexts)
+        lut = _XOR_POPCOUNT_FLAT[contexts[0].bits_per_cell]
+        old_scaled = _stacked_old_cells(contexts).astype(np.intp) << contexts[0].bits_per_cell
+        return lut[old_scaled[:, None, :, :] + new]
 
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del aux_bits
@@ -220,6 +359,7 @@ class CellChangeCost(CostFunction):
     """Number of cells (symbols) that must be reprogrammed."""
 
     name = "cell-changes"
+    cellwise = True
 
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
         new = np.asarray(new_cells, dtype=np.int64)
@@ -229,6 +369,12 @@ class CellChangeCost(CostFunction):
     def line_cell_costs(self, new_cells: np.ndarray, context: LineContext) -> np.ndarray:
         # Boolean 0/1 costs, promoted on demand (see SawCost).
         return np.asarray(new_cells) != context.old_cells[None, :, :]
+
+    def batch_line_cell_costs(
+        self, new_cells: np.ndarray, contexts: Sequence[LineContext]
+    ) -> np.ndarray:
+        new = self._validate_batch(new_cells, contexts)
+        return new != _stacked_old_cells(contexts)[:, None, :, :]
 
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del aux_bits
@@ -245,6 +391,7 @@ class EnergyCost(CostFunction):
     """Write energy of the transition from the current to the new cell values."""
 
     name = "energy"
+    cellwise = True
 
     def __init__(
         self,
@@ -290,6 +437,17 @@ class EnergyCost(CostFunction):
         old_scaled = context.old_cells.astype(np.intp) * self._levels
         return self._lut_flat[old_scaled[None, :, :] + np.asarray(new_cells)]
 
+    def batch_line_cell_costs(
+        self, new_cells: np.ndarray, contexts: Sequence[LineContext]
+    ) -> np.ndarray:
+        new = self._validate_batch(new_cells, contexts)
+        if contexts[0].bits_per_cell != self.technology.bits_per_cell:
+            raise ConfigurationError(
+                "EnergyCost technology does not match the context's cell technology"
+            )
+        old_scaled = _stacked_old_cells(contexts).astype(np.intp) * self._levels
+        return self._lut_flat[old_scaled[:, None, :, :] + new]
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del aux_bits
         changed = bin(new_aux ^ old_aux).count("1")
@@ -311,6 +469,7 @@ class SawCost(CostFunction):
     """
 
     name = "saw"
+    cellwise = True
 
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
         new = np.asarray(new_cells, dtype=np.int64)
@@ -328,6 +487,22 @@ class SawCost(CostFunction):
         # Returned as a boolean 0/1 cost array; summing and combining with
         # float costs promotes it without an explicit conversion pass.
         return (new != context.old_cells[None, :, :]) & context.stuck_mask[None, :, :]
+
+    def batch_line_cell_costs(
+        self, new_cells: np.ndarray, contexts: Sequence[LineContext]
+    ) -> np.ndarray:
+        new = self._validate_batch(new_cells, contexts)
+        if all(context.stuck_mask is None for context in contexts):
+            return np.zeros(new.shape, dtype=np.float64)
+        stuck = np.stack(
+            [
+                context.stuck_mask
+                if context.stuck_mask is not None
+                else np.zeros_like(context.old_cells, dtype=bool)
+                for context in contexts
+            ]
+        )
+        return (new != _stacked_old_cells(contexts)[:, None, :, :]) & stuck[:, None, :, :]
 
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         del new_aux, old_aux, aux_bits
@@ -356,6 +531,10 @@ class LexicographicCost(CostFunction):
         self.secondary = secondary
         self.scale = scale
         self.name = f"{primary.name}>{secondary.name}"
+        # The combination is cellwise exactly when both parts are, in which
+        # case the multi-line path fuses primary and secondary into a
+        # single transition-table gather.
+        self.cellwise = primary.cellwise and secondary.cellwise
 
     def cell_costs_matrix(self, new_cells: np.ndarray, context: WordContext) -> np.ndarray:
         return (
@@ -375,6 +554,25 @@ class LexicographicCost(CostFunction):
         out += self.secondary.line_cell_costs(new_cells, context)
         return out
 
+    def batch_line_cell_costs(
+        self, new_cells: np.ndarray, contexts: Sequence[LineContext]
+    ) -> np.ndarray:
+        new = self._validate_batch(new_cells, contexts)
+        tables = self.transition_tables(contexts)
+        if tables is not None:
+            # One fused gather replaces the scale-multiply-accumulate
+            # pipeline: each table entry already holds primary * scale +
+            # secondary for its (cell, value) pair.
+            return _gather_transition_costs(tables, new)
+        primary = self.primary.batch_line_cell_costs(new, contexts)
+        if primary.dtype == np.float64:
+            primary *= self.scale
+            out = primary
+        else:
+            out = primary * self.scale
+        out += self.secondary.batch_line_cell_costs(new, contexts)
+        return out
+
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:
         return (
             self.primary.aux_cost(new_aux, old_aux, aux_bits) * self.scale
@@ -384,10 +582,14 @@ class LexicographicCost(CostFunction):
     def aux_costs_matrix(
         self, new_auxes: np.ndarray, old_auxes: np.ndarray, aux_bits: int
     ) -> np.ndarray:
-        return (
-            self.primary.aux_costs_matrix(new_auxes, old_auxes, aux_bits) * self.scale
-            + self.secondary.aux_costs_matrix(new_auxes, old_auxes, aux_bits)
-        )
+        primary = self.primary.aux_costs_matrix(new_auxes, old_auxes, aux_bits)
+        secondary = self.secondary.aux_costs_matrix(new_auxes, old_auxes, aux_bits)
+        if not primary.any():
+            # 0 * scale + x == x bit-for-bit, so an all-zero primary (e.g.
+            # SawCost, which never charges auxiliary bits) short-circuits
+            # the scale-multiply-accumulate over the candidate matrix.
+            return secondary
+        return primary * self.scale + secondary
 
 
 def saw_then_energy(

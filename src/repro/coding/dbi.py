@@ -21,7 +21,12 @@ __all__ = ["DBIEncoder"]
     params=("word_bits", "technology", "cost_function"),
 )
 class DBIEncoder(FNWEncoder):
-    """Whole-block conditional inversion (1 auxiliary bit per word)."""
+    """Whole-block conditional inversion (1 auxiliary bit per word).
+
+    Inherits both batch paths from Flip-N-Write: the vectorised
+    ``encode_line`` and the multi-line ``encode_lines`` used by the memory
+    controller's replay waves.
+    """
 
     name = "dbi"
 

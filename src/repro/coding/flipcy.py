@@ -10,7 +10,7 @@ which is why the paper finds it close to the unencoded baseline.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -83,6 +83,23 @@ class FlipcyEncoder(Encoder):
             [_FORM_IDENTITY, _FORM_ONES_COMPLEMENT, _FORM_TWOS_COMPLEMENT], dtype=np.int64
         )
         return self._select_best_line(candidates, auxes, context)
+
+    def encode_lines(
+        self, words_matrix, contexts: Sequence[LineContext]
+    ) -> List[EncodedLine]:
+        if self.word_bits > 64:
+            return super().encode_lines(words_matrix, contexts)
+        values = np.asarray(words_matrix, dtype=np.uint64)
+        self._check_lines_batch(values, contexts)
+        mask = np.uint64(self._mask)
+        # Same three forms as encode_line, stacked along the candidate axis.
+        candidates = np.stack(
+            [values, values ^ mask, (~values + np.uint64(1)) & mask], axis=1
+        )
+        auxes = np.array(
+            [_FORM_IDENTITY, _FORM_ONES_COMPLEMENT, _FORM_TWOS_COMPLEMENT], dtype=np.int64
+        )
+        return self._select_best_lines(candidates, auxes, contexts)
 
     def decode(self, codeword: int, aux: int) -> int:
         if aux == _FORM_IDENTITY:

@@ -24,6 +24,7 @@ from repro.coding.base import (
     Encoder,
     LineContext,
     WordContext,
+    stack_line_contexts,
     words_matrix_to_cells,
     words_to_cell_matrix,
 )
@@ -166,6 +167,67 @@ class FNWEncoder(Encoder):
             costs=tuple(float(t) for t in totals),
             technique=self.name,
         )
+
+    def encode_lines(self, words_matrix, contexts: Sequence[LineContext]) -> List[EncodedLine]:
+        # Mirrors the vectorized encode_line with a leading lines axis: one
+        # batch_line_cell_costs call scores the direct and inverted form of
+        # every partition of every word of every queued write.
+        if self.word_bits > 64 or self.aux_bits >= 64:
+            return super().encode_lines(words_matrix, contexts)
+        values = np.asarray(words_matrix, dtype=np.uint64)
+        self._check_lines_batch(values, contexts)
+        lines, num_words = values.shape
+        p = self.partitions
+        sub_mask = np.uint64(self._sub_mask)
+        shifts = np.array(
+            [self.sub_bits * (p - 1 - j) for j in range(p)], dtype=np.uint64
+        )
+        subs = (values[:, :, None] >> shifts) & sub_mask
+        subs_flat = subs.reshape(1, lines * num_words * p)
+        candidates = np.stack([subs_flat, subs_flat ^ sub_mask], axis=1)
+        cells = words_matrix_to_cells(candidates, self.sub_bits, self.bits_per_cell)
+        # The batch views all lines as one stacked line (word w of line l is
+        # stacked word l * words_per_line + w), so a one-line 4-D kernel
+        # call scores both forms of every partition of every queued write.
+        stacked_split = stack_line_contexts(list(contexts)).split_partitions(p)
+        costs = (
+            self.cost_function.batch_line_cell_costs(cells, [stacked_split])
+            .reshape(2, lines * num_words * p, -1)
+            .sum(axis=2)
+            .reshape(2, lines, num_words, p)
+            .swapaxes(0, 1)
+        )
+        flags_matrix = costs[:, 1] < costs[:, 0]
+        chosen_costs = np.where(flags_matrix, costs[:, 1], costs[:, 0])
+        # Accumulate partitions left to right, matching the scalar loop's
+        # float association exactly (bit-for-bit cost parity).
+        totals = np.zeros((lines, num_words), dtype=np.float64)
+        for j in range(p):
+            totals += chosen_costs[:, :, j]
+        chosen_subs = np.where(flags_matrix, subs ^ sub_mask, subs)
+        codewords = np.zeros((lines, num_words), dtype=np.uint64)
+        flags = np.zeros((lines, num_words), dtype=np.int64)
+        for j in range(p):
+            codewords |= chosen_subs[:, :, j] << shifts[j]
+            flags = (flags << 1) | flags_matrix[:, :, j]
+        totals += self.cost_function.aux_costs_matrix(
+            flags.reshape(1, lines * num_words),
+            np.concatenate([np.asarray(c.old_auxes) for c in contexts]),
+            self.aux_bits,
+        )[0].reshape(lines, num_words)
+        codeword_rows = codewords.tolist()
+        flag_rows = flags.tolist()
+        cost_rows = totals.tolist()
+        return [
+            EncodedLine(
+                codewords=codeword_rows[line],
+                auxes=flag_rows[line],
+                aux_bits=self.aux_bits,
+                costs=cost_rows[line],
+                technique=self.name,
+            )
+            for line in range(lines)
+        ]
 
     # ---------------------------------------------------------------- decode
     def decode(self, codeword: int, aux: int) -> int:

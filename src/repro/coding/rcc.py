@@ -95,9 +95,18 @@ class RCCEncoder(Encoder):
             self._coset_cells = words_to_cell_matrix(
                 cosets, word_bits, self.bits_per_cell
             )
+            # Gather index of the multi-line transition-table path: entry
+            # (c, cell) addresses slot ``cell * levels + coset_cell`` of a
+            # per-word table whose value axis was pre-XORed with the data.
+            levels = 1 << self.bits_per_cell
+            self._coset_gather = (
+                self._coset_cells.astype(np.intp)
+                + (np.arange(self.cells_per_word, dtype=np.intp) * levels)[None, :]
+            )
         else:
             self._coset_array = None
             self._coset_cells = None
+            self._coset_gather = None
 
     @property
     def aux_bits(self) -> int:
@@ -123,6 +132,85 @@ class RCCEncoder(Encoder):
         data_cells = words_matrix_to_cells(values, self.word_bits, self.bits_per_cell)
         candidate_cells = data_cells[None, :, :] ^ self._coset_cells[:, None, :]
         return self._select_best_line(candidates, auxes, context, cells=candidate_cells)
+
+    def encode_lines(
+        self, words_matrix, contexts: Sequence[LineContext]
+    ) -> List[EncodedLine]:
+        if self._coset_array is None:
+            return super().encode_lines(words_matrix, contexts)
+        values = np.asarray(words_matrix, dtype=np.uint64)
+        self._check_lines_batch(values, contexts)
+        lines, words = values.shape
+        total_words = lines * words
+        flat = values.reshape(total_words)
+        auxes = np.arange(self.num_cosets, dtype=np.int64)
+        data_cells = words_matrix_to_cells(flat, self.word_bits, self.bits_per_cell)
+        tables = self.cost_function.transition_tables(contexts)
+        if tables is None:
+            # Non-cellwise cost function: materialise every candidate cell
+            # and score them through the generic 4-D kernel.
+            candidates = (
+                (flat[None, :] ^ self._coset_array[:, None])
+                .reshape(self.num_cosets, lines, words)
+                .transpose(1, 0, 2)
+            )
+            candidate_cells = (
+                data_cells.reshape(lines, 1, words, -1)
+                ^ self._coset_cells[None, :, None, :]
+            )
+            return self._select_best_lines(
+                candidates, auxes, contexts, cells=candidate_cells
+            )
+        # Transition-table fast path: fold the data word into the table
+        # (T'[w, cell, v] = T[w, cell, v ^ data_cell], so a candidate's
+        # cost row is addressed by the *coset* cells, which are fixed) and
+        # score all cosets of all words with one precomputed-index gather.
+        # Every gathered value is an entry the elementwise pipeline would
+        # have produced, so selection stays bit-identical to encode_line.
+        cells_per_word = data_cells.shape[1]
+        levels = tables.shape[3]
+        fold = (
+            np.arange(levels, dtype=np.uint8)[None, None, :] ^ data_cells[:, :, None]
+        ).astype(np.intp)
+        folded = np.take_along_axis(
+            tables.reshape(total_words, cells_per_word, levels), fold, axis=2
+        )
+        # np.take (unlike an advanced-indexing gather) returns a C-contiguous
+        # array, so the per-candidate cell sums below run the exact same
+        # contiguous pairwise reduction as the single-line reference path.
+        gathered = np.take(
+            folded.reshape(total_words, cells_per_word * levels),
+            self._coset_gather.reshape(-1),
+            axis=1,
+        ).reshape(total_words, self.num_cosets, cells_per_word)
+        data_costs = gathered.sum(axis=2)
+        # Selection inline (the (words, cosets) layout of the fast path
+        # saves transposing into _select_best_lines): totals, the argmin,
+        # and the tie-breaking order are element-for-element those of
+        # _select_best_line, and only the winning candidates are built.
+        old_auxes = np.concatenate([np.asarray(c.old_auxes) for c in contexts])
+        aux_costs = self.cost_function.aux_costs_matrix(
+            np.broadcast_to(auxes[:, None], (self.num_cosets, total_words)),
+            old_auxes,
+            self.aux_bits,
+        )
+        totals = data_costs + aux_costs.T
+        best = np.argmin(totals, axis=1)
+        codeword_rows = (flat ^ self._coset_array[best]).reshape(lines, words).tolist()
+        aux_rows = best.reshape(lines, words).tolist()
+        cost_rows = (
+            totals[np.arange(total_words), best].reshape(lines, words).tolist()
+        )
+        return [
+            EncodedLine(
+                codewords=codeword_rows[line],
+                auxes=aux_rows[line],
+                aux_bits=self.aux_bits,
+                costs=cost_rows[line],
+                technique=self.name,
+            )
+            for line in range(lines)
+        ]
 
     def decode(self, codeword: int, aux: int) -> int:
         if not 0 <= aux < self.num_cosets:

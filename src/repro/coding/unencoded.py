@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.coding.base import (
     EncodedLine,
     EncodedWord,
@@ -72,6 +74,29 @@ class UnencodedEncoder(Encoder):
             costs=tuple(float(c) for c in costs),
             technique=self.name,
         )
+
+    def encode_lines(self, words_matrix, contexts) -> List[EncodedLine]:
+        if self.word_bits > 64:
+            return super().encode_lines(words_matrix, contexts)
+        values = np.asarray(words_matrix, dtype=np.uint64)
+        self._check_lines_batch(values, contexts)
+        lines, words = values.shape
+        # A single one-candidate batch kernel call reports the cost of
+        # storing every line unchanged; there is nothing to select.
+        cells = words_matrix_to_cells(
+            values.reshape(lines, 1, words), self.word_bits, self.bits_per_cell
+        )
+        costs = self.cost_function.batch_line_cell_costs(cells, contexts)[:, 0].sum(axis=2)
+        return [
+            EncodedLine(
+                codewords=tuple(int(w) for w in values[line]),
+                auxes=(0,) * words,
+                aux_bits=0,
+                costs=tuple(float(c) for c in costs[line]),
+                technique=self.name,
+            )
+            for line in range(lines)
+        ]
 
     def decode(self, codeword: int, aux: int) -> int:
         del aux

@@ -16,6 +16,16 @@ The write path is line-granular end to end: each write issues a single
 builtin technique), auxiliary bits live in a preallocated
 ``(rows, words_per_line)`` array, and the energy / SAW accounting is
 computed with NumPy over the whole row.
+
+The batched drivers go one level further: the generic (non-identity)
+replay path partitions each chunk into *waves* of queued writes targeting
+distinct rows, gathers the old-cell state of the whole wave in one
+:meth:`repro.pcm.array.PCMArray.read_rows` call, encodes every line of the
+wave through a single :meth:`repro.coding.base.Encoder.encode_lines` call,
+and flushes the wave's accounting with row-wise NumPy reductions — all
+bit-identical to the scalar :meth:`MemoryController.write_line` sequence,
+because writes within a wave cannot observe each other's rows and
+wear-leveling gap migrations always land on a wave's last write.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.coding.base import (
+    EncodedLine,
     Encoder,
     LineContext,
     cells_matrix_to_words,
@@ -46,6 +57,12 @@ __all__ = ["LineWriteResult", "ReplayResult", "MemoryController"]
 
 #: Accepted values for the controller's ``fault_knowledge`` parameter.
 FAULT_KNOWLEDGE_MODES = ("oracle", "discovered", "none")
+
+#: Default cap on the lines encoded per replay wave.  Bounds the candidate
+#: tensors of wide searches (RCC-256 evaluates candidates × words × cells
+#: floats per line) while keeping enough lines in flight to amortise the
+#: per-call overhead of the batched encode kernels.
+REPLAY_WAVE_LINES = 32
 
 #: Early-stop predicate for :meth:`MemoryController.replay_trace`, called
 #: after every write as ``stop(index, row_index, saw_cells,
@@ -342,6 +359,10 @@ class MemoryController:
             if array.technology is CellTechnology.MLC
             else self.slc_energy.aux_bit_energy_pj
         )
+        #: Cap on the lines encoded per replay wave (see REPLAY_WAVE_LINES);
+        #: exposed as an attribute so studies with huge candidate sets can
+        #: trade peak memory against batching.
+        self.replay_wave_lines = REPLAY_WAVE_LINES
 
     # ------------------------------------------------------------- mapping
     def row_for_address(self, address: int) -> int:
@@ -672,34 +693,51 @@ class MemoryController:
                     break
 
         done = performed - start
-        old_rows = old_buffer[:done]
-        stored_rows = stored_buffer[:done]
-        intended_rows = cells_chunk[:done]
-        replay.data_energy_pj[start:performed] = self._energy_lut[
-            old_rows, intended_rows
-        ].sum(axis=1)
         # Identity encoders store no auxiliary bits: aux energy stays 0.
+        self._flush_replay_accounting(
+            replay, start, performed, old_buffer[:done], stored_buffer[:done], cells_chunk[:done]
+        )
+        return performed, stopped
+
+    def _flush_replay_accounting(
+        self,
+        replay: ReplayResult,
+        lo: int,
+        hi: int,
+        old_rows: np.ndarray,
+        stored_rows: np.ndarray,
+        intended_rows: np.ndarray,
+    ) -> None:
+        """Vectorised accounting flush for applied replay writes ``[lo, hi)``.
+
+        Energy, changed bits/cells, and SAW counts are pure functions of
+        the (old, stored, intended) cell rows; row-wise NumPy reductions
+        over the buffered rows are bit-identical to the scalar path's
+        per-row reductions.  A stored cell differs from the intended value
+        exactly at the stuck-at-wrong positions, so SAW counts fall out of
+        the xor.
+        """
+        if lo >= hi:
+            return
+        popcount = self._bit_popcount
+        bits_per_cell = self.array.bits_per_cell
+        replay.data_energy_pj[lo:hi] = self._energy_lut[old_rows, intended_rows].sum(axis=1)
         changed = stored_rows != old_rows
-        replay.cells_changed[start:performed] = np.count_nonzero(changed, axis=1)
+        replay.cells_changed[lo:hi] = np.count_nonzero(changed, axis=1)
         if bits_per_cell == 1:
-            replay.bits_changed[start:performed] = np.count_nonzero(
-                old_rows ^ stored_rows, axis=1
-            )
+            replay.bits_changed[lo:hi] = np.count_nonzero(old_rows ^ stored_rows, axis=1)
         else:
-            replay.bits_changed[start:performed] = popcount[old_rows ^ stored_rows].sum(axis=1)
+            replay.bits_changed[lo:hi] = popcount[old_rows ^ stored_rows].sum(axis=1)
         wrong_xor = stored_rows ^ intended_rows
-        # A stored cell differs from the intended value exactly at the
-        # stuck-at-wrong positions, so SAW counts fall out of the xor.
-        replay.saw_cells[start:performed] = np.count_nonzero(wrong_xor, axis=1)
+        replay.saw_cells[lo:hi] = np.count_nonzero(wrong_xor, axis=1)
         wrong_bits = (
             popcount[wrong_xor]
             if bits_per_cell == 2
             else (wrong_xor != 0).astype(np.int64)
         )
-        replay.saw_bits_per_word[start:performed] = wrong_bits.reshape(
-            done, words_per_line, -1
+        replay.saw_bits_per_word[lo:hi] = wrong_bits.reshape(
+            hi - lo, self.config.words_per_line, -1
         ).sum(axis=2)
-        return performed, stopped
 
     def _replay_generic(
         self,
@@ -713,29 +751,240 @@ class MemoryController:
     ):
         """Replay path for arbitrary encoders over writes [start, end).
 
-        Still faster than a :meth:`write_line` loop — encryption pads are
-        generated per chunk, line data is read from arrays, and no
-        per-write result objects or stats updates are built — while the
-        write itself runs the identical :meth:`_apply_line_write` code.
+        Wave execution: the chunk is partitioned into runs of writes
+        targeting *distinct* rows.  Within such a wave no write can observe
+        another's row, stuck mask, or auxiliary bits, so the old-cell state
+        of every line is gathered up front in one
+        :meth:`repro.pcm.array.PCMArray.read_rows` call and all lines are
+        encoded through a single :meth:`repro.coding.base.Encoder.encode_lines`
+        call — the selected codewords are bit-identical to encoding at each
+        write's turn.  A write to a row already queued in the wave starts
+        the next wave, and with Start-Gap wear leveling a wave never spans
+        a gap migration (the mapping rotation and the migration write land
+        strictly after the wave's last write).  The writes themselves then
+        apply sequentially through the array's stuck/wear semantics, with
+        the per-write accounting flushed wave-at-a-time by the same
+        vectorised reductions as the identity fast path.  Returns
+        ``(performed, stopped)`` like :meth:`_replay_identity`.
+
         ``plaintext_for`` supplies the plaintext word list of one write for
         the scalar-encryption fallback (odd word widths, where no batched
-        ciphertext chunk exists).  Returns ``(performed, stopped)`` like
-        :meth:`_replay_identity`.
+        ciphertext chunk exists and :meth:`_replay_generic_scalar` runs
+        instead).
+        """
+        if encrypted_chunk is None:
+            return self._replay_generic_scalar(
+                replay, plaintext_for, addresses, start, end, stop
+            )
+        array = self.array
+        leveler = self.wear_leveler
+        repository = self.fault_repository
+        words_per_line = self.config.words_per_line
+        bits_per_cell = array.bits_per_cell
+        popcount = self._bit_popcount
+        zero_saw_bits = np.zeros(words_per_line, dtype=np.int64)
+        np.copyto(replay.addresses[start:end], addresses[start:end])
+        # Without wear leveling the address-to-row mapping is fixed, so the
+        # whole chunk's rows are computed in one vectorised modulo.
+        row_lookup = (
+            None if leveler is not None else (addresses[start:end] % array.rows).tolist()
+        )
+
+        index = start
+        performed = start
+        stopped = False
+        while index < end and not stopped:
+            # ---- wave selection: a maximal run of writes to distinct rows.
+            limit = min(end - index, self.replay_wave_lines)
+            if leveler is not None:
+                # The next gap migration rewrites a row and rotates the
+                # mapping; capping the wave at the write that triggers it
+                # keeps the migration strictly after the wave's last write.
+                limit = min(limit, leveler.writes_until_gap_move)
+            rows: List[int] = []
+            seen = set()
+            scan = index
+            while scan < end and len(rows) < limit:
+                if row_lookup is not None:
+                    row_index = row_lookup[scan - start]
+                else:
+                    row_index = self.row_for_address(int(addresses[scan]))
+                if row_index in seen:
+                    break
+                seen.add(row_index)
+                rows.append(row_index)
+                scan += 1
+            count = len(rows)
+            row_array = np.asarray(rows, dtype=np.intp)
+
+            # ---- one gather per wave: rows, stuck knowledge, aux bits.
+            old_rows = array.read_rows(row_array)
+            stuck_rows = self._stuck_rows(row_array)
+            old_auxes = self._aux_store[row_array]
+            contexts = [
+                LineContext.from_rows(
+                    old_rows, words_per_line, bits_per_cell, stuck_rows, old_auxes, line
+                )
+                for line in range(count)
+            ]
+            encoded = self.encoder.encode_lines(
+                encrypted_chunk[index - start: scan - start], contexts
+            )
+            intended_rows = words_matrix_to_cells(
+                np.array([line.codewords for line in encoded], dtype=np.uint64),
+                self.config.word_bits,
+                bits_per_cell,
+            ).reshape(count, array.cells_per_row)
+            new_auxes = self._wave_aux_values(encoded)
+            replay.row_indices[index:scan] = rows
+
+            if stop is None and leveler is None:
+                # ---- whole-wave apply: with no early-stop predicate and no
+                # gap migrations pending, the distinct-row writes commute
+                # into one fancy-index scatter (write_rows_fast is
+                # bit-identical to looping write_row_fast in order).
+                _old, stored_rows, _changed, _saw, newly = array.write_rows_fast(
+                    row_array, intended_rows
+                )
+                self._aux_store[row_array] = new_auxes
+                replay.newly_stuck_cells[index:scan] = newly
+                if repository is not None:
+                    # observe_write is a no-op for rows whose stored cells
+                    # all match; only mismatching rows carry discoveries.
+                    for line in np.nonzero((stored_rows != intended_rows).any(axis=1))[0]:
+                        repository.observe_write(
+                            rows[line], intended_rows[line], stored_rows[line]
+                        )
+                applied = count
+                performed = scan
+                self._flush_replay_accounting(
+                    replay, index, performed, old_rows, stored_rows, intended_rows
+                )
+                self._flush_aux_energy(replay, index, performed, new_auxes, old_auxes)
+                index = scan
+                continue
+
+            # ---- apply sequentially; accounting flushes once per wave.
+            stored_rows = np.empty_like(old_rows)
+            write_row_fast = array.write_row_fast
+            applied = 0
+            for line in range(count):
+                index_global = index + line
+                row_index = rows[line]
+                intended = intended_rows[line]
+                _old, stored, _changed, saw_mask, newly_stuck = write_row_fast(
+                    row_index, intended
+                )
+                stored_rows[line] = stored
+                self._aux_store[row_index] = new_auxes[line]
+                replay.newly_stuck_cells[index_global] = newly_stuck
+                if repository is not None:
+                    repository.observe_write(row_index, intended, stored)
+                if leveler is not None:
+                    movement = leveler.record_write()
+                    if movement is not None:
+                        self._migrate_row(*movement)
+                applied = line + 1
+                performed = index_global + 1
+                if stop is not None:
+                    saw_count = int(saw_mask.sum())
+                    if saw_count:
+                        wrong = stored ^ intended
+                        saw_bits = (
+                            popcount[wrong]
+                            if bits_per_cell == 2
+                            else (wrong != 0).astype(np.int64)
+                        ).reshape(words_per_line, -1).sum(axis=1)
+                    else:
+                        saw_bits = zero_saw_bits
+                    if stop(index_global, int(row_index), saw_count, saw_bits):
+                        stopped = True
+                        break
+            self._flush_replay_accounting(
+                replay,
+                index,
+                performed,
+                old_rows[:applied],
+                stored_rows[:applied],
+                intended_rows[:applied],
+            )
+            self._flush_aux_energy(
+                replay, index, performed, new_auxes[:applied], old_auxes[:applied]
+            )
+            index = scan
+        return performed, stopped
+
+    def _wave_aux_values(self, encoded_lines: List[EncodedLine]) -> np.ndarray:
+        """The wave's auxiliary values as a ``(lines, words)`` aux-store block."""
+        rows = [encoded.auxes for encoded in encoded_lines]
+        if self._wide_aux:
+            return np.array(rows, dtype=object)
+        return np.array(rows, dtype=np.int64)
+
+    def _flush_aux_energy(
+        self,
+        replay: ReplayResult,
+        lo: int,
+        hi: int,
+        new_auxes: np.ndarray,
+        old_auxes: np.ndarray,
+    ) -> None:
+        """Auxiliary-bit write energy for applied wave writes ``[lo, hi)``.
+
+        Charges the bits that changed between the stored and the new
+        auxiliary values, exactly as :meth:`_apply_line_write` does per
+        write (same popcounts, same float multiply).
+        """
+        if lo >= hi:
+            return
+        if self._wide_aux:
+            for line in range(hi - lo):
+                changed = sum(
+                    bin(int(new) ^ int(old)).count("1")
+                    for new, old in zip(new_auxes[line], old_auxes[line])
+                )
+                replay.aux_energy_pj[lo + line] = self._aux_bit_energy * changed
+            return
+        changed = popcount64_array(
+            new_auxes.astype(np.uint64) ^ old_auxes.astype(np.uint64)
+        ).sum(axis=1)
+        replay.aux_energy_pj[lo:hi] = self._aux_bit_energy * changed
+
+    def _stuck_rows(self, row_indices: np.ndarray) -> Optional[np.ndarray]:
+        """The stuck masks the encoder may see for a wave of rows."""
+        if self.fault_knowledge == "oracle":
+            return self.array.stuck_rows(row_indices)
+        if self.fault_knowledge == "discovered":
+            return np.stack(
+                [self.fault_repository.stuck_mask(int(row)) for row in row_indices]
+            )
+        return None
+
+    def _replay_generic_scalar(
+        self,
+        replay: ReplayResult,
+        plaintext_for: Callable[[int], List[int]],
+        addresses: np.ndarray,
+        start: int,
+        end: int,
+        stop: Optional[ReplayStop],
+    ):
+        """Per-write fallback of :meth:`_replay_generic` (odd word widths).
+
+        Runs when no batched ciphertext chunk exists; each write encrypts
+        scalar-wise and runs the identical :meth:`_apply_line_write` core.
         """
         encryption = self.encryption
         performed = start
         stopped = False
         for index in range(start, end):
-            if encrypted_chunk is not None:
-                encrypted = encrypted_chunk[index - start].tolist()
+            words = plaintext_for(index)
+            if encryption is not None:
+                encrypted = list(
+                    encryption.encrypt_line(int(addresses[index]), words).words
+                )
             else:
-                words = plaintext_for(index)
-                if encryption is not None:
-                    encrypted = list(
-                        encryption.encrypt_line(int(addresses[index]), words).words
-                    )
-                else:
-                    encrypted = [int(w) for w in words]
+                encrypted = [int(w) for w in words]
             (
                 row_index,
                 data_energy,

@@ -212,6 +212,21 @@ class PCMArray:
         start = word_index * self.cells_per_word
         return self._cells[row_index, start: start + self.cells_per_word].copy()
 
+    def read_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """Copies of several rows' cell values gathered in one read.
+
+        The batch sibling of :meth:`read_row` used by the memory
+        controller's replay waves: one fancy-index gather returns a
+        ``(len(row_indices), cells_per_row)`` matrix.
+        """
+        indices = self._check_rows(row_indices)
+        return self._cells[indices]
+
+    def stuck_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        """Copies of several rows' stuck masks gathered in one read."""
+        indices = self._check_rows(row_indices)
+        return self._stuck[indices]
+
     def stuck_info(self, row_index: int) -> np.ndarray:
         """Return the boolean stuck mask of a row (copy)."""
         self._check_row(row_index)
@@ -272,7 +287,8 @@ class PCMArray:
         newly_stuck = 0
         if self._wear is not None:
             wear_row = self._wear[row_index]
-            wear_row[changed] += 1
+            # Branchless 0/1 add beats a boolean fancy-index increment.
+            wear_row += changed
             exceeded = (~stuck) & (wear_row >= self._endurance[row_index])
             newly_stuck = int(exceeded.sum())
             if newly_stuck:
@@ -280,6 +296,40 @@ class PCMArray:
 
         self._cells[row_index] = stored
         saw_mask = self._stuck[row_index] & (stored != intended)
+        return old, stored, changed, saw_mask, newly_stuck
+
+    def write_rows_fast(self, row_indices: np.ndarray, intended: np.ndarray):
+        """Apply one write to each of several *distinct* rows at once.
+
+        The wave sibling of :meth:`write_row_fast`: ``row_indices`` must
+        name pairwise-distinct valid rows and ``intended`` must be a
+        matching ``(len(row_indices), cells_per_row)`` ``uint8`` matrix of
+        in-range cell values.  Because the rows are distinct, the stuck /
+        wear semantics of each row are independent and the whole batch
+        reduces to fancy-index gathers and scatters; every returned value
+        is bit-identical to looping :meth:`write_row_fast` in order.
+        Returns ``(old_rows, stored_rows, changed_mask, saw_mask,
+        newly_stuck)`` with a leading batch axis (``newly_stuck`` is an
+        ``int64`` vector).
+        """
+        old = self._cells[row_indices]
+        stuck = self._stuck[row_indices]
+        stored = np.where(stuck, old, intended)
+        changed = stored != old
+
+        if self._wear is not None:
+            wear = self._wear[row_indices]
+            wear += changed
+            self._wear[row_indices] = wear
+            exceeded = (~stuck) & (wear >= self._endurance[row_indices])
+            newly_stuck = exceeded.sum(axis=1)
+            if newly_stuck.any():
+                self._stuck[row_indices] = stuck | exceeded
+        else:
+            newly_stuck = np.zeros(len(row_indices), dtype=np.int64)
+
+        self._cells[row_indices] = stored
+        saw_mask = self._stuck[row_indices] & (stored != intended)
         return old, stored, changed, saw_mask, newly_stuck
 
     def write_word(self, row_index: int, word_index: int, word: int) -> RowWriteResult:
@@ -313,6 +363,16 @@ class PCMArray:
     def _check_row(self, row_index: int) -> None:
         if not 0 <= row_index < self.rows:
             raise MemoryModelError(f"row index {row_index} out of range [0, {self.rows})")
+
+    def _check_rows(self, row_indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(row_indices, dtype=np.intp)
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.rows
+        ):
+            raise MemoryModelError(
+                f"row indices must lie in [0, {self.rows}), got {row_indices!r}"
+            )
+        return indices
 
     def _check_word(self, word_index: int) -> None:
         if not 0 <= word_index < self.words_per_row:

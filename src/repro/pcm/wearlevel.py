@@ -72,6 +72,16 @@ class StartGapWearLeveler:
         """Current physical position of the gap row."""
         return self._gap
 
+    @property
+    def writes_until_gap_move(self) -> int:
+        """Serviced writes remaining before the next gap movement fires.
+
+        The returned count includes the triggering write itself, so batch
+        drivers that must not span a migration (the logical-to-physical
+        mapping rotates with it) may group up to this many writes.
+        """
+        return self.gap_write_interval - self._writes_since_move
+
     # -------------------------------------------------------------- writes
     def record_write(self) -> Optional[Tuple[int, int]]:
         """Account one serviced write; move the gap when the interval elapses.

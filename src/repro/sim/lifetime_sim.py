@@ -28,8 +28,6 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
 from repro.campaign.engine import ProgressCallback, run_campaign
 from repro.campaign.spec import Task
 from repro.campaign.store import ResultStore
@@ -40,6 +38,7 @@ from repro.errors import SimulationError
 from repro.pcm.cell import CellTechnology
 from repro.pcm.endurance import EnduranceModel
 from repro.sim.harness import TechniqueSpec, build_controller
+from repro.sim.repetition import kaplan_meier_mean
 from repro.sim.results import ResultTable
 from repro.traces.synthetic import generate_trace
 from repro.utils.rng import derive_seed
@@ -287,11 +286,11 @@ def lifetime_study(
     """
     tasks = lifetime_study_tasks(benchmarks, techniques, num_cosets, config, repetitions)
     result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
-    values_by_cell: Dict[Tuple[str, str], List[int]] = {}
+    values_by_cell: Dict[Tuple[str, str], List[Tuple[int, bool]]] = {}
     censored_cells = 0
     for row in result.rows():
         values_by_cell.setdefault((row["benchmark"], row["technique"]), []).append(
-            row["writes_to_failure"]
+            (row["writes_to_failure"], bool(row.get("censored")))
         )
         censored_cells += bool(row.get("censored"))
     notes = (
@@ -307,7 +306,9 @@ def lifetime_study(
     )
     for benchmark in benchmarks:
         lifetimes: Dict[str, float] = {
-            spec.display_name(): float(np.mean(values_by_cell[(benchmark, spec.display_name())]))
+            spec.display_name(): _survival_mean(
+                values_by_cell[(benchmark, spec.display_name())]
+            )
             for spec in techniques
         }
         baseline = lifetimes.get("Unencoded", 0.0)
@@ -323,11 +324,23 @@ def lifetime_study(
     return table
 
 
+def _survival_mean(outcomes: Sequence[Tuple[int, bool]]) -> float:
+    """Kaplan–Meier (restricted) mean of ``(writes, censored)`` repetitions.
+
+    Censored repetitions keep the survival curve up instead of entering
+    the average as failure times; with no censoring this is the ordinary
+    sample mean the figures always reported.
+    """
+    durations = [writes for writes, _ in outcomes]
+    flags = [flag for _, flag in outcomes]
+    return kaplan_meier_mean(durations, flags).mean
+
+
 def _censoring_note(censored: int, total: int, cap: int) -> str:
     """Shared phrasing for censored-cell reporting in the lifetime tables."""
     return (
         f"; {censored} of {total} cells censored at the {cap}-write cap "
-        "(reported lifetimes are lower bounds there)"
+        "(means are Kaplan-Meier restricted means, lower bounds there)"
     )
 
 
@@ -434,16 +447,17 @@ def mean_lifetime_by_coset_count(
     worker processes produce bit-identical rows at any count, ``store``
     enables cached resume, and ``repetitions`` adds paired seeds (the
     repetition offsets the seed identically for every technique).
-    Censored cells are reported in the table notes rather than silently
-    averaged in as failure times.
+    Censored cells enter the means through the Kaplan–Meier estimator
+    (:func:`repro.sim.repetition.kaplan_meier_mean`) rather than being
+    silently averaged in as failure times, and are counted in the notes.
     """
     tasks = mean_lifetime_tasks(coset_counts, benchmarks, techniques, config, repetitions)
     result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
-    values_by_cell: Dict[Tuple[int, str], List[int]] = {}
+    values_by_cell: Dict[Tuple[int, str], List[Tuple[int, bool]]] = {}
     censored_cells = 0
     for row in result.rows():
         values_by_cell.setdefault((row["cosets"], row["technique"]), []).append(
-            row["writes_to_failure"]
+            (row["writes_to_failure"], bool(row.get("censored")))
         )
         censored_cells += bool(row.get("censored"))
     notes = "mean across " + ", ".join(benchmarks)
@@ -456,10 +470,10 @@ def mean_lifetime_by_coset_count(
     )
     for cosets in coset_counts:
         for spec in techniques:
-            values = values_by_cell[(cosets, spec.display_name())]
+            outcomes = values_by_cell[(cosets, spec.display_name())]
             table.append(
                 cosets=cosets,
                 technique=spec.display_name(),
-                mean_writes_to_failure=float(np.mean(values)),
+                mean_writes_to_failure=_survival_mean(outcomes),
             )
     return table

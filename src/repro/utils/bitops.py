@@ -30,6 +30,7 @@ __all__ = [
     "hamming_weight",
     "int_to_bits",
     "interleave_planes",
+    "interleave_planes_array",
     "merge_symbols",
     "popcount64_array",
     "random_word",
@@ -239,6 +240,47 @@ def interleave_planes(left: int, right: int, width: int) -> int:
         right_bit = (right >> shift) & 1
         value = (value << 2) | (left_bit << 1) | right_bit
     return value
+
+
+#: Magic masks of the classic Morton-encode bit spreading (inverse of
+#: :data:`_EVEN_BIT_MASKS`): after the k-th step, contiguous groups of
+#: 2^(4-k) bits sit at their even-position targets.
+_SPREAD_BIT_MASKS = (
+    (16, 0x0000FFFF0000FFFF),
+    (8, 0x00FF00FF00FF00FF),
+    (4, 0x0F0F0F0F0F0F0F0F),
+    (2, 0x3333333333333333),
+    (1, 0x5555555555555555),
+)
+
+
+def _spread_to_even_bits(values: np.ndarray) -> np.ndarray:
+    """Scatter the low 32 bits of each uint64 onto the even positions."""
+    out = values & np.uint64(0xFFFFFFFF)
+    for shift, mask in _SPREAD_BIT_MASKS:
+        out = (out | (out << np.uint64(shift))) & np.uint64(mask)
+    return out
+
+
+def interleave_planes_array(
+    left: np.ndarray, right: np.ndarray, width: int
+) -> np.ndarray:
+    """Vectorised :func:`interleave_planes` over arrays of plane values.
+
+    ``width`` is the full word width in bits (each plane holds
+    ``width // 2`` bits); the result is bit-compatible with the scalar
+    helper.
+    """
+    if width % 2 != 0 or width > 64:
+        raise ConfigurationError(
+            f"interleave_planes_array needs an even width of at most 64 bits, got {width}"
+        )
+    left = np.asarray(left, dtype=np.uint64)
+    right = np.asarray(right, dtype=np.uint64)
+    half = np.uint64(width // 2)
+    if bool(((left >> half) != 0).any()) or bool(((right >> half) != 0).any()):
+        raise ConfigurationError("bitplane value does not fit in width // 2 bits")
+    return (_spread_to_even_bits(left) << np.uint64(1)) | _spread_to_even_bits(right)
 
 
 def random_word(rng: np.random.Generator, width: int = 64) -> int:

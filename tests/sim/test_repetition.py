@@ -3,7 +3,62 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.repetition import RepeatedMetric, aggregate_columns, repeat_metric
+from repro.sim.repetition import (
+    RepeatedMetric,
+    aggregate_columns,
+    kaplan_meier_mean,
+    repeat_metric,
+)
+
+
+class TestKaplanMeierMean:
+    def test_no_censoring_equals_sample_mean(self):
+        values = [3.0, 7.0, 7.0, 11.0, 2.0]
+        estimate = kaplan_meier_mean(values)
+        assert estimate.mean == pytest.approx(sum(values) / len(values))
+        assert estimate.events == 5
+        assert estimate.censored == 0
+        assert not estimate.restricted
+
+    def test_all_censored_gives_restricted_max(self):
+        # No failures: the survival curve never drops, so the restricted
+        # mean is the largest lower bound observed.
+        estimate = kaplan_meier_mean([100, 150, 120], censored=[True, True, True])
+        assert estimate.mean == pytest.approx(150.0)
+        assert estimate.events == 0
+        assert estimate.censored == 3
+        assert estimate.restricted
+
+    def test_textbook_example(self):
+        # Events at 2 and 5, censoring at 3: S = 1 on [0,2), 2/3 on [2,5)
+        # with the censored subject leaving at 3, then S = 0 after 5
+        # (1 death among 1 at risk).  RMST = 2 + (2/3)*3 = 4.
+        estimate = kaplan_meier_mean([2, 3, 5], censored=[False, True, False])
+        assert estimate.mean == pytest.approx(2 + (2 / 3) * 3)
+        assert estimate.events == 2
+        assert estimate.censored == 1
+        assert not estimate.restricted
+
+    def test_censored_lower_bound_raises_mean_above_naive(self):
+        # Treating the censored 5 as a failure would give (3 + 5) / 2 = 4;
+        # Kaplan-Meier keeps the survivor's probability mass alive at 3.
+        estimate = kaplan_meier_mean([3, 5], censored=[True, False])
+        assert estimate.mean == pytest.approx(5.0)
+        assert estimate.mean > 4.0
+
+    def test_events_precede_censorings_at_equal_times(self):
+        # The subject censored at 4 was still at risk when the failure at
+        # 4 happened: S drops to 2/3, not 1/2.
+        estimate = kaplan_meier_mean([4, 4, 9], censored=[False, True, False])
+        assert estimate.mean == pytest.approx(4 + (2 / 3) * 5)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            kaplan_meier_mean([])
+        with pytest.raises(SimulationError):
+            kaplan_meier_mean([1.0, -2.0])
+        with pytest.raises(SimulationError):
+            kaplan_meier_mean([1.0, 2.0], censored=[True])
 
 
 class TestRepeatMetric:
