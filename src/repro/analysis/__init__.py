@@ -1,0 +1,59 @@
+"""Static analysis for the repro codebase: determinism, numeric safety,
+registry contracts, and API hygiene — enforced at lint time.
+
+Every result table in this repository must be bit-identical at any
+``--jobs``, across cached resumes, and between the batched kernels and
+their scalar oracles.  The test suite can only spot-check those
+invariants dynamically; this subsystem enforces their preconditions
+statically, before the code runs:
+
+* ``DET`` — unseeded randomness, stdlib ``random``, wall-clock values,
+  unordered-set iteration (``repro/utils/rng.py`` is the whitelisted home
+  of generator construction);
+* ``NUM`` — advanced-indexing gathers feeding pairwise reductions (the
+  PR-5 1-ulp lesson, now a rule instead of a comment), boolean sums
+  without an explicit dtype, float ``==``;
+* ``REG`` — the encoder and task-kind registry contracts (batched
+  overrides present, signatures matching ``coding/base.py``, literal
+  content-addressable task names);
+* ``API`` — blanket ``except Exception``, mutable defaults, missing type
+  hints on public functions.
+
+Rules register through the same decorator idiom as encoders and task
+kinds (:func:`register_rule`); findings are suppressed per line with
+``# repro: allow[RULE] reason=...`` (the reason is mandatory) or
+grandfathered in the committed ``analysis-baseline.json``.  The CLI is
+``python -m repro.analysis`` — see :mod:`repro.analysis.cli`.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import (
+    ModuleContext,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+)
+from repro.analysis.finding import Finding
+from repro.analysis.registry import (
+    RuleSpec,
+    available_rules,
+    register_rule,
+    rule_specs,
+    unregister_rule,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "ModuleContext",
+    "RuleSpec",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "available_rules",
+    "main",
+    "register_rule",
+    "rule_specs",
+    "unregister_rule",
+]

@@ -1,0 +1,109 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the analyzer gate *new* violations strictly while the
+backlog of pre-existing ones is burned down incrementally: a finding whose
+fingerprint appears in the baseline is reported as "baselined" and does
+not fail the run.  The file is committed at the repository root
+(``analysis-baseline.json``) and regenerated with
+``python -m repro.analysis src --write-baseline``; a meta-test asserts it
+matches a fresh run exactly, so it can neither rot nor hide new findings.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Set, Union
+
+from repro.analysis.finding import Finding
+from repro.errors import ConfigurationError
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+#: File name the CLI looks for in the working directory by default.
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    entries: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def __contains__(self, item: Union[str, Finding]) -> bool:
+        key = item.fingerprint if isinstance(item, Finding) else str(item)
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def fingerprints(self) -> Set[str]:
+        """All grandfathered fingerprints."""
+        return set(self.entries)
+
+    def partition(self, findings: Sequence[Finding]) -> "tuple[List[Finding], List[Finding]]":
+        """Split findings into (new, baselined)."""
+        new = [finding for finding in findings if finding not in self]
+        old = [finding for finding in findings if finding in self]
+        return new, old
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """Baseline grandfathering exactly the given findings."""
+        entries = {
+            finding.fingerprint: {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "snippet": finding.snippet,
+            }
+            for finding in findings
+        }
+        return cls(entries=entries)
+
+    # ----------------------------------------------------------------- I/O
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load a baseline file, validating its shape."""
+        file_path = Path(path)
+        try:
+            payload = json.loads(file_path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ConfigurationError(f"cannot read baseline {file_path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"baseline {file_path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ConfigurationError(
+                f"baseline {file_path} must be an object with a 'findings' list"
+            )
+        entries: Dict[str, Dict[str, Any]] = {}
+        for item in payload["findings"]:
+            if not isinstance(item, dict) or "fingerprint" not in item:
+                raise ConfigurationError(
+                    f"baseline {file_path} holds an entry without a fingerprint"
+                )
+            entries[str(item["fingerprint"])] = {
+                key: item[key] for key in ("rule", "path", "message", "snippet") if key in item
+            }
+        return cls(entries=entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline (sorted for stable diffs)."""
+        records = [
+            {"fingerprint": fp, **self.entries[fp]}
+            for fp in sorted(
+                self.entries,
+                key=lambda fp: (
+                    self.entries[fp].get("path", ""),
+                    self.entries[fp].get("rule", ""),
+                    fp,
+                ),
+            )
+        ]
+        payload = {"version": _FORMAT_VERSION, "findings": records}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

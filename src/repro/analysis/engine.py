@@ -1,0 +1,252 @@
+"""The analysis engine: parse modules, run rules, apply waivers.
+
+The public entry points are :func:`analyze_source` (one in-memory module,
+what the test fixtures use), :func:`analyze_file`, and
+:func:`analyze_paths` (recursive over directories, what the CLI uses).
+All three return :class:`~repro.analysis.finding.Finding` lists sorted by
+location; baseline filtering happens one layer up (:mod:`repro.analysis.cli`)
+so the API always reports the full picture.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Type, TypeVar, Union
+
+from repro.analysis.finding import Finding, fingerprint
+from repro.analysis.registry import select_rules
+from repro.analysis.waivers import WaiverTable, parse_waivers
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ModuleContext",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+]
+
+#: Rule code used for files the parser rejects; never waivable or baselined
+#: away silently (a file that does not parse cannot be analyzed at all).
+PARSE_RULE = "SYN001"
+
+#: Rule code for malformed waivers (missing reason); emitted by the engine
+#: itself so a reasonless waiver can never be excused by another waiver.
+WAIVER_RULE = "WVR001"
+
+_NodeT = TypeVar("_NodeT", bound=ast.AST)
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one module under analysis.
+
+    Attributes
+    ----------
+    path:
+        Display path of the module (POSIX-style, relative to the analysis
+        root when possible); used in findings and fingerprints.
+    relpath:
+        Same as ``path`` — kept separate so path-scoped rules (e.g. the
+        ``utils/rng.py`` whitelist) match on a normalised value even if
+        display conventions change.
+    source:
+        Full module source text.
+    tree:
+        Parsed AST of the module.
+    lines:
+        Source split into lines (1-based indexing via ``line_text``).
+    """
+
+    path: str
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        """The stripped source text of 1-based ``line`` ('' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def walk(self, *types: Type[_NodeT]) -> Iterator[_NodeT]:
+        """Walk the AST yielding nodes of the requested types."""
+        for node in ast.walk(self.tree):
+            if isinstance(node, types):
+                yield node
+
+    def finding(
+        self, rule: str, node: Union[ast.AST, int], message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (an AST node or line number)."""
+        if isinstance(node, ast.AST):
+            line = getattr(node, "lineno", 1)
+            column = getattr(node, "col_offset", 0)
+        else:
+            line, column = int(node), 0
+        return Finding(
+            rule=rule.upper(),
+            path=self.path,
+            line=line,
+            column=column,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+    def in_path(self, *fragments: str) -> bool:
+        """True when the module lives under any of the given path fragments.
+
+        Fragments are POSIX-style and match against the module's relative
+        path (``module.in_path("repro/experiments/")``).
+        """
+        normalised = self.relpath.replace("\\", "/")
+        return any(fragment in normalised for fragment in fragments)
+
+
+def _code_lines(lines: Sequence[str]) -> List[int]:
+    """1-based numbers of lines holding code (non-blank, not pure comment)."""
+    return [
+        number
+        for number, text in enumerate(lines, start=1)
+        if text.strip() and not text.strip().startswith("#")
+    ]
+
+
+def _assign_fingerprints(findings: List[Finding]) -> List[Finding]:
+    """Fill in baseline fingerprints, indexing duplicate snippets per file."""
+    counts: dict = {}
+    out: List[Finding] = []
+    for item in sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule)):
+        key = (item.rule, item.path, item.snippet.strip())
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        out.append(
+            Finding(
+                rule=item.rule,
+                path=item.path,
+                line=item.line,
+                column=item.column,
+                message=item.message,
+                snippet=item.snippet,
+                fingerprint=fingerprint(item.rule, item.path, item.snippet, index),
+            )
+        )
+    return out
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze one module given as source text.
+
+    Runs the selected rules, drops findings covered by a valid inline
+    waiver, reports reasonless waivers under ``WVR001``, and returns the
+    remaining findings sorted by location with fingerprints assigned.
+    """
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        bad = Finding(
+            rule=PARSE_RULE,
+            path=path,
+            line=error.lineno or 1,
+            column=(error.offset or 1) - 1,
+            message=f"file does not parse: {error.msg}",
+            snippet=(error.text or "").strip(),
+        )
+        return _assign_fingerprints([bad])
+
+    module = ModuleContext(
+        path=path, relpath=path, source=source, tree=tree, lines=lines
+    )
+    table = WaiverTable(parse_waivers(lines), _code_lines(lines))
+
+    findings: List[Finding] = []
+    for spec in select_rules(select, ignore):
+        for item in spec.check(module):
+            if not table.waives(item.rule, item.line):
+                findings.append(item)
+    for waiver in table.invalid():
+        findings.append(
+            module.finding(
+                WAIVER_RULE,
+                waiver.line,
+                "waiver is missing its mandatory reason "
+                "(write `# repro: allow[RULE] reason=...`)",
+            )
+        )
+    return _assign_fingerprints(findings)
+
+
+def analyze_file(
+    path: Union[str, Path],
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze one file on disk, reporting paths relative to ``root``."""
+    file_path = Path(path)
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(f"cannot read {file_path}: {error}") from error
+    return analyze_source(
+        source, path=_display_path(file_path, root), select=select, ignore=ignore
+    )
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    """POSIX-style path relative to ``root`` when possible."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigurationError(f"no such file or directory: {path}")
+    unique: List[Path] = []
+    seen = set()
+    for path in files:
+        key = path.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    root: Optional[Union[str, Path]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze every ``.py`` file under ``paths``.
+
+    ``root`` (default: the current working directory) anchors the relative
+    paths used in reports and baseline fingerprints.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(analyze_file(file_path, root=base, select=select, ignore=ignore))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))

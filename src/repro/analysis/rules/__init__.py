@@ -1,0 +1,15 @@
+"""Builtin rule families.
+
+* :mod:`repro.analysis.rules.determinism` — ``DET``: unseeded randomness,
+  time-derived values, unordered-set iteration.
+* :mod:`repro.analysis.rules.numeric` — ``NUM``: gather/reduction ulp
+  hazards, boolean accumulations without a dtype, float ``==``.
+* :mod:`repro.analysis.rules.registry_contracts` — ``REG``: encoder and
+  task-kind registry contracts.
+* :mod:`repro.analysis.rules.api_hygiene` — ``API``: blanket exception
+  handlers, mutable defaults, missing public type hints.
+
+Each module registers its rules on import via
+:func:`repro.analysis.registry.register_rule`; the registry imports them
+lazily on first resolution.
+"""

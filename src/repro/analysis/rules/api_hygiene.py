@@ -1,0 +1,137 @@
+"""API — interface hygiene rules.
+
+Blanket exception handlers hide the typed error taxonomy in
+:mod:`repro.errors`, mutable default arguments leak state between calls,
+and unannotated public functions erode the strict-mypy gate on the core
+packages.  Each finding is waivable with a reason where breadth is the
+point (e.g. a cancel-and-reraise cleanup handler).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.rules.common import call_name, dotted_name
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+def _broad_handler_name(handler: ast.ExceptHandler) -> Optional[str]:
+    """'bare', 'Exception', or 'BaseException' when the handler is blanket."""
+    if handler.type is None:
+        return "bare"
+    candidates: List[ast.expr] = (
+        list(handler.type.elts) if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in candidates:
+        name = dotted_name(expr)
+        if name in _BROAD_EXCEPTIONS:
+            return name
+    return None
+
+
+@register_rule(
+    "API001",
+    summary="bare or blanket except Exception handler without a waiver",
+)
+def check_blanket_except(module: ModuleContext) -> Iterator[Finding]:
+    for handler in module.walk(ast.ExceptHandler):
+        broad = _broad_handler_name(handler)
+        if broad is None:
+            continue
+        what = "bare except:" if broad == "bare" else f"except {broad}:"
+        yield module.finding(
+            "API001",
+            handler,
+            f"{what} swallows the typed repro.errors taxonomy; catch the "
+            "specific errors, or waive with a reason where breadth is the "
+            "point (e.g. catch-cancel-reraise cleanup)",
+        )
+
+
+def _mutable_default(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        return call_name(expr) in _MUTABLE_FACTORIES
+    return False
+
+
+@register_rule("API002", summary="mutable default argument")
+def check_mutable_defaults(module: ModuleContext) -> Iterator[Finding]:
+    for node in module.walk(ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda):
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _mutable_default(default):
+                label = getattr(node, "name", "<lambda>")
+                yield module.finding(
+                    "API002",
+                    default,
+                    f"mutable default argument in {label}; defaults are "
+                    "evaluated once and shared across calls — default to "
+                    "None (or use dataclasses.field(default_factory=...))",
+                )
+
+
+def _public_functions(
+    module: ModuleContext,
+) -> Iterator[Tuple[ast.FunctionDef, Optional[ast.ClassDef]]]:
+    """Top-level public functions and public methods of public classes."""
+
+    def walk_body(body: List[ast.stmt], owner: Optional[ast.ClassDef]) -> Iterator[
+        Tuple[ast.FunctionDef, Optional[ast.ClassDef]]
+    ]:
+        for item in body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield item, owner
+            elif isinstance(item, ast.ClassDef) and owner is None:
+                if not item.name.startswith("_"):
+                    yield from walk_body(item.body, item)
+            elif isinstance(item, (ast.If, ast.Try)):
+                # conditional definitions (e.g. version guards) still count
+                for sub in ast.iter_child_nodes(item):
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield sub, owner
+
+    yield from walk_body(module.tree.body, None)
+
+
+@register_rule(
+    "API003",
+    summary="public function missing parameter or return annotations",
+)
+def check_public_annotations(module: ModuleContext) -> Iterator[Finding]:
+    for function, owner in _public_functions(module):
+        if function.name.startswith("_"):
+            continue
+        where = f"{owner.name}.{function.name}" if owner is not None else function.name
+        args = function.args
+        positional = args.posonlyargs + args.args
+        missing = [
+            arg.arg
+            for index, arg in enumerate(positional + args.kwonlyargs)
+            if arg.annotation is None
+            and not (index == 0 and arg.arg in ("self", "cls"))
+        ]
+        if missing:
+            yield module.finding(
+                "API003",
+                function,
+                f"public function {where} has unannotated parameter(s) "
+                f"{', '.join(missing)}; the strict-mypy gate needs full "
+                "signatures on public APIs",
+            )
+        if function.returns is None:
+            yield module.finding(
+                "API003",
+                function,
+                f"public function {where} is missing its return annotation",
+            )

@@ -1,0 +1,59 @@
+"""Small AST helpers shared by the builtin rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+__all__ = [
+    "call_name",
+    "decorator_name",
+    "dotted_name",
+    "is_none",
+    "is_set_expression",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name`` / ``Attribute`` chain as ``a.b.c`` (else ``None``)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """Dotted name of a call's function, when statically nameable."""
+    return dotted_name(node.func)
+
+
+def decorator_name(node: ast.expr) -> Optional[str]:
+    """Name of a decorator, unwrapping a decorator-factory call."""
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    return dotted_name(node)
+
+
+def is_none(node: Optional[ast.expr]) -> bool:
+    """True for a literal ``None`` expression."""
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def is_set_expression(node: ast.expr) -> bool:
+    """True for expressions that statically produce an (unordered) set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        return name in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra (a | b, a - b, ...) is only flagged when a side is
+        # itself statically a set; plain integer arithmetic must not match.
+        return is_set_expression(node.left) or is_set_expression(node.right)
+    return False

@@ -1,0 +1,188 @@
+"""DET — determinism rules.
+
+Every result table in this repository must be a pure function of its
+seeds: bit-identical at any ``--jobs``, on any platform, across cached
+resumes.  These rules catch the ways that invariant silently breaks —
+unseeded generators, the stdlib's global ``random`` state, wall-clock
+values, and iteration over unordered sets — at lint time instead of in a
+flaky parity test.
+
+The deterministic-RNG helpers in ``repro/utils/rng.py`` are the one
+sanctioned home of ``np.random.default_rng``; the module is whitelisted
+here and everything else must route through :func:`repro.utils.rng.make_rng`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.rules.common import call_name, is_none, is_set_expression
+
+#: The one module allowed to touch numpy's generator constructors directly.
+_RNG_WHITELIST = ("repro/utils/rng.py", "utils/rng.py")
+
+#: numpy.random attributes that are fine to call anywhere (they construct
+#: or derive explicitly-seeded state rather than drawing from global state).
+_NUMPY_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox"}
+
+#: Wall-clock and process-clock calls; any value derived from them differs
+#: between runs and must never reach a result row or a seed.
+_TIME_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+#: Builtins whose call materialises an iteration order from their operand.
+_ORDER_MATERIALISERS = {"list", "tuple", "enumerate", "iter"}
+
+
+def _is_whitelisted_rng_module(module: ModuleContext) -> bool:
+    return module.in_path(*_RNG_WHITELIST)
+
+
+@register_rule(
+    "DET001",
+    summary="unseeded numpy generator or legacy global numpy.random state "
+    "outside utils/rng.py",
+)
+def check_unseeded_numpy(module: ModuleContext) -> Iterator[Finding]:
+    if _is_whitelisted_rng_module(module):
+        return
+    for node in module.walk(ast.Call):
+        name = call_name(node)
+        if name is None:
+            continue
+        head, _, tail = name.rpartition(".")
+        if tail == "default_rng" and (head in ("", "np.random", "numpy.random")):
+            unseeded = not node.args or is_none(node.args[0])
+            seed_kw = next((kw for kw in node.keywords if kw.arg == "seed"), None)
+            if seed_kw is not None:
+                unseeded = is_none(seed_kw.value)
+            if unseeded:
+                yield module.finding(
+                    "DET001",
+                    node,
+                    "unseeded default_rng(); derive a seeded generator via "
+                    "repro.utils.rng.make_rng(seed, label)",
+                )
+        elif head in ("np.random", "numpy.random") and tail not in _NUMPY_RANDOM_OK:
+            yield module.finding(
+                "DET001",
+                node,
+                f"legacy global numpy.random.{tail}() draws from hidden global "
+                "state; use a Generator from repro.utils.rng.make_rng",
+            )
+
+
+@register_rule(
+    "DET002",
+    summary="stdlib `random` module (global, platform-dependent state) "
+    "outside utils/rng.py",
+)
+def check_stdlib_random(module: ModuleContext) -> Iterator[Finding]:
+    if _is_whitelisted_rng_module(module):
+        return
+    for node in module.walk(ast.Import):
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                yield module.finding(
+                    "DET002",
+                    node,
+                    "stdlib random uses hidden global state; use "
+                    "repro.utils.rng.make_rng instead",
+                )
+    for node in module.walk(ast.ImportFrom):
+        if node.module == "random":
+            yield module.finding(
+                "DET002",
+                node,
+                "stdlib random uses hidden global state; use "
+                "repro.utils.rng.make_rng instead",
+            )
+
+
+@register_rule(
+    "DET003",
+    summary="wall-clock / process-clock value in library code (results must "
+    "be a pure function of the seed)",
+)
+def check_time_derived(module: ModuleContext) -> Iterator[Finding]:
+    for node in module.walk(ast.Call):
+        name = call_name(node)
+        if name in _TIME_CALLS:
+            yield module.finding(
+                "DET003",
+                node,
+                f"{name}() is run-dependent; results and seeds must derive "
+                "only from explicit parameters (waive with a reason for "
+                "pure reporting/benchmark paths)",
+            )
+
+
+@register_rule(
+    "DET004",
+    summary="iteration over an unordered set feeding ordered results "
+    "(wrap in sorted())",
+)
+def check_set_iteration(module: ModuleContext) -> Iterator[Finding]:
+    message = (
+        "iteration order over a set is unspecified and varies with hash "
+        "seeding across processes; wrap in sorted() before it can reach "
+        "ordered results"
+    )
+    for node in module.walk(ast.For):
+        if is_set_expression(node.iter):
+            yield module.finding("DET004", node.iter, message)
+    for comp in module.walk(ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp):
+        for generator in comp.generators:
+            if is_set_expression(generator.iter):
+                yield module.finding("DET004", generator.iter, message)
+    for node in module.walk(ast.Call):
+        name = call_name(node)
+        if (
+            name in _ORDER_MATERIALISERS
+            and node.args
+            and is_set_expression(node.args[0])
+        ):
+            yield module.finding("DET004", node, message)
+
+
+@register_rule(
+    "DET005",
+    summary="make_rng() without an explicit seed in experiment/campaign code",
+)
+def check_unseeded_make_rng(module: ModuleContext) -> Iterator[Finding]:
+    if not module.in_path("repro/experiments/", "repro/campaign/"):
+        return
+    for node in module.walk(ast.Call):
+        name = call_name(node)
+        if name is None or name.rpartition(".")[2] != "make_rng":
+            continue
+        unseeded = not node.args or is_none(node.args[0])
+        seed_kw = next((kw for kw in node.keywords if kw.arg == "seed"), None)
+        if seed_kw is not None:
+            unseeded = is_none(seed_kw.value)
+        if unseeded:
+            yield module.finding(
+                "DET005",
+                node,
+                "experiment and campaign paths must pass an explicit seed to "
+                "make_rng (derive per-task seeds with derive_seed)",
+            )

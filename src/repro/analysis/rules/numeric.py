@@ -1,0 +1,127 @@
+"""NUM — numeric-safety rules.
+
+The batched kernels must match the scalar oracle *bit for bit*; PR 5
+established that the layout of a gather decides whether numpy's pairwise
+reductions accumulate in the same order as the reference path (a single
+non-contiguous advanced-indexing gather flipped RCC's coset sums by
+1 ulp — see ``src/repro/coding/rcc.py``).  These rules freeze that lesson
+and two adjacent hazards into lint-time checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.rules.common import call_name
+
+#: Reductions whose accumulation order (and therefore last-ulp value)
+#: depends on the memory layout of their operand.
+_PAIRWISE_REDUCTIONS = {"sum", "mean"}
+
+
+def _is_advanced_index(index: ast.expr) -> bool:
+    """True when a subscript index triggers numpy advanced indexing.
+
+    Plain integers, slices, and tuples of those keep the result a view (or
+    a trivially contiguous copy); names, calls, and array expressions are
+    gather indices.
+    """
+    if isinstance(index, ast.Tuple):
+        return any(_is_advanced_index(element) for element in index.elts)
+    if isinstance(index, (ast.Slice, ast.Constant)):
+        return False
+    if isinstance(index, ast.UnaryOp) and isinstance(index.operand, ast.Constant):
+        return False  # negative literal index
+    return isinstance(index, (ast.Name, ast.Attribute, ast.Call, ast.List, ast.Compare))
+
+
+def _reduced_operand(node: ast.Call) -> Optional[ast.expr]:
+    """The array expression a sum/mean-style call reduces, if recognisable."""
+    # The module-function form must win over the generic attribute form:
+    # for np.sum(x) the attribute branch would report the operand as the
+    # module object `np` rather than the reduced argument.
+    name = call_name(node)
+    if name in {"np.sum", "numpy.sum", "np.mean", "numpy.mean"}:
+        return node.args[0] if node.args else None
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _PAIRWISE_REDUCTIONS:
+        return node.func.value
+    return None
+
+
+def _has_dtype_kw(node: ast.Call) -> bool:
+    return any(kw.arg == "dtype" for kw in node.keywords)
+
+
+@register_rule(
+    "NUM001",
+    summary="advanced-indexing gather feeding a pairwise reduction "
+    "(use contiguous np.take; 1-ulp hazard)",
+)
+def check_gather_reduction(module: ModuleContext) -> Iterator[Finding]:
+    for node in module.walk(ast.Call):
+        operand = _reduced_operand(node)
+        if (
+            operand is not None
+            and isinstance(operand, ast.Subscript)
+            and _is_advanced_index(operand.slice)
+        ):
+            yield module.finding(
+                "NUM001",
+                node,
+                "advanced-indexing gather feeds a pairwise sum/mean; its "
+                "layout is not guaranteed contiguous, so the reduction order "
+                "— and the last ulp — can differ from the scalar oracle. "
+                "Gather with np.take (C-contiguous result) instead",
+            )
+
+
+@register_rule(
+    "NUM002",
+    summary="boolean .sum() without an explicit dtype "
+    "(platform-dependent accumulator width)",
+)
+def check_bool_sum_dtype(module: ModuleContext) -> Iterator[Finding]:
+    for node in module.walk(ast.Call):
+        operand = _reduced_operand(node)
+        if operand is None or _has_dtype_kw(node):
+            continue
+        if isinstance(operand, (ast.Compare, ast.BoolOp)) or (
+            isinstance(operand, ast.UnaryOp) and isinstance(operand.op, ast.Not)
+        ):
+            yield module.finding(
+                "NUM002",
+                node,
+                "summing a boolean expression without dtype= uses the "
+                "platform default integer width; pass an explicit dtype "
+                "(e.g. dtype=np.int64) so counts are identical everywhere",
+            )
+
+
+@register_rule(
+    "NUM003",
+    summary="float literal compared with == / != (cost comparisons must use "
+    "exact integers or explicit tolerances)",
+)
+def check_float_equality(module: ModuleContext) -> Iterator[Finding]:
+    for node in module.walk(ast.Compare):
+        operands = [node.left, *node.comparators]
+        has_float_literal = any(
+            isinstance(operand, ast.Constant) and isinstance(operand.value, float)
+            for operand in operands
+        )
+        if not has_float_literal:
+            continue
+        for op in node.ops:
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                yield module.finding(
+                    "NUM003",
+                    node,
+                    "== / != against a float literal is a last-ulp trap in "
+                    "cost paths; compare exact integer costs, or use "
+                    "math.isclose / np.isclose with explicit tolerances",
+                )
+                break

@@ -1,0 +1,94 @@
+"""Inline waiver comments: ``# repro: allow[RULE] reason=...``.
+
+A waiver suppresses findings of the named rule(s) on its own line, or —
+when the comment stands alone — on the next code line.  The reason string
+is **mandatory**: a waiver without one does not suppress anything and is
+itself reported under ``WVR001``, so every suppressed finding carries a
+human-readable justification next to the code it excuses.
+
+Syntax (one comment, one or more comma-separated codes)::
+
+    x = risky()  # repro: allow[DET001] reason=exploratory tool, not an experiment
+
+    # repro: allow[API001,API003] reason=cleanup handler must catch everything
+    except Exception:
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Waiver", "WaiverTable", "parse_waivers"]
+
+#: Matches a waiver comment anywhere in a line; the reason runs to the end
+#: of the line (it is prose, not code).
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<codes>[A-Za-z0-9_,\s]+)\]\s*(?:reason\s*=\s*(?P<reason>.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        """True when the mandatory reason string is present and non-empty."""
+        return bool(self.reason.strip())
+
+    def covers(self, rule: str) -> bool:
+        """True when this waiver names ``rule`` or its whole family."""
+        family = rule.rstrip("0123456789")
+        return any(code in (rule, family) for code in self.codes)
+
+
+class WaiverTable:
+    """All waivers of one module, indexed by the line(s) they cover."""
+
+    def __init__(self, waivers: Sequence[Waiver], code_lines: Sequence[int]):
+        self.waivers: List[Waiver] = list(waivers)
+        #: line -> waivers covering findings on that line.  A waiver on a
+        #: comment-only line forwards to the next line holding code.
+        self._by_line: Dict[int, List[Waiver]] = {}
+        code_set = set(code_lines)
+        for waiver in self.waivers:
+            if not waiver.valid:
+                continue
+            lines = [waiver.line]
+            if waiver.line not in code_set:
+                following = [line for line in code_set if line > waiver.line]
+                if following:
+                    lines.append(min(following))
+            for line in lines:
+                self._by_line.setdefault(line, []).append(waiver)
+
+    def waives(self, rule: str, line: int) -> bool:
+        """True when a valid waiver covers ``rule`` at ``line``."""
+        return any(waiver.covers(rule) for waiver in self._by_line.get(line, ()))
+
+    def invalid(self) -> List[Waiver]:
+        """Waivers missing their mandatory reason string."""
+        return [waiver for waiver in self.waivers if not waiver.valid]
+
+
+def parse_waivers(lines: Sequence[str]) -> List[Waiver]:
+    """Extract every waiver comment from a module's source lines."""
+    waivers: List[Waiver] = []
+    for number, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        match = _WAIVER_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper() for code in match.group("codes").split(",") if code.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        waivers.append(Waiver(line=number, codes=codes, reason=reason))
+    return waivers

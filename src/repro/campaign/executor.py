@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.campaign.spec import Task
 from repro.campaign.tasks import _ensure_builtins, run_task
@@ -88,13 +88,14 @@ class ProcessExecutor:
                     for future in done:
                         task, rows = future.result()
                         on_result(task, rows)
+            # repro: allow[API001] reason=cancel every in-flight future on any failure (including worker crashes outside the repro.errors taxonomy), then re-raise unchanged
             except Exception:
                 for future in in_flight:
                     future.cancel()
                 raise
 
 
-def make_executor(jobs: int):
+def make_executor(jobs: int) -> Union[SerialExecutor, ProcessExecutor]:
     """Executor for a worker count: serial at 1, a process pool above."""
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")

@@ -54,11 +54,14 @@ def _canonical_value(value: Any, path: str) -> Any:
             out[key] = _canonical_value(value[key], f"{path}.{key}")
         return out
     # numpy scalars sneak in easily from experiment configs; accept them.
+    # ``.item()`` raises ValueError on size != 1 arrays and TypeError when
+    # the attribute is not numpy's scalar extractor; both mean "not a
+    # scalar after all" and fall through to the unserialisable error.
     for attribute in ("item",):
         if hasattr(value, attribute):
             try:
                 return _canonical_value(value.item(), path)
-            except Exception:  # pragma: no cover - defensive
+            except (TypeError, ValueError):  # pragma: no cover - defensive
                 break
     raise ConfigurationError(
         f"task parameter {path!r} has unserialisable type {type(value).__name__}"

@@ -107,6 +107,7 @@ class ResultStore:
             with handle:
                 handle.write(payload)
             os.replace(handle.name, path)
+        # repro: allow[API001] reason=the orphaned temp file must be unlinked on any failure, including KeyboardInterrupt/SystemExit, before re-raising unchanged
         except BaseException:
             try:
                 os.unlink(handle.name)

@@ -36,6 +36,7 @@ from repro.campaign.spec import Task, _canonical_value
 from repro.errors import ConfigurationError, SimulationError
 
 __all__ = [
+    "TaskFunction",
     "TaskKind",
     "available_task_kinds",
     "get_task_kind",
@@ -43,6 +44,9 @@ __all__ = [
     "run_task",
     "unregister_task",
 ]
+
+#: Signature of a task-kind function: one params mapping in, row dicts out.
+TaskFunction = Callable[[Dict[str, Any]], List[Dict[str, Any]]]
 
 #: Modules whose import registers the builtin task kinds.
 _BUILTIN_MODULES: Tuple[str, ...] = (
@@ -68,10 +72,12 @@ class TaskKind:
 _KINDS: Dict[str, TaskKind] = {}
 
 
-def register_task(name: str, *, description: str = ""):
+def register_task(
+    name: str, *, description: str = ""
+) -> Callable[[TaskFunction], TaskFunction]:
     """Function decorator registering a campaign task kind."""
 
-    def decorator(function):
+    def decorator(function: TaskFunction) -> TaskFunction:
         key = name.lower()
         if key in _KINDS:
             raise ConfigurationError(f"task kind {name!r} is already registered")

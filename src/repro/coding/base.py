@@ -50,7 +50,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -64,11 +64,16 @@ __all__ = [
     "EncodedWord",
     "EncodedLine",
     "Encoder",
+    "WordsMatrix",
     "stack_line_contexts",
     "words_to_cell_matrix",
     "words_matrix_to_cells",
     "cells_matrix_to_words",
 ]
+
+#: Accepted shapes for a multi-line batch of data words: a
+#: ``(lines, words_per_line)`` integer ndarray or per-line sequences.
+WordsMatrix = Union[np.ndarray, Sequence[Sequence[int]]]
 
 
 def words_to_cell_matrix(words: Sequence[int], word_bits: int, bits_per_cell: int) -> np.ndarray:
@@ -674,7 +679,7 @@ class Encoder(abc.ABC):
 
     # ----------------------------------------------------- multi-line batch
     def encode_lines(
-        self, words_matrix, contexts: Sequence[LineContext]
+        self, words_matrix: WordsMatrix, contexts: Sequence[LineContext]
     ) -> List[EncodedLine]:
         """Encode a chunk of queued line writes, one context per line.
 
@@ -723,7 +728,9 @@ class Encoder(abc.ABC):
                 f"but {num_words} words were supplied"
             )
 
-    def _line_batch_rows(self, words_matrix, contexts: Sequence[LineContext]) -> List[List[int]]:
+    def _line_batch_rows(
+        self, words_matrix: WordsMatrix, contexts: Sequence[LineContext]
+    ) -> List[List[int]]:
         """Normalise a multi-line word matrix to per-line Python-int lists."""
         if isinstance(words_matrix, np.ndarray) and words_matrix.ndim != 2:
             raise EncodingError(

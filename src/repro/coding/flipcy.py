@@ -14,7 +14,14 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.coding.base import EncodedLine, EncodedWord, Encoder, LineContext, WordContext
+from repro.coding.base import (
+    EncodedLine,
+    EncodedWord,
+    Encoder,
+    LineContext,
+    WordContext,
+    WordsMatrix,
+)
 from repro.coding.cost import BitChangeCost, CostFunction
 from repro.coding.registry import register_encoder
 from repro.errors import ConfigurationError
@@ -85,7 +92,7 @@ class FlipcyEncoder(Encoder):
         return self._select_best_line(candidates, auxes, context)
 
     def encode_lines(
-        self, words_matrix, contexts: Sequence[LineContext]
+        self, words_matrix: WordsMatrix, contexts: Sequence[LineContext]
     ) -> List[EncodedLine]:
         if self.word_bits > 64:
             return super().encode_lines(words_matrix, contexts)

@@ -24,6 +24,7 @@ from repro.coding.base import (
     Encoder,
     LineContext,
     WordContext,
+    WordsMatrix,
     stack_line_contexts,
     words_matrix_to_cells,
     words_to_cell_matrix,
@@ -168,7 +169,9 @@ class FNWEncoder(Encoder):
             technique=self.name,
         )
 
-    def encode_lines(self, words_matrix, contexts: Sequence[LineContext]) -> List[EncodedLine]:
+    def encode_lines(
+        self, words_matrix: WordsMatrix, contexts: Sequence[LineContext]
+    ) -> List[EncodedLine]:
         # Mirrors the vectorized encode_line with a leading lines axis: one
         # batch_line_cell_costs call scores the direct and inverted form of
         # every partition of every word of every queued write.

@@ -24,6 +24,7 @@ from repro.coding.base import (
     Encoder,
     LineContext,
     WordContext,
+    WordsMatrix,
     words_matrix_to_cells,
     words_to_cell_matrix,
 )
@@ -134,7 +135,7 @@ class RCCEncoder(Encoder):
         return self._select_best_line(candidates, auxes, context, cells=candidate_cells)
 
     def encode_lines(
-        self, words_matrix, contexts: Sequence[LineContext]
+        self, words_matrix: WordsMatrix, contexts: Sequence[LineContext]
     ) -> List[EncodedLine]:
         if self._coset_array is None:
             return super().encode_lines(words_matrix, contexts)

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import importlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.coding.base import Encoder
 from repro.coding.cost import CostFunction
@@ -126,6 +126,9 @@ class EncoderPlugin:
 _PLUGINS: Dict[str, EncoderPlugin] = {}
 _ALIASES: Dict[str, str] = {}
 
+#: A registered factory: an :class:`Encoder` subclass or a factory function.
+_FactoryT = TypeVar("_FactoryT", bound=Callable[..., Any])
+
 
 def register_encoder(
     name: str,
@@ -134,7 +137,7 @@ def register_encoder(
     description: str = "",
     params: Optional[Tuple[str, ...]] = None,
     defaults: Optional[Dict[str, object]] = None,
-):
+) -> Callable[[_FactoryT], _FactoryT]:
     """Class/function decorator registering an encoding technique.
 
     Parameters
@@ -159,7 +162,7 @@ def register_encoder(
             f"unknown shared parameter(s) {unknown}; expected a subset of {SHARED_PARAMS}"
         )
 
-    def decorator(obj):
+    def decorator(obj: _FactoryT) -> _FactoryT:
         plugin = EncoderPlugin(
             name=name.lower(),
             factory=obj,

@@ -12,6 +12,7 @@ from repro.coding.base import (
     Encoder,
     LineContext,
     WordContext,
+    WordsMatrix,
     words_matrix_to_cells,
 )
 from repro.coding.cost import BitChangeCost, CostFunction
@@ -75,7 +76,9 @@ class UnencodedEncoder(Encoder):
             technique=self.name,
         )
 
-    def encode_lines(self, words_matrix, contexts) -> List[EncodedLine]:
+    def encode_lines(
+        self, words_matrix: WordsMatrix, contexts: Sequence[LineContext]
+    ) -> List[EncodedLine]:
         if self.word_bits > 64:
             return super().encode_lines(words_matrix, contexts)
         values = np.asarray(words_matrix, dtype=np.uint64)

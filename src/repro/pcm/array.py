@@ -21,7 +21,7 @@ intended cell values could not be stored (stuck-at-wrong, SAW).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -268,7 +268,9 @@ class PCMArray:
             newly_stuck=newly_stuck,
         )
 
-    def write_row_fast(self, row_index: int, intended: np.ndarray):
+    def write_row_fast(
+        self, row_index: int, intended: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
         """Validation-free core of :meth:`write_row` for batch drivers.
 
         ``intended`` must already be a ``(cells_per_row,)`` ``uint8`` array
@@ -298,7 +300,9 @@ class PCMArray:
         saw_mask = self._stuck[row_index] & (stored != intended)
         return old, stored, changed, saw_mask, newly_stuck
 
-    def write_rows_fast(self, row_indices: np.ndarray, intended: np.ndarray):
+    def write_rows_fast(
+        self, row_indices: np.ndarray, intended: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Apply one write to each of several *distinct* rows at once.
 
         The wave sibling of :meth:`write_row_fast`: ``row_indices`` must

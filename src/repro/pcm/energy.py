@@ -95,7 +95,7 @@ class MLCEnergyModel:
         new = np.asarray(new_symbols, dtype=np.int64)
         if old.shape != new.shape:
             raise ConfigurationError("old and new symbol arrays must have the same shape")
-        return float(self.lut()[old, new].sum())
+        return float(self.lut()[old, new].sum())  # repro: allow[NUM001] reason=the LUT gather copies into a fresh C-contiguous array, so the pairwise sum is layout-stable; per-word parity with symbol_energy is tested
 
     def symbols_energy_array(self, old_symbols: np.ndarray, new_symbols: np.ndarray) -> np.ndarray:
         """Per-cell energy array for arrays of old and new symbols."""

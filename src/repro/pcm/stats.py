@@ -10,7 +10,10 @@ single dataclass makes result tables uniform across experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Iterable
+
+if TYPE_CHECKING:  # runtime import would be circular via repro.memctrl
+    from repro.memctrl.controller import LineWriteResult
 
 __all__ = ["WriteStats"]
 
@@ -48,7 +51,7 @@ class WriteStats:
             return 0.0
         return self.total_energy_pj / self.words_written
 
-    def add_line(self, line, words_per_line: int) -> None:
+    def add_line(self, line: "LineWriteResult", words_per_line: int) -> None:
         """Accumulate one line-write summary into these statistics.
 
         ``line`` is a :class:`repro.memctrl.controller.LineWriteResult`.
@@ -65,7 +68,9 @@ class WriteStats:
         self.saw_words += sum(1 for w in line.saw_bits_per_word if w)
 
     @classmethod
-    def from_line_results(cls, results, words_per_line: int) -> "WriteStats":
+    def from_line_results(
+        cls, results: "Iterable[LineWriteResult]", words_per_line: int
+    ) -> "WriteStats":
         """Aggregate per-line write summaries into a :class:`WriteStats`.
 
         ``results`` is an iterable of

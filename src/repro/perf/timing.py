@@ -22,7 +22,7 @@ baseline, with RCC's longer encode delay costing slightly more than VCC's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.perf.config import SystemConfig, TABLE_II_SYSTEM
@@ -53,7 +53,12 @@ class PerformanceModel:
         del profile  # the baseline IPC is a system-level parameter
         return 1000.0 / (self.system.baseline_ipc * self.system.frequency_ghz)
 
-    def normalized_ipc(self, benchmark, encode_delay_ns: float, technique: str = "") -> PerformanceResult:
+    def normalized_ipc(
+        self,
+        benchmark: Union[str, BenchmarkProfile],
+        encode_delay_ns: float,
+        technique: str = "",
+    ) -> PerformanceResult:
         """Normalised IPC of ``benchmark`` with an encoder adding ``encode_delay_ns``.
 
         Parameters

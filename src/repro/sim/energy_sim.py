@@ -188,7 +188,7 @@ def random_data_energy_study(
             energy = energy_by_cell[(cosets, label)]
             saving = (
                 0.0
-                if label == "Unencoded" or baseline_energy == 0.0
+                if label == "Unencoded" or baseline_energy == 0.0  # repro: allow[NUM003] reason=exact-zero guard against division by zero, not a cost comparison
                 else 100.0 * (baseline_energy - energy) / baseline_energy
             )
             table.append(

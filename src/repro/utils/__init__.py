@@ -26,7 +26,7 @@ from repro.utils.bitops import (
     split_planes,
     to_uint64_array,
 )
-from repro.utils.rng import derive_seed, make_rng, spawn_rngs
+from repro.utils.rng import UnseededRNGWarning, derive_seed, make_rng, spawn_rngs
 from repro.utils.validation import (
     require,
     require_divisible,
@@ -36,6 +36,7 @@ from repro.utils.validation import (
 
 __all__ = [
     "POPCOUNT16",
+    "UnseededRNGWarning",
     "bits_to_int",
     "concat_subblocks",
     "derive_seed",

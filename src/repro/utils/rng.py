@@ -4,18 +4,39 @@ Every experiment in the repository is seeded.  To avoid accidentally
 correlated streams (for example, the fault map reusing the same draws as
 the workload generator) the helpers here derive independent child seeds
 from a parent seed and a textual label using ``numpy``'s ``SeedSequence``.
+
+This module is the one sanctioned home of ``np.random.default_rng``: the
+``DET001`` static-analysis rule (:mod:`repro.analysis`) forbids direct
+generator construction everywhere else, and ``DET005`` forbids unseeded
+:func:`make_rng` calls in experiment and campaign code.  Unseeded use
+outside those paths stays possible for exploration, but it is loud — the
+first ``make_rng(None)`` of a process emits an :class:`UnseededRNGWarning`.
 """
 
 from __future__ import annotations
 
 import hashlib
+import warnings
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["derive_seed", "make_rng", "spawn_rngs"]
+__all__ = ["UnseededRNGWarning", "derive_seed", "make_rng", "spawn_rngs"]
 
 SeedLike = Union[int, None]
+
+
+class UnseededRNGWarning(UserWarning):
+    """Warned once per process when a non-deterministic generator is made.
+
+    Exploratory use of ``make_rng()`` is fine; experiment results derived
+    from such a generator are not reproducible from any seed, which is why
+    the first unseeded construction announces itself.
+    """
+
+
+#: One-time latch for :class:`UnseededRNGWarning` (reset by tests only).
+_unseeded_warned = False
 
 
 def derive_seed(parent_seed: int, label: str) -> int:
@@ -35,15 +56,27 @@ def make_rng(seed: SeedLike = None, label: Optional[str] = None) -> np.random.Ge
     Parameters
     ----------
     seed:
-        Parent seed.  ``None`` produces a non-deterministic generator, which
-        is acceptable for exploratory use but every experiment entry point
-        passes an explicit seed.
+        Parent seed.  ``None`` produces a non-deterministic generator —
+        acceptable for exploratory use, and loud about it: the first such
+        call of a process emits an :class:`UnseededRNGWarning`.  Every
+        experiment entry point passes an explicit seed (the ``DET005``
+        analysis rule enforces this for experiment and campaign code).
     label:
         Optional label mixed into the seed via :func:`derive_seed` so that
         different subsystems sharing one experiment seed still receive
         independent streams.
     """
     if seed is None:
+        global _unseeded_warned
+        if not _unseeded_warned:
+            _unseeded_warned = True
+            warnings.warn(
+                "make_rng() without a seed creates a non-deterministic "
+                "generator; results derived from it are not reproducible. "
+                "Pass an explicit seed in experiment code.",
+                UnseededRNGWarning,
+                stacklevel=2,
+            )
         return np.random.default_rng()
     if label is not None:
         seed = derive_seed(int(seed), label)

@@ -1,0 +1,138 @@
+"""NUM rule fixtures: one violating, one clean, one waived per rule."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+def run(source, path="src/repro/example.py", **kwargs):
+    # Scope to the family under test so fixture scaffolding (unannotated
+    # defs, etc.) does not trip unrelated rules.
+    kwargs.setdefault("select", ["NUM"])
+    return analyze_source(textwrap.dedent(source), path=path, **kwargs)
+
+
+class TestNUM001AdvancedIndexGatherReduction:
+    def test_violating_fancy_index_sum(self):
+        findings = run(
+            """
+            def energy(lut, old, new):
+                return lut[old, new].sum()
+            """
+        )
+        assert codes(findings) == ["NUM001"]
+        assert "gather" in findings[0].message or "indexing" in findings[0].message
+
+    def test_violating_np_sum_of_gather(self):
+        findings = run(
+            """
+            import numpy as np
+
+            def total(costs, idx):
+                return np.sum(costs[idx])
+            """
+        )
+        assert codes(findings) == ["NUM001"]
+
+    def test_violating_mean_of_gather(self):
+        findings = run(
+            """
+            def avg(values, mask_idx):
+                return values[mask_idx].mean()
+            """
+        )
+        assert codes(findings) == ["NUM001"]
+
+    def test_clean_basic_slice(self):
+        findings = run(
+            """
+            def head_total(values):
+                return values[:16].sum()
+            """
+        )
+        assert findings == []
+
+    def test_clean_contiguous_take(self):
+        findings = run(
+            """
+            import numpy as np
+
+            def total(costs, idx):
+                return np.ascontiguousarray(np.take(costs, idx)).sum()
+            """
+        )
+        assert findings == []
+
+    def test_waived(self):
+        findings = run(
+            """
+            def energy(lut, old, new):
+                return lut[old, new].sum()  # repro: allow[NUM001] reason=scalar oracle, order-independent ints
+            """
+        )
+        assert findings == []
+
+
+class TestNUM002BoolSumWithoutDtype:
+    def test_violating_comparison_sum(self):
+        findings = run(
+            """
+            def count_changed(a, b):
+                return (a != b).sum()
+            """
+        )
+        assert codes(findings) == ["NUM002"]
+        assert "dtype" in findings[0].message
+
+    def test_clean_explicit_dtype(self):
+        findings = run(
+            """
+            import numpy as np
+
+            def count_changed(a, b):
+                return (a != b).sum(dtype=np.int64)
+            """
+        )
+        assert findings == []
+
+    def test_waived(self):
+        findings = run(
+            """
+            def count(mask_a, mask_b):
+                return (mask_a & ~mask_b).sum()
+            """
+        )
+        # Bitwise ops on ints are not flagged; only boolean-producing
+        # comparisons / BoolOps / `not` are.
+        assert findings == []
+
+
+class TestNUM003FloatEquality:
+    def test_violating_float_eq(self):
+        findings = run(
+            """
+            def is_half(x):
+                return x == 0.5
+            """
+        )
+        assert codes(findings) == ["NUM003"]
+
+    def test_violating_float_ne(self):
+        findings = run("flag = y != 1.5\n")
+        assert codes(findings) == ["NUM003"]
+
+    def test_clean_int_eq(self):
+        assert run("flag = n == 3\n") == []
+
+    def test_clean_float_inequality(self):
+        assert run("flag = x < 0.5\n") == []
+
+    def test_waived(self):
+        findings = run(
+            "guard = denom == 0.0  # repro: allow[NUM003] reason=exact-zero division guard\n"
+        )
+        assert findings == []

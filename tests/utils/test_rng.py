@@ -1,5 +1,9 @@
 """Tests for repro.utils.rng."""
 
+import warnings
+
+import pytest
+
 from repro.utils import rng as rng_mod
 
 
@@ -31,8 +35,34 @@ class TestMakeRng:
         assert not (a == b).all()
 
     def test_none_seed_returns_generator(self):
-        generator = rng_mod.make_rng(None)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", rng_mod.UnseededRNGWarning)
+            generator = rng_mod.make_rng(None)
         assert generator.integers(0, 10) in range(10)
+
+
+class TestUnseededWarning:
+    @pytest.fixture(autouse=True)
+    def _reset_latch(self, monkeypatch):
+        monkeypatch.setattr(rng_mod, "_unseeded_warned", False)
+
+    def test_first_unseeded_call_warns(self):
+        with pytest.warns(rng_mod.UnseededRNGWarning, match="not reproducible"):
+            rng_mod.make_rng()
+
+    def test_warning_is_one_time_per_process(self):
+        with pytest.warns(rng_mod.UnseededRNGWarning):
+            rng_mod.make_rng()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", rng_mod.UnseededRNGWarning)
+            rng_mod.make_rng()
+            rng_mod.make_rng(None)
+
+    def test_seeded_calls_never_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", rng_mod.UnseededRNGWarning)
+            rng_mod.make_rng(7)
+            rng_mod.make_rng(7, "label")
 
 
 class TestSpawn:
