@@ -5,9 +5,15 @@ Every ``bench_*.py`` that measures throughput writes a machine-readable
 trajectory can be tracked across PRs (and uploaded as a CI artifact):
 
 * ``name`` / ``created_unix`` identify the measurement;
+* ``host`` stamps the machine the numbers came from (core count,
+  platform, python/numpy versions) so trajectories are comparable
+  across runners;
 * ``config`` records the knobs the numbers depend on (geometry, writes,
-  encoder settings, host core count);
-* ``results`` holds the measured throughputs and speedups.
+  encoder settings);
+* ``results`` holds the measured throughputs and speedups;
+* ``metrics`` is the process's :mod:`repro.obs` registry snapshot at
+  write time — wave counts, candidate evaluations, cache hits — so a
+  perf regression arrives with an explanation attached.
 
 The files land in ``benchmarks/results/`` like the figure outputs.
 """
@@ -16,14 +22,29 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import time
 from pathlib import Path
 from typing import Any, Dict
 
-__all__ = ["write_bench_json", "RESULTS_DIR"]
+import numpy as np
+
+from repro import obs
+
+__all__ = ["host_metadata", "write_bench_json", "RESULTS_DIR"]
 
 #: Output directory shared with the figure benchmarks.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def host_metadata() -> Dict[str, Any]:
+    """The host facts a benchmark number depends on."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+    }
 
 
 def write_bench_json(
@@ -39,10 +60,12 @@ def write_bench_json(
     path = RESULTS_DIR / f"BENCH_{name}.json"
     payload = {
         "name": name,
-        "created_unix": int(time.time()),
+        "created_unix": int(time.time()),  # repro: allow[DET003,OBS001] reason=records when the benchmark ran; never feeds back into any measurement or result
         "cpu_count": os.cpu_count() or 1,
+        "host": host_metadata(),
         "config": config,
         "results": results,
+        "metrics": obs.metrics_snapshot(),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

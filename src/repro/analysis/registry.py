@@ -43,6 +43,7 @@ _BUILTIN_MODULES = (
     "repro.analysis.rules.numeric",
     "repro.analysis.rules.registry_contracts",
     "repro.analysis.rules.api_hygiene",
+    "repro.analysis.rules.observability",
 )
 
 _builtins_loaded = False

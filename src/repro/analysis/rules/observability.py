@@ -1,0 +1,57 @@
+"""OBS — observability rules.
+
+:mod:`repro.obs` is the sanctioned home of every timing measurement in
+library code: its clock feeds the span tracer and the ``timed``
+histograms, so a duration measured through it automatically aggregates
+into run reports and ``BENCH_*.json`` metric snapshots.  An ad-hoc
+``time.perf_counter()`` delta, by contrast, is invisible to the
+telemetry layer — it can only be printed or, worse, leak into a result.
+
+OBS001 therefore flags direct stopwatch-clock calls in ``src/repro``.
+The sanctioned exceptions carry inline waivers: ``repro/obs/clock.py``
+(the one wrapper the layer itself is built on) and standalone reporting
+paths such as the benchmark writers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import ModuleContext
+from repro.analysis.finding import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.rules.common import call_name
+
+#: Stopwatch clocks: monotonic/process clocks used to measure durations.
+#: (Calendar clocks like ``time.time`` are DET003's concern — a direct
+#: duration measurement is an observability escape, not just a
+#: determinism hazard.)
+_STOPWATCH_CALLS = {
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+
+@register_rule(
+    "OBS001",
+    summary="direct stopwatch clock call bypassing repro.obs (time through "
+    "obs.monotonic / obs.span / obs.timed)",
+)
+def check_direct_stopwatch(module: ModuleContext) -> Iterator[Finding]:
+    for node in module.walk(ast.Call):
+        name = call_name(node)
+        if name in _STOPWATCH_CALLS:
+            yield module.finding(
+                "OBS001",
+                node,
+                f"{name}() bypasses the telemetry layer; measure through "
+                "repro.obs (obs.monotonic for stamps, obs.span for traced "
+                "regions, obs.timed for call histograms) so the value lands "
+                "in run reports — waive with a reason only inside repro.obs "
+                "itself or in standalone reporting paths",
+            )

@@ -19,8 +19,14 @@ Entry points:
 * ``python -m repro.campaign`` — the sweep CLI with progress reporting.
 """
 
-from repro.campaign.engine import CampaignProgress, CampaignResult, run_campaign
-from repro.campaign.executor import ProcessExecutor, SerialExecutor, make_executor
+from repro.campaign.engine import (
+    CampaignProgress,
+    CampaignResult,
+    CampaignTelemetry,
+    last_campaign_telemetry,
+    run_campaign,
+)
+from repro.campaign.executor import ProcessExecutor, SerialExecutor, TaskTelemetry, make_executor
 from repro.campaign.spec import SweepSpec, Task
 from repro.campaign.store import ResultStore
 from repro.campaign.tasks import (
@@ -35,14 +41,17 @@ from repro.campaign.tasks import (
 __all__ = [
     "CampaignProgress",
     "CampaignResult",
+    "CampaignTelemetry",
     "ProcessExecutor",
     "ResultStore",
     "SerialExecutor",
     "SweepSpec",
     "Task",
     "TaskKind",
+    "TaskTelemetry",
     "available_task_kinds",
     "get_task_kind",
+    "last_campaign_telemetry",
     "make_executor",
     "register_task",
     "run_campaign",

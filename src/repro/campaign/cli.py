@@ -34,7 +34,8 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.campaign.engine import CampaignProgress, run_campaign
+from repro import obs
+from repro.campaign.engine import CampaignProgress, last_campaign_telemetry, run_campaign
 from repro.campaign.spec import SweepSpec
 from repro.campaign.tasks import available_task_kinds
 from repro.errors import ReproError
@@ -119,6 +120,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="ignore (and overwrite) stored results: re-execute every task",
     )
     parser.add_argument("--json", type=Path, default=None, help="write the result table as JSON")
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append JSONL span-trace events to PATH (render with "
+        "'python -m repro.obs report PATH'); results are unaffected",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
     parser.add_argument(
         "--list-kinds", action="store_true", help="list registered task kinds and exit"
@@ -171,6 +180,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if printer is not None:
             printer(event)
 
+    if args.trace is not None:
+        args.trace.parent.mkdir(parents=True, exist_ok=True)
+        obs.enable_tracing(str(args.trace))
+
     try:
         if args.spec is not None:
             spec = SweepSpec.from_json(args.spec)
@@ -210,6 +223,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.json.parent.mkdir(parents=True, exist_ok=True)
         table.to_json(args.json)
     executed = stats["total"] - stats["cached"]
+    # Telemetry is timing-dependent, so everything below goes to stderr:
+    # stdout stays bit-identical between fresh and cached runs (CI diffs
+    # it), carrying only the table and the deterministic summary line.
+    telemetry = last_campaign_telemetry()
+    if telemetry is not None and not args.quiet:
+        print(f"campaign telemetry: {telemetry.summary()}", file=sys.stderr)
+    if args.trace is not None:
+        print(f"trace written to {args.trace}", file=sys.stderr)
     print(
         f"campaign finished: {stats['total']} tasks, "
         f"{executed} executed, {stats['cached']} from cache"

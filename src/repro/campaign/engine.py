@@ -9,15 +9,25 @@ it completes, so an interrupted campaign resumes for free), and returns
 the rows re-ordered into task-submission order — making the output a
 pure function of the task list, independent of worker count, scheduling,
 and how many runs it took to finish the sweep.
+
+Every run also produces a :class:`CampaignTelemetry`: the per-phase time
+breakdown (queue-wait / dispatch / compute / result-transfer) summed over
+the executed tasks, plus the worker-side metric snapshots merged into the
+coordinator's :mod:`repro.obs` registry.  Telemetry is pure measurement —
+rows are bit-identical with tracing on or off, at any ``jobs`` — and when
+span tracing is enabled the engine emits one ``campaign.task`` span per
+task (phase attributes attached) under a ``campaign.run`` root, which is
+what ``python -m repro.obs report`` rolls up.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.campaign.executor import make_executor
+from repro import obs
+from repro.campaign.executor import TaskTelemetry, make_executor
 from repro.campaign.spec import SweepSpec, Task
 from repro.campaign.store import ResultStore
 from repro.errors import SimulationError
@@ -25,7 +35,13 @@ from repro.errors import SimulationError
 if TYPE_CHECKING:  # pragma: no cover - the runtime import would be circular
     from repro.sim.results import ResultTable
 
-__all__ = ["CampaignProgress", "CampaignResult", "run_campaign"]
+__all__ = [
+    "CampaignProgress",
+    "CampaignResult",
+    "CampaignTelemetry",
+    "last_campaign_telemetry",
+    "run_campaign",
+]
 
 
 @dataclass(frozen=True)
@@ -36,15 +52,73 @@ class CampaignProgress:
     total: int
     task: Task
     from_cache: bool
+    #: Submission-to-receipt wall time of this task (store-lookup time for
+    #: cache hits).  Measurement only — never part of the result rows.
+    wall_s: float = 0.0
 
     def format(self) -> str:
         """Render as the one-line form the CLI prints."""
         width = len(str(self.total))
         origin = "cached" if self.from_cache else "ran"
-        return f"[{self.done:{width}d}/{self.total}] {origin:6s} {self.task.describe()}"
+        wall = (
+            f"{self.wall_s * 1e3:.1f}ms" if self.wall_s < 1.0 else f"{self.wall_s:.2f}s"
+        )
+        return (
+            f"[{self.done:{width}d}/{self.total}] {origin:6s} "
+            f"{self.task.describe()} ({wall})"
+        )
 
 
 ProgressCallback = Callable[[CampaignProgress], None]
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregate run telemetry: where the campaign's wall time went.
+
+    All fields are measurements (host-monotonic seconds / merged metric
+    snapshots); nothing here influences task results.  The four phase
+    sums cover executed tasks only — cache hits never enter a worker.
+    """
+
+    #: Wall time of the whole :func:`run_campaign` call.
+    wall_s: float = 0.0
+    #: Summed submission-to-receipt wall time of the executed tasks.
+    task_wall_s: float = 0.0
+    #: Summed store-lookup time of the tasks served from cache.
+    cache_wall_s: float = 0.0
+    queue_wait_s: float = 0.0
+    dispatch_s: float = 0.0
+    compute_s: float = 0.0
+    transfer_s: float = 0.0
+    #: Worker-side metric snapshots merged across all executed tasks
+    #: (empty at ``jobs=1``, where increments land in the coordinator's
+    #: process registry directly).
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of executed-task wall time spent outside compute."""
+        if self.task_wall_s <= 0.0:
+            return 0.0
+        return (self.queue_wait_s + self.dispatch_s + self.transfer_s) / self.task_wall_s
+
+    def absorb(self, task_telemetry: TaskTelemetry) -> None:
+        """Fold one executed task's telemetry into the run totals."""
+        self.task_wall_s += task_telemetry.wall_s
+        self.queue_wait_s += task_telemetry.queue_wait_s
+        self.dispatch_s += task_telemetry.dispatch_s
+        self.compute_s += task_telemetry.compute_s
+        self.transfer_s += task_telemetry.transfer_s
+
+    def summary(self) -> str:
+        """One-line phase breakdown for the CLI's stderr summary."""
+        return (
+            f"phases over {self.task_wall_s:.3f}s of executed-task wall time: "
+            f"queue-wait {self.queue_wait_s:.3f}s, dispatch {self.dispatch_s:.3f}s, "
+            f"compute {self.compute_s:.3f}s, transfer {self.transfer_s:.3f}s "
+            f"(executor overhead {self.overhead_fraction * 100.0:.1f}%)"
+        )
 
 
 @dataclass
@@ -55,6 +129,7 @@ class CampaignResult:
     rows_by_hash: Dict[str, List[Dict[str, Any]]]
     executed: int
     cached: int
+    telemetry: CampaignTelemetry = field(default_factory=CampaignTelemetry)
 
     @property
     def total(self) -> int:
@@ -84,6 +159,17 @@ class CampaignResult:
         table = ResultTable(title=title, columns=list(columns), notes=notes)
         table.extend(self.rows())
         return table
+
+
+# The telemetry of the most recent run_campaign call in this process.
+# Kept so callers one level removed from the CampaignResult (the figure
+# entry points return ResultTables) can still report the run breakdown.
+_last_telemetry: Optional[CampaignTelemetry] = None
+
+
+def last_campaign_telemetry() -> Optional[CampaignTelemetry]:
+    """Telemetry of this process's most recent campaign run, if any."""
+    return _last_telemetry
 
 
 def run_campaign(
@@ -116,6 +202,7 @@ def run_campaign(
         Optional callback invoked once per task completion, cache hits
         included, with a :class:`CampaignProgress` event.
     """
+    global _last_telemetry
     if isinstance(work, SweepSpec):
         tasks = work.expand()
     else:
@@ -132,38 +219,100 @@ def run_campaign(
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
 
-    rows_by_hash: Dict[str, List[Dict[str, Any]]] = {}
-    pending: List[Task] = []
-    for task in unique:
-        cached_rows = store.get(task) if (store is not None and resume) else None
-        if cached_rows is not None:
-            rows_by_hash[task.task_hash] = cached_rows
-        else:
-            pending.append(task)
-    cached = len(unique) - len(pending)
+    telemetry = CampaignTelemetry()
+    run_begin = obs.monotonic()
+    with obs.span("campaign.run", tasks=len(unique), jobs=jobs) as run_span:
+        rows_by_hash: Dict[str, List[Dict[str, Any]]] = {}
+        pending: List[Task] = []
+        cache_walls: Dict[str, float] = {}
+        for task in unique:
+            if store is not None and resume:
+                lookup_begin = obs.monotonic()
+                cached_rows = store.get(task)
+                cache_walls[task.task_hash] = obs.monotonic() - lookup_begin
+            else:
+                cached_rows = None
+            if cached_rows is not None:
+                rows_by_hash[task.task_hash] = cached_rows
+            else:
+                pending.append(task)
+        cached = len(unique) - len(pending)
 
-    done = 0
-    total = len(unique)
+        done = 0
+        total = len(unique)
 
-    def emit(task: Task, from_cache: bool) -> None:
-        nonlocal done
-        done += 1
-        if progress is not None:
-            progress(CampaignProgress(done=done, total=total, task=task, from_cache=from_cache))
+        def emit(task: Task, from_cache: bool, wall_s: float) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(
+                    CampaignProgress(
+                        done=done,
+                        total=total,
+                        task=task,
+                        from_cache=from_cache,
+                        wall_s=wall_s,
+                    )
+                )
 
-    for task in unique:
-        if task.task_hash in rows_by_hash:
-            emit(task, from_cache=True)
+        for task in unique:
+            if task.task_hash in rows_by_hash:
+                wall_s = cache_walls.get(task.task_hash, 0.0)
+                telemetry.cache_wall_s += wall_s
+                now = obs.monotonic()
+                obs.emit_span(
+                    "campaign.task",
+                    now - wall_s,
+                    now,
+                    task=task.describe(),
+                    cached=True,
+                )
+                emit(task, from_cache=True, wall_s=wall_s)
 
-    def on_result(task: Task, rows: List[Dict[str, Any]]) -> None:
-        rows_by_hash[task.task_hash] = rows
-        if store is not None:
-            store.put(task, rows)
-        emit(task, from_cache=False)
+        def on_result(
+            task: Task, rows: List[Dict[str, Any]], task_telemetry: TaskTelemetry
+        ) -> None:
+            rows_by_hash[task.task_hash] = rows
+            if store is not None:
+                store.put(task, rows)
+            telemetry.absorb(task_telemetry)
+            if task_telemetry.metrics:
+                obs.merge_metrics(task_telemetry.metrics)
+                _merge_into(telemetry.metrics, task_telemetry.metrics)
+            obs.emit_span(
+                "campaign.task",
+                task_telemetry.submitted_s,
+                task_telemetry.received_s,
+                task=task.describe(),
+                cached=False,
+                queue_wait_s=task_telemetry.queue_wait_s,
+                dispatch_s=task_telemetry.dispatch_s,
+                compute_s=task_telemetry.compute_s,
+                transfer_s=task_telemetry.transfer_s,
+            )
+            emit(task, from_cache=False, wall_s=task_telemetry.wall_s)
 
-    if pending:
-        make_executor(jobs).run(pending, on_result)
+        if pending:
+            make_executor(jobs).run(pending, on_result)
+        run_span.set(executed=len(pending), cached=cached)
 
+    telemetry.wall_s = obs.monotonic() - run_begin
+    _last_telemetry = telemetry
     return CampaignResult(
-        tasks=tuple(tasks), rows_by_hash=rows_by_hash, executed=len(pending), cached=cached
+        tasks=tuple(tasks),
+        rows_by_hash=rows_by_hash,
+        executed=len(pending),
+        cached=cached,
+        telemetry=telemetry,
     )
+
+
+def _merge_into(
+    accumulated: Dict[str, Dict[str, Any]], snapshot: Dict[str, Dict[str, Any]]
+) -> None:
+    """Accumulate one worker snapshot into the campaign's merged metrics."""
+    registry = obs.MetricsRegistry()
+    registry.merge(accumulated)
+    registry.merge(snapshot)
+    accumulated.clear()
+    accumulated.update(registry.snapshot())

@@ -1,11 +1,21 @@
 """Task executors: in-process serial and ``multiprocessing`` pools.
 
 Both executors implement the same protocol — ``run(tasks, on_result)``
-calls ``on_result(task, rows)`` once per task, in **completion** order —
-and both produce bit-identical results for the same task list, because
-every task carries its own seed and shares no state with its siblings.
-The engine (:mod:`repro.campaign.engine`) re-orders completions back
-into submission order, so callers never observe scheduling.
+calls ``on_result(task, rows, telemetry)`` once per task, in
+**completion** order — and both produce bit-identical results for the
+same task list, because every task carries its own seed and shares no
+state with its siblings.  The engine (:mod:`repro.campaign.engine`)
+re-orders completions back into submission order, so callers never
+observe scheduling.
+
+The :class:`TaskTelemetry` handed to ``on_result`` is pure measurement —
+it never feeds back into rows or seeds.  It splits each task's wall time
+into the four phases the campaign-scaling work needs to see
+(queue-wait / dispatch / compute / result-transfer) and carries the
+worker-side metrics snapshot, so hot-path counters incremented inside a
+worker process reach the coordinator's registry.  The cross-process
+timestamp arithmetic is sound because every stamp comes from
+:func:`repro.obs.clock.monotonic` (``CLOCK_MONOTONIC`` is host-wide).
 
 :class:`SerialExecutor` runs everything in the calling process and is
 what tests and ``--jobs 1`` use; :class:`ProcessExecutor` fans tasks out
@@ -19,16 +29,54 @@ everywhere and custom kinds need only live in an importable module.
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.campaign.spec import Task
 from repro.campaign.tasks import _ensure_builtins, run_task
 from repro.errors import ConfigurationError
+from repro.obs import metrics_snapshot, monotonic, reset_metrics
 
-__all__ = ["SerialExecutor", "ProcessExecutor", "make_executor"]
+__all__ = ["SerialExecutor", "ProcessExecutor", "TaskTelemetry", "make_executor"]
 
-OnResult = Callable[[Task, List[Dict[str, Any]]], None]
+
+@dataclass(frozen=True)
+class TaskTelemetry:
+    """Where one executed task's wall time went, plus its worker metrics.
+
+    All timestamps are host-wide monotonic seconds.  The four phases tile
+    the interval ``[submitted_s, received_s]`` exactly:
+
+    * ``dispatch_s`` — the coordinator's ``submit`` call (serialising the
+      task into the pool's work queue);
+    * ``queue_wait_s`` — from dispatch completion until a worker picked
+      the task up;
+    * ``compute_s`` — ``run_task`` itself, measured in the worker;
+    * ``transfer_s`` — from worker completion until the coordinator
+      held the unpickled rows (result pickling + queue transit + the
+      coordinator's completion-loop latency).
+
+    ``metrics`` is the worker registry's per-task snapshot (empty for the
+    serial executor, whose increments land in the coordinator's registry
+    directly).
+    """
+
+    submitted_s: float
+    received_s: float
+    dispatch_s: float
+    queue_wait_s: float
+    compute_s: float
+    transfer_s: float
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def wall_s(self) -> float:
+        """Submission-to-receipt wall time of the task."""
+        return self.received_s - self.submitted_s
+
+
+OnResult = Callable[[Task, List[Dict[str, Any]], TaskTelemetry], None]
 
 
 class SerialExecutor:
@@ -38,7 +86,21 @@ class SerialExecutor:
 
     def run(self, tasks: Sequence[Task], on_result: OnResult) -> None:
         for task in tasks:
-            on_result(task, run_task(task))
+            begin = monotonic()
+            rows = run_task(task)
+            end = monotonic()
+            on_result(
+                task,
+                rows,
+                TaskTelemetry(
+                    submitted_s=begin,
+                    received_s=end,
+                    dispatch_s=0.0,
+                    queue_wait_s=0.0,
+                    compute_s=end - begin,
+                    transfer_s=0.0,
+                ),
+            )
 
 
 def _worker_init() -> None:
@@ -46,9 +108,24 @@ def _worker_init() -> None:
     _ensure_builtins()
 
 
-def _execute(task: Task) -> Tuple[Task, List[Dict[str, Any]]]:
-    """Top-level worker entry point (must be picklable)."""
-    return task, run_task(task)
+#: What one worker invocation sends back: the task, its rows, the
+#: worker-side start/finish stamps, and the worker registry's snapshot.
+_WorkerResult = Tuple[Task, List[Dict[str, Any]], float, float, Dict[str, Dict[str, Any]]]
+
+
+def _execute(task: Task) -> _WorkerResult:
+    """Top-level worker entry point (must be picklable).
+
+    Resets the worker's metrics registry before running the task so the
+    returned snapshot is this task's delta — fork-started workers inherit
+    the coordinator's counter values, which must not be re-merged.
+    """
+    started_s = monotonic()
+    reset_metrics()
+    rows = run_task(task)
+    snapshot = metrics_snapshot()
+    finished_s = monotonic()
+    return task, rows, started_s, finished_s, snapshot
 
 
 class ProcessExecutor:
@@ -77,17 +154,35 @@ class ProcessExecutor:
             mp_context=self._context(),
             initializer=_worker_init,
         ) as pool:
-            in_flight = set()
+            in_flight: "set[Future[_WorkerResult]]" = set()
+            stamps: "Dict[Future[_WorkerResult], Tuple[float, float]]" = {}
             cursor = 0
             try:
                 while cursor < len(pending) or in_flight:
                     while cursor < len(pending) and len(in_flight) < self.max_in_flight:
-                        in_flight.add(pool.submit(_execute, pending[cursor]))
+                        submitted_s = monotonic()
+                        future = pool.submit(_execute, pending[cursor])
+                        stamps[future] = (submitted_s, monotonic())
+                        in_flight.add(future)
                         cursor += 1
                     done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
                     for future in done:
-                        task, rows = future.result()
-                        on_result(task, rows)
+                        task, rows, started_s, finished_s, snapshot = future.result()
+                        received_s = monotonic()
+                        submitted_s, dispatched_s = stamps.pop(future)
+                        on_result(
+                            task,
+                            rows,
+                            TaskTelemetry(
+                                submitted_s=submitted_s,
+                                received_s=received_s,
+                                dispatch_s=dispatched_s - submitted_s,
+                                queue_wait_s=started_s - dispatched_s,
+                                compute_s=finished_s - started_s,
+                                transfer_s=received_s - finished_s,
+                                metrics=snapshot,
+                            ),
+                        )
             # repro: allow[API001] reason=cancel every in-flight future on any failure (including worker crashes outside the repro.errors taxonomy), then re-raise unchanged
             except Exception:
                 for future in in_flight:

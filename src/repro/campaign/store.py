@@ -22,11 +22,19 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro import obs
 from repro.campaign.spec import Task
 
 __all__ = ["ResultStore"]
 
 _STORE_SCHEMA = 1
+
+_OBS_HITS = obs.counter("store.hits", "store lookups served from a stored object")
+_OBS_MISSES = obs.counter("store.misses", "store lookups with no stored object")
+_OBS_CORRUPT = obs.counter(
+    "store.corrupt", "stored objects rejected as truncated or inconsistent"
+)
+_OBS_PUTS = obs.counter("store.puts", "task results persisted to the store")
 
 
 class ResultStore:
@@ -47,23 +55,36 @@ class ResultStore:
         """Stored rows for ``task``, or ``None`` on a miss."""
         return self.get_by_hash(task.task_hash)
 
+    @obs.timed("store.get_s", "seconds spent looking up stored task results")
     def get_by_hash(self, task_hash: str) -> Optional[List[Dict[str, Any]]]:
         """Stored rows for a task hash, or ``None`` on a miss.
 
         Unreadable or inconsistent objects (truncated JSON, a payload
         whose recorded hash disagrees with its file name) count as
         misses so one bad object degrades to a recompute, not a crash.
+        The two cases are told apart in telemetry (``store.misses`` vs
+        ``store.corrupt``) because a corrupt object means lost compute,
+        not just a cold cache.
         """
         path = self._path(task_hash)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            _OBS_MISSES.inc()
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            _OBS_CORRUPT.inc()
             return None
         if not isinstance(payload, dict) or payload.get("task_hash") != task_hash:
+            _OBS_CORRUPT.inc()
             return None
         rows = payload.get("rows")
         if not isinstance(rows, list) or not all(isinstance(row, dict) for row in rows):
+            _OBS_CORRUPT.inc()
             return None
+        _OBS_HITS.inc()
         return rows
 
     def __len__(self) -> int:
@@ -80,8 +101,10 @@ class ResultStore:
                 yield entry.stem
 
     # ------------------------------------------------------------- updates
+    @obs.timed("store.put_s", "seconds spent persisting task results")
     def put(self, task: Task, rows: List[Dict[str, Any]]) -> Path:
         """Atomically persist the rows of one completed task."""
+        _OBS_PUTS.inc()
         path = self._path(task.task_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(

@@ -54,9 +54,17 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError, EncodingError
 from repro.pcm.array import cells_to_word, word_to_cells
 from repro.pcm.cell import CellTechnology
+
+# Lines encoded through the reference per-line loop instead of a builtin
+# vectorised override — the replay engine's "fallback path taken" signal.
+_OBS_FALLBACK_LINES = obs.counter(
+    "encode.fallback_lines",
+    "lines encoded by the reference encode_line loop (no batched override)",
+)
 
 __all__ = [
     "WordContext",
@@ -695,6 +703,7 @@ class Encoder(abc.ABC):
         controller's replay waves rely on that contract.
         """
         rows = self._line_batch_rows(words_matrix, contexts)
+        _OBS_FALLBACK_LINES.inc(len(contexts))
         return [
             self.encode_line(words, context)
             for words, context in zip(rows, contexts)

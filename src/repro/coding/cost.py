@@ -42,6 +42,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.coding.base import LineContext, WordContext, stack_line_contexts
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
@@ -73,6 +74,20 @@ _XOR_POPCOUNT_FLAT = {
         [bin((i >> 2) ^ (i & 3)).count("1") for i in range(16)], dtype=np.float64
     ),
 }
+
+
+# Batched-kernel telemetry, bumped once per batch call (never per cell):
+# how many candidate lines the cost kernels scored and which evaluation
+# strategy scored them.
+_OBS_CANDIDATES = obs.counter(
+    "encode.candidates", "candidate lines scored by the batched cost kernels"
+)
+_OBS_KERNEL_GATHERS = obs.counter(
+    "encode.kernel_gathers", "batch cost calls served by one transition-table gather"
+)
+_OBS_KERNEL_LINE_LOOPS = obs.counter(
+    "encode.kernel_line_loops", "batch cost calls that fell back to the per-line loop"
+)
 
 
 def _gather_transition_costs(tables: np.ndarray, new_cells: np.ndarray) -> np.ndarray:
@@ -191,7 +206,9 @@ class CostFunction(abc.ABC):
         new = self._validate_batch(new_cells, contexts)
         tables = self.transition_tables(contexts)
         if tables is not None:
+            _OBS_KERNEL_GATHERS.inc()
             return _gather_transition_costs(tables, new)
+        _OBS_KERNEL_LINE_LOOPS.inc()
         out: Optional[np.ndarray] = None
         for index, context in enumerate(contexts):
             costs = self.line_cell_costs(new[index], context)
@@ -239,6 +256,10 @@ class CostFunction(abc.ABC):
                 f"batch of {new.shape[0]} lines needs {new.shape[0]} contexts, "
                 f"got {len(contexts)}"
             )
+        # Every batched cost path (base kernel and subclass overrides)
+        # validates here, so this is the one chokepoint that sees all
+        # candidate-line evaluations.
+        _OBS_CANDIDATES.inc(int(new.shape[0]) * int(new.shape[1]))
         return new
 
     def aux_cost(self, new_aux: int, old_aux: int, aux_bits: int) -> float:

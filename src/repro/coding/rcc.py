@@ -30,6 +30,7 @@ from repro.coding.base import (
 )
 from repro.coding.cost import BitChangeCost, CostFunction
 from repro.coding.registry import register_encoder
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 from repro.utils.bitops import random_word
@@ -37,6 +38,13 @@ from repro.utils.rng import make_rng
 from repro.utils.validation import require_power_of_two
 
 __all__ = ["RCCEncoder"]
+
+# Same counter the batched cost kernels bump (registry get-or-create):
+# the transition-table fast path scores its candidates with a gather and
+# never enters a cost kernel, so it reports them itself.
+_OBS_CANDIDATES = obs.counter(
+    "encode.candidates", "candidate lines scored by the batched cost kernels"
+)
 
 
 @register_encoder(
@@ -185,6 +193,7 @@ class RCCEncoder(Encoder):
             axis=1,
         ).reshape(total_words, self.num_cosets, cells_per_word)
         data_costs = gathered.sum(axis=2)
+        _OBS_CANDIDATES.inc(lines * self.num_cosets)
         # Selection inline (the (words, cosets) layout of the fast path
         # saves transposing into _select_best_lines): totals, the argmin,
         # and the tie-breaking order are element-for-element those of

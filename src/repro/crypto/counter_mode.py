@@ -27,11 +27,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.crypto.aes import AES128
 from repro.errors import ConfigurationError
 from repro.utils.validation import require
 
 __all__ = ["CounterModeEngine", "EncryptedLine"]
+
+# Encryption-engine telemetry, bumped per batch/rollback call (the pads
+# counter adds the whole chunk's line count in one increment).
+_OBS_PAD_CHUNKS = obs.counter(
+    "crypto.pad_chunks", "batched encrypt_lines calls (one pad chunk each)"
+)
+_OBS_PADS = obs.counter("crypto.pads", "one-time pads derived for line writes")
+_OBS_ROLLBACKS = obs.counter(
+    "crypto.rollbacks", "rollback_counters calls after an early-stopped chunk"
+)
+_OBS_ROLLED_BACK = obs.counter(
+    "crypto.rolled_back_counters", "per-line counter bumps undone by rollbacks"
+)
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,8 @@ class CounterModeEngine:
                     f"cannot roll back counter of address {address}: never encrypted"
                 )
             counters[address] = current - 1
+        _OBS_ROLLBACKS.inc()
+        _OBS_ROLLED_BACK.inc(len(addresses))
 
     def reset_counters(self) -> None:
         """Forget all per-line counters (used between experiment repetitions)."""
@@ -177,6 +193,7 @@ class CounterModeEngine:
         counter = self._counters.get(address, 0) + 1
         self._counters[address] = counter
         pad = self.pad_words(address, counter)
+        _OBS_PADS.inc()
         cipher = tuple((int(w) ^ p) & word_mask for w, p in zip(plaintext_words, pad))
         return EncryptedLine(address=address, counter=counter, words=cipher)
 
@@ -209,6 +226,8 @@ class CounterModeEngine:
             raise ConfigurationError("one address per plaintext line is required")
         pad_dtype = np.dtype(f">u{self.word_bits // 8}")
         pads = np.empty((matrix.shape[0], self.words_per_line), dtype=np.uint64)
+        _OBS_PAD_CHUNKS.inc()
+        _OBS_PADS.inc(matrix.shape[0])
         counters = self._counters
         for index, address in enumerate(addresses):
             address = int(address)

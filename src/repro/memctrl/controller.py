@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # runtime import would be circular via repro.traces
 
 import numpy as np
 
+from repro import obs
 from repro.coding.base import (
     EncodedLine,
     Encoder,
@@ -71,6 +72,31 @@ REPLAY_WAVE_LINES = 32
 #: after every write as ``stop(index, row_index, saw_cells,
 #: saw_bits_per_word)``; returning True ends the replay after that write.
 ReplayStop = Callable[[int, int, int, np.ndarray], bool]
+
+# Replay-engine telemetry.  Metric updates happen at wave/chunk (never
+# per-write) granularity; bench_obs_overhead.py swaps these handles for
+# null stand-ins to prove the whole layer costs <2% when tracing is off.
+_OBS_WAVES = obs.counter("replay.waves", "encode waves executed by the generic replay path")
+_OBS_WAVE_LINES = obs.histogram("replay.wave_lines", "lines encoded per replay wave")
+_OBS_CONFLICT_CUTS = obs.counter(
+    "replay.conflict_cuts", "waves cut short by a write to an already-queued row"
+)
+_OBS_GAP_FLUSHES = obs.counter(
+    "replay.gap_flushes", "waves capped by a pending Start-Gap gap migration"
+)
+_OBS_IDENTITY_CHUNKS = obs.counter(
+    "replay.identity_chunks", "chunks taken by the identity-encoder fast path"
+)
+_OBS_SCALAR_FALLBACKS = obs.counter(
+    "replay.scalar_fallbacks", "chunk ranges replayed by the scalar (odd-width) fallback"
+)
+_OBS_EARLY_STOPS = obs.counter(
+    "replay.early_stops", "replays ended early by the stop predicate"
+)
+_OBS_EARLY_STOP_INDEX = obs.gauge(
+    "replay.early_stop_index", "write index at which the latest replay stopped early"
+)
+_OBS_SPAN = obs.span
 
 
 @dataclass(frozen=True)
@@ -580,37 +606,43 @@ class MemoryController:
         performed = 0
         stopped = False
         batch_capable = words is not None
-        while start < total and not stopped:
-            end = min(start + chunk, total)
-            chunk = min(chunk * 2, 8192)
-            encrypted_chunk: Optional[np.ndarray] = None
-            if batch_capable:
-                record_indices = np.arange(start, end, dtype=np.int64) % num_records
-                chunk_words = words[record_indices]
-                if self.encryption is None:
-                    encrypted_chunk = chunk_words
-                else:
-                    encrypted_chunk = self.encryption.encrypt_lines(
-                        addresses[start:end], chunk_words
+        with _OBS_SPAN("replay.trace", total_writes=total) as trace_span:
+            while start < total and not stopped:
+                end = min(start + chunk, total)
+                chunk = min(chunk * 2, 8192)
+                encrypted_chunk: Optional[np.ndarray] = None
+                if batch_capable:
+                    record_indices = np.arange(start, end, dtype=np.int64) % num_records
+                    chunk_words = words[record_indices]
+                    if self.encryption is None:
+                        encrypted_chunk = chunk_words
+                    else:
+                        encrypted_chunk = self.encryption.encrypt_lines(
+                            addresses[start:end], chunk_words
+                        )
+                        if encrypted_chunk is None:
+                            batch_capable = False
+                if encrypted_chunk is not None and self.encoder.is_identity:
+                    _OBS_IDENTITY_CHUNKS.inc()
+                    performed, stopped = self._replay_identity(
+                        replay, addresses, encrypted_chunk, start, end, stop
                     )
-                    if encrypted_chunk is None:
-                        batch_capable = False
-            if encrypted_chunk is not None and self.encoder.is_identity:
-                performed, stopped = self._replay_identity(
-                    replay, addresses, encrypted_chunk, start, end, stop
-                )
-            else:
-                performed, stopped = self._replay_generic(
-                    replay, plaintext_for, addresses, encrypted_chunk, start, end, stop
-                )
-            if (
-                stopped
-                and performed < end
-                and encrypted_chunk is not None
-                and self.encryption is not None
-            ):
-                self.encryption.rollback_counters(addresses[performed:end])
-            start = end
+                else:
+                    performed, stopped = self._replay_generic(
+                        replay, plaintext_for, addresses, encrypted_chunk, start, end, stop
+                    )
+                if (
+                    stopped
+                    and performed < end
+                    and encrypted_chunk is not None
+                    and self.encryption is not None
+                ):
+                    self.encryption.rollback_counters(addresses[performed:end])
+                start = end
+            if stopped:
+                _OBS_EARLY_STOPS.inc()
+                _OBS_EARLY_STOP_INDEX.set(performed)
+            trace_span.set(performed=performed, stopped=stopped)
         replay._trim(performed, stopped)
         self.stats.absorb(replay.write_stats())
         return replay
@@ -776,6 +808,7 @@ class MemoryController:
         instead).
         """
         if encrypted_chunk is None:
+            _OBS_SCALAR_FALLBACKS.inc()
             return self._replay_generic_scalar(
                 replay, plaintext_for, addresses, start, end, stop
             )
@@ -799,11 +832,15 @@ class MemoryController:
         while index < end and not stopped:
             # ---- wave selection: a maximal run of writes to distinct rows.
             limit = min(end - index, self.replay_wave_lines)
+            gap_capped = False
             if leveler is not None:
                 # The next gap migration rewrites a row and rotates the
                 # mapping; capping the wave at the write that triggers it
                 # keeps the migration strictly after the wave's last write.
-                limit = min(limit, leveler.writes_until_gap_move)
+                until_gap = leveler.writes_until_gap_move
+                if until_gap < limit:
+                    limit = until_gap
+                    gap_capped = True
             rows: List[int] = []
             seen = set()
             scan = index
@@ -819,102 +856,109 @@ class MemoryController:
                 scan += 1
             count = len(rows)
             row_array = np.asarray(rows, dtype=np.intp)
+            _OBS_WAVES.inc()
+            _OBS_WAVE_LINES.observe(count)
+            if scan < end and count < limit:
+                _OBS_CONFLICT_CUTS.inc()
+            elif gap_capped and count == limit:
+                _OBS_GAP_FLUSHES.inc()
 
-            # ---- one gather per wave: rows, stuck knowledge, aux bits.
-            old_rows = array.read_rows(row_array)
-            stuck_rows = self._stuck_rows(row_array)
-            old_auxes = self._aux_store[row_array]
-            contexts = [
-                LineContext.from_rows(
-                    old_rows, words_per_line, bits_per_cell, stuck_rows, old_auxes, line
+            with _OBS_SPAN("replay.wave", lines=count):
+                # ---- one gather per wave: rows, stuck knowledge, aux bits.
+                old_rows = array.read_rows(row_array)
+                stuck_rows = self._stuck_rows(row_array)
+                old_auxes = self._aux_store[row_array]
+                contexts = [
+                    LineContext.from_rows(
+                        old_rows, words_per_line, bits_per_cell, stuck_rows, old_auxes, line
+                    )
+                    for line in range(count)
+                ]
+                encoded = self.encoder.encode_lines(
+                    encrypted_chunk[index - start: scan - start], contexts
                 )
-                for line in range(count)
-            ]
-            encoded = self.encoder.encode_lines(
-                encrypted_chunk[index - start: scan - start], contexts
-            )
-            intended_rows = words_matrix_to_cells(
-                np.array([line.codewords for line in encoded], dtype=np.uint64),
-                self.config.word_bits,
-                bits_per_cell,
-            ).reshape(count, array.cells_per_row)
-            new_auxes = self._wave_aux_values(encoded)
-            replay.row_indices[index:scan] = rows
+                intended_rows = words_matrix_to_cells(
+                    np.array([line.codewords for line in encoded], dtype=np.uint64),
+                    self.config.word_bits,
+                    bits_per_cell,
+                ).reshape(count, array.cells_per_row)
+                new_auxes = self._wave_aux_values(encoded)
+                replay.row_indices[index:scan] = rows
 
-            if stop is None and leveler is None:
-                # ---- whole-wave apply: with no early-stop predicate and no
-                # gap migrations pending, the distinct-row writes commute
-                # into one fancy-index scatter (write_rows_fast is
-                # bit-identical to looping write_row_fast in order).
-                _old, stored_rows, _changed, _saw, newly = array.write_rows_fast(
-                    row_array, intended_rows
-                )
-                self._aux_store[row_array] = new_auxes
-                replay.newly_stuck_cells[index:scan] = newly
-                if repository is not None:
-                    # observe_write is a no-op for rows whose stored cells
-                    # all match; only mismatching rows carry discoveries.
-                    for line in np.nonzero((stored_rows != intended_rows).any(axis=1))[0]:
-                        repository.observe_write(
-                            rows[line], intended_rows[line], stored_rows[line]
-                        )
-                applied = count
-                performed = scan
+                if stop is None and leveler is None:
+                    # ---- whole-wave apply: with no early-stop predicate and no
+                    # gap migrations pending, the distinct-row writes commute
+                    # into one fancy-index scatter (write_rows_fast is
+                    # bit-identical to looping write_row_fast in order).
+                    _old, stored_rows, _changed, _saw, newly = array.write_rows_fast(
+                        row_array, intended_rows
+                    )
+                    self._aux_store[row_array] = new_auxes
+                    replay.newly_stuck_cells[index:scan] = newly
+                    if repository is not None:
+                        # observe_write is a no-op for rows whose stored cells
+                        # all match; only mismatching rows carry discoveries.
+                        for line in np.nonzero((stored_rows != intended_rows).any(axis=1))[0]:
+                            repository.observe_write(
+                                rows[line], intended_rows[line], stored_rows[line]
+                            )
+                    applied = count
+                    performed = scan
+                    self._flush_replay_accounting(
+                        replay, index, performed, old_rows, stored_rows, intended_rows
+                    )
+                    self._flush_aux_energy(replay, index, performed, new_auxes, old_auxes)
+                    index = scan
+                    continue
+
+                # ---- apply sequentially; accounting flushes once per wave.
+                stored_rows = np.empty_like(old_rows)
+                write_row_fast = array.write_row_fast
+                applied = 0
+                for line in range(count):
+                    index_global = index + line
+                    row_index = rows[line]
+                    intended = intended_rows[line]
+                    _old, stored, _changed, saw_mask, newly_stuck = write_row_fast(
+                        row_index, intended
+                    )
+                    stored_rows[line] = stored
+                    self._aux_store[row_index] = new_auxes[line]
+                    replay.newly_stuck_cells[index_global] = newly_stuck
+                    if repository is not None:
+                        repository.observe_write(row_index, intended, stored)
+                    if leveler is not None:
+                        movement = leveler.record_write()
+                        if movement is not None:
+                            self._migrate_row(*movement)
+                    applied = line + 1
+                    performed = index_global + 1
+                    if stop is not None:
+                        saw_count = int(saw_mask.sum())
+                        if saw_count:
+                            wrong = stored ^ intended
+                            saw_bits = (
+                                popcount[wrong]
+                                if bits_per_cell == 2
+                                else (wrong != 0).astype(np.int64)
+                            ).reshape(words_per_line, -1).sum(axis=1)
+                        else:
+                            saw_bits = zero_saw_bits
+                        if stop(index_global, int(row_index), saw_count, saw_bits):
+                            stopped = True
+                            break
                 self._flush_replay_accounting(
-                    replay, index, performed, old_rows, stored_rows, intended_rows
+                    replay,
+                    index,
+                    performed,
+                    old_rows[:applied],
+                    stored_rows[:applied],
+                    intended_rows[:applied],
                 )
-                self._flush_aux_energy(replay, index, performed, new_auxes, old_auxes)
+                self._flush_aux_energy(
+                    replay, index, performed, new_auxes[:applied], old_auxes[:applied]
+                )
                 index = scan
-                continue
-
-            # ---- apply sequentially; accounting flushes once per wave.
-            stored_rows = np.empty_like(old_rows)
-            write_row_fast = array.write_row_fast
-            applied = 0
-            for line in range(count):
-                index_global = index + line
-                row_index = rows[line]
-                intended = intended_rows[line]
-                _old, stored, _changed, saw_mask, newly_stuck = write_row_fast(
-                    row_index, intended
-                )
-                stored_rows[line] = stored
-                self._aux_store[row_index] = new_auxes[line]
-                replay.newly_stuck_cells[index_global] = newly_stuck
-                if repository is not None:
-                    repository.observe_write(row_index, intended, stored)
-                if leveler is not None:
-                    movement = leveler.record_write()
-                    if movement is not None:
-                        self._migrate_row(*movement)
-                applied = line + 1
-                performed = index_global + 1
-                if stop is not None:
-                    saw_count = int(saw_mask.sum())
-                    if saw_count:
-                        wrong = stored ^ intended
-                        saw_bits = (
-                            popcount[wrong]
-                            if bits_per_cell == 2
-                            else (wrong != 0).astype(np.int64)
-                        ).reshape(words_per_line, -1).sum(axis=1)
-                    else:
-                        saw_bits = zero_saw_bits
-                    if stop(index_global, int(row_index), saw_count, saw_bits):
-                        stopped = True
-                        break
-            self._flush_replay_accounting(
-                replay,
-                index,
-                performed,
-                old_rows[:applied],
-                stored_rows[:applied],
-                intended_rows[:applied],
-            )
-            self._flush_aux_energy(
-                replay, index, performed, new_auxes[:applied], old_auxes[:applied]
-            )
-            index = scan
         return performed, stopped
 
     def _wave_aux_values(self, encoded_lines: List[EncodedLine]) -> np.ndarray:

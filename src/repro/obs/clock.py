@@ -1,0 +1,24 @@
+"""The sanctioned clock of the instrumentation layer.
+
+Every timing measurement in library code routes through this module so
+the OBS001 analysis rule can hold the rest of ``src/repro`` to a single
+discipline: wall-clock values never leak into results (DET003), and
+hot-path timings always land in the aggregatable telemetry layer instead
+of ad-hoc ``time.perf_counter()`` deltas.
+
+:func:`monotonic` reads ``CLOCK_MONOTONIC``, which on every supported
+platform is shared between processes on the same host — the campaign
+executors rely on that to subtract a worker-side timestamp from a
+coordinator-side one (queue-wait and result-transfer times).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic"]
+
+
+def monotonic() -> float:
+    """Seconds on the host-wide monotonic clock (comparable across processes)."""
+    return time.monotonic()  # repro: allow[DET003,OBS001] reason=repro.obs is the sanctioned clock; every value stays in telemetry and never reaches a result row or a seed

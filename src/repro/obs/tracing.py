@@ -1,0 +1,239 @@
+"""Span tracing: structured JSONL trace events with parent/child nesting.
+
+Off by default.  When disabled, :func:`span` returns a shared no-op
+context manager — entering and leaving it is two attribute-free method
+calls and zero allocation, so the replay kernel pays essentially nothing
+(``benchmarks/bench_obs_overhead.py`` holds the line at <2%).
+
+When enabled (:func:`enable_tracing`, ``--trace`` on the campaign CLI,
+or the ``REPRO_TRACE`` environment variable), every completed span
+appends one JSON object per line to the trace file::
+
+    {"name": "replay.wave", "pid": 1234, "span": "1234:7",
+     "parent": "1234:6", "start_s": 12.001, "end_s": 12.003,
+     "attrs": {"lines": 14}}
+
+Timestamps come from :func:`repro.obs.clock.monotonic`
+(``CLOCK_MONOTONIC`` is host-wide, so coordinator and worker spans share
+one time base).  Span ids are ``"{pid}:{sequence}"`` and the parent is
+whatever span is open in the same process, so nesting reconstructs even
+when campaign workers interleave their writes.  Each event is written
+with a single ``os.write`` on an ``O_APPEND`` descriptor — POSIX makes
+such appends atomic with respect to each other, so concurrent worker
+processes cannot tear each other's lines.  The descriptor is lazily
+re-opened per pid so forked workers never share a file object.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Type
+
+from repro.obs.clock import monotonic
+
+__all__ = [
+    "Span",
+    "disable_tracing",
+    "emit_span",
+    "enable_tracing",
+    "span",
+    "trace_path",
+    "tracing_enabled",
+]
+
+#: Environment variable carrying the trace path into spawned workers.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_trace_path: Optional[str] = None
+_trace_fd: Optional[int] = None
+_trace_fd_pid: Optional[int] = None
+# Stack of open span ids in this process; the top is the parent of the
+# next span.  Reset lazily on fork via the pid check in _write_event.
+_span_stack: List[str] = []
+_span_stack_pid: Optional[int] = None
+_span_sequence = 0
+
+
+def _configured_path() -> Optional[str]:
+    """The active trace path: explicit enable wins, then the env var."""
+    if _trace_path is not None:
+        return _trace_path
+    path = os.environ.get(TRACE_ENV_VAR)
+    return path if path else None
+
+
+def tracing_enabled() -> bool:
+    """True when spans are being recorded in this process."""
+    return _configured_path() is not None
+
+
+def trace_path() -> Optional[str]:
+    """The file currently receiving trace events, or None when disabled."""
+    return _configured_path()
+
+
+def enable_tracing(path: str) -> None:
+    """Start appending span events to ``path`` (and to spawned workers).
+
+    The path is exported via ``REPRO_TRACE`` so worker processes created
+    with the *spawn* start method inherit the setting; forked workers
+    inherit the module state directly.
+    """
+    global _trace_path
+    _trace_path = os.fspath(path)
+    os.environ[TRACE_ENV_VAR] = _trace_path
+    _close_fd()
+
+
+def disable_tracing() -> None:
+    """Stop recording spans and release the trace file descriptor."""
+    global _trace_path
+    _trace_path = None
+    os.environ.pop(TRACE_ENV_VAR, None)
+    _close_fd()
+
+
+def _close_fd() -> None:
+    global _trace_fd, _trace_fd_pid
+    if _trace_fd is not None and _trace_fd_pid == os.getpid():
+        os.close(_trace_fd)
+    _trace_fd = None
+    _trace_fd_pid = None
+
+
+def _write_event(event: Dict[str, Any]) -> None:
+    global _trace_fd, _trace_fd_pid
+    path = _configured_path()
+    if path is None:
+        return
+    pid = os.getpid()
+    if _trace_fd is None or _trace_fd_pid != pid:
+        # A descriptor opened before fork must not be shared: each
+        # process gets its own O_APPEND descriptor keyed by pid.
+        _trace_fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        _trace_fd_pid = pid
+    line = json.dumps(event, separators=(",", ":"), sort_keys=True) + "\n"
+    os.write(_trace_fd, line.encode("utf-8"))
+
+
+def _stack() -> List[str]:
+    global _span_stack, _span_stack_pid
+    pid = os.getpid()
+    if _span_stack_pid != pid:
+        # Forked child: open spans belong to the parent process.
+        _span_stack = []
+        _span_stack_pid = pid
+    return _span_stack
+
+
+def _next_span_id() -> str:
+    global _span_sequence
+    _span_sequence += 1
+    return f"{os.getpid()}:{_span_sequence}"
+
+
+class Span:
+    """An open trace span; records one JSONL event when it closes."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start_s")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.attrs = attrs
+        stack = _stack()
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = _next_span_id()
+        stack.append(self.span_id)
+        self.start_s = monotonic()
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        end_s = monotonic()
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        event: Dict[str, Any] = {
+            "name": self.name,
+            "pid": os.getpid(),
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": end_s,
+        }
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        if self.attrs:
+            event["attrs"] = self.attrs
+        _write_event(event)
+
+
+class _NullSpan:
+    """Shared no-op span handed out whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        """Ignore the attributes."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """Open a trace span: ``with obs.span("replay.wave", lines=n): ...``.
+
+    Returns the shared no-op span when tracing is disabled, so the call
+    costs one dict check and no allocation on the hot path.
+    """
+    if _configured_path() is None:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def emit_span(
+    name: str, start_s: float, end_s: float, **attrs: Any
+) -> None:
+    """Record an already-measured interval as a span event.
+
+    Used for phases whose endpoints were stamped elsewhere (executor
+    queue-wait and result-transfer times span two processes).  The event
+    parents under whatever span is currently open in this process.
+    """
+    if _configured_path() is None:
+        return
+    stack = _stack()
+    event: Dict[str, Any] = {
+        "name": name,
+        "pid": os.getpid(),
+        "span": _next_span_id(),
+        "parent": stack[-1] if stack else None,
+        "start_s": start_s,
+        "end_s": end_s,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    _write_event(event)

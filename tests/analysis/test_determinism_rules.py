@@ -88,8 +88,11 @@ class TestDET003WallClock:
         assert run("import time\ntime.sleep(0.1)\n") == []
 
     def test_waived(self):
+        # (OBS001 also flags a bare perf_counter; select DET to test
+        # this family's waiver in isolation.)
         findings = run(
-            "import time\nt0 = time.perf_counter()  # repro: allow[DET003] reason=benchmark timing only\n"
+            "import time\nt0 = time.perf_counter()  # repro: allow[DET003] reason=benchmark timing only\n",
+            select=["DET"],
         )
         assert findings == []
 

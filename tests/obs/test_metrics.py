@@ -1,0 +1,170 @@
+"""Unit tests for the repro.obs metric registry."""
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        c = registry.counter("c", "a counter")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_snapshot_payload(self, registry):
+        c = registry.counter("c", "a counter")
+        c.inc(3)
+        assert c.to_snapshot() == {"kind": "counter", "value": 3}
+
+    def test_merge_adds(self, registry):
+        c = registry.counter("c", "a counter")
+        c.inc(2)
+        c.merge({"kind": "counter", "value": 7})
+        assert c.value == 9
+
+    def test_reset(self, registry):
+        c = registry.counter("c", "a counter")
+        c.inc(4)
+        c.reset()
+        assert c.value == 0
+        assert c.is_zero()
+
+
+class TestGauge:
+    def test_set_and_snapshot(self, registry):
+        g = registry.gauge("g", "a gauge")
+        assert g.is_zero()
+        g.set(2.5)
+        assert g.to_snapshot() == {"kind": "gauge", "value": 2.5}
+
+    def test_merge_takes_incoming_value(self, registry):
+        g = registry.gauge("g", "a gauge")
+        g.set(1.0)
+        g.merge({"kind": "gauge", "value": 3.0})
+        assert g.value == 3.0
+        g.merge({"kind": "gauge", "value": None})
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_observe_accumulates(self, registry):
+        h = registry.histogram("h", "a histogram")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        snap = h.to_snapshot()
+        assert snap["kind"] == "histogram"
+        assert snap["count"] == 3
+        assert snap["total"] == 6.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+
+    def test_merge_combines_extremes(self, registry):
+        h = registry.histogram("h", "a histogram")
+        h.observe(5.0)
+        h.merge({"kind": "histogram", "count": 2, "total": 3.0, "min": 1.0, "max": 2.0})
+        snap = h.to_snapshot()
+        assert snap["count"] == 3
+        assert snap["total"] == 8.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 5.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_handle(self, registry):
+        a = registry.counter("x", "first")
+        b = registry.counter("x", "first")
+        assert a is b
+
+    def test_kind_conflict_raises(self, registry):
+        registry.counter("x", "a counter")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x", "now a gauge")
+
+    def test_snapshot_skips_zero_by_default(self, registry):
+        registry.counter("zero", "never bumped")
+        registry.counter("hot", "bumped").inc()
+        snap = registry.snapshot()
+        assert "hot" in snap and "zero" not in snap
+        full = registry.snapshot(include_zero=True)
+        assert "zero" in full
+
+    def test_merge_doubles_and_creates_unknown(self, registry):
+        registry.counter("c", "a counter").inc(3)
+        snap = registry.snapshot()
+        registry.merge(snap)
+        assert registry.get("c").value == 6
+        other = MetricsRegistry()
+        other.merge(snap)
+        assert other.get("c").value == 3
+
+    def test_reset_clears_everything(self, registry):
+        registry.counter("c", "a counter").inc()
+        registry.histogram("h", "a histogram").observe(1.0)
+        registry.reset()
+        assert registry.snapshot() == {}
+        # handles stay registered (names survive a reset)
+        assert "c" in registry.names()
+
+
+class TestModuleLevelApi:
+    def test_global_registry_roundtrip(self):
+        obs.reset_metrics()
+        obs.counter("test.module_api", "test counter").inc(2)
+        snap = obs.metrics_snapshot()
+        assert snap["test.module_api"]["value"] == 2
+        obs.merge_metrics(snap)
+        assert obs.metrics_snapshot()["test.module_api"]["value"] == 4
+        obs.reset_metrics()
+        assert "test.module_api" not in obs.metrics_snapshot()
+
+    def test_timed_decorator_observes_calls(self):
+        obs.reset_metrics()
+
+        @obs.timed("test.timed_s", "timed test function")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert work(2) == 3
+        snap = obs.metrics_snapshot()["test.timed_s"]
+        assert snap["kind"] == "histogram"
+        assert snap["count"] == 2
+        assert snap["total"] >= 0.0
+        obs.reset_metrics()
+
+    def test_timed_observes_on_exception(self):
+        obs.reset_metrics()
+
+        @obs.timed("test.timed_raises_s", "timed raising function")
+        def boom():
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError):
+            boom()
+        assert obs.metrics_snapshot()["test.timed_raises_s"]["count"] == 1
+        obs.reset_metrics()
+
+
+class TestNullHandles:
+    def test_null_handles_swallow_updates(self):
+        obs.NULL_COUNTER.inc(5)
+        obs.NULL_GAUGE.set(1.0)
+        obs.NULL_HISTOGRAM.observe(2.0)
+        assert obs.NULL_COUNTER.is_zero()
+        assert obs.NULL_GAUGE.is_zero()
+        assert obs.NULL_HISTOGRAM.is_zero()
+
+    def test_null_handles_are_real_metric_types(self):
+        # bench_obs_overhead swaps them in by isinstance checks
+        assert isinstance(obs.NULL_COUNTER, obs.Counter)
+        assert isinstance(obs.NULL_GAUGE, obs.Gauge)
+        assert isinstance(obs.NULL_HISTOGRAM, obs.Histogram)

@@ -1,0 +1,111 @@
+"""Unit tests for the repro.obs span tracer."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import _NULL_SPAN, TRACE_ENV_VAR
+
+
+@pytest.fixture
+def trace(tmp_path):
+    """Enable tracing to a temp file; yields the path, always disables."""
+    path = tmp_path / "trace.jsonl"
+    obs.enable_tracing(str(path))
+    try:
+        yield path
+    finally:
+        obs.disable_tracing()
+
+
+def read_events(path):
+    with open(path, encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle]
+
+
+class TestDisabledMode:
+    def test_off_by_default(self):
+        assert not obs.tracing_enabled()
+        assert obs.trace_path() is None
+
+    def test_disabled_span_is_shared_noop(self):
+        first = obs.span("a", lines=3)
+        second = obs.span("b")
+        assert first is _NULL_SPAN and second is _NULL_SPAN
+        with first as open_span:
+            open_span.set(ignored=True)
+
+    def test_disabled_emit_span_is_noop(self, tmp_path):
+        obs.emit_span("x", 0.0, 1.0)  # must not raise or write anywhere
+
+
+class TestEnabledMode:
+    def test_enable_sets_env_var_for_spawned_workers(self, trace):
+        assert obs.tracing_enabled()
+        assert os.environ[TRACE_ENV_VAR] == str(trace)
+
+    def test_disable_clears_env_var(self, tmp_path):
+        obs.enable_tracing(str(tmp_path / "t.jsonl"))
+        obs.disable_tracing()
+        assert TRACE_ENV_VAR not in os.environ
+        assert not obs.tracing_enabled()
+
+    def test_span_records_event_with_attrs(self, trace):
+        with obs.span("unit.test", lines=4) as open_span:
+            open_span.set(extra="yes")
+        (event,) = read_events(trace)
+        assert event["name"] == "unit.test"
+        assert event["pid"] == os.getpid()
+        assert event["attrs"] == {"lines": 4, "extra": "yes"}
+        assert event["end_s"] >= event["start_s"]
+        assert event["parent"] is None
+
+    def test_spans_nest_parent_child(self, trace):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+            with obs.span("sibling"):
+                pass
+        events = {e["name"]: e for e in read_events(trace)}
+        assert events["inner"]["parent"] == events["outer"]["span"]
+        assert events["sibling"]["parent"] == events["outer"]["span"]
+        assert events["outer"]["parent"] is None
+        # children close (and are written) before the parent
+        names = [e["name"] for e in read_events(trace)]
+        assert names.index("inner") < names.index("outer")
+
+    def test_span_records_error_type(self, trace):
+        with pytest.raises(ValueError):
+            with obs.span("failing"):
+                raise ValueError("boom")
+        (event,) = read_events(trace)
+        assert event["error"] == "ValueError"
+
+    def test_emit_span_parents_under_open_span(self, trace):
+        with obs.span("outer"):
+            obs.emit_span("measured", 1.0, 2.5, cached=True)
+        events = {e["name"]: e for e in read_events(trace)}
+        assert events["measured"]["parent"] == events["outer"]["span"]
+        assert events["measured"]["start_s"] == 1.0
+        assert events["measured"]["end_s"] == 2.5
+        assert events["measured"]["attrs"] == {"cached": True}
+
+    def test_events_append_across_enable_cycles(self, trace):
+        with obs.span("first"):
+            pass
+        obs.disable_tracing()
+        obs.enable_tracing(str(trace))
+        with obs.span("second"):
+            pass
+        assert [e["name"] for e in read_events(trace)] == ["first", "second"]
+
+    def test_env_var_alone_enables_tracing(self, tmp_path, monkeypatch):
+        # Spawned workers configure themselves from REPRO_TRACE only.
+        path = tmp_path / "env-trace.jsonl"
+        monkeypatch.setenv(TRACE_ENV_VAR, str(path))
+        assert obs.tracing_enabled()
+        with obs.span("from-env"):
+            pass
+        assert [e["name"] for e in read_events(path)] == ["from-env"]
