@@ -15,7 +15,9 @@ cells, with the discovered mode approaching the oracle as rows are
 revisited.
 """
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.pcm.cell import CellTechnology
 from repro.pcm.faultmap import FaultMap
@@ -63,7 +65,7 @@ def run() -> ResultTable:
     return table
 
 
-def test_ablation_fault_knowledge(benchmark, record_table):
+def test_ablation_fault_knowledge(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("ablation_fault_knowledge", table)
 

@@ -14,7 +14,9 @@ Expected shape: FNW wins the biased case but collapses on encrypted data;
 plain VCC is the opposite; hybrid VCC tracks the better of the two on both.
 """
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.coding.base import WordContext
 from repro.coding.cost import BitChangeCost
@@ -76,7 +78,7 @@ def run() -> ResultTable:
     return table
 
 
-def test_ablation_hybrid_vcc(benchmark, record_table):
+def test_ablation_hybrid_vcc(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("ablation_hybrid_vcc", table)
 

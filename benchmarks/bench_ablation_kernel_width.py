@@ -9,7 +9,9 @@ data: the saving should be broadly stable across the design space, which is
 what gives the architect freedom to pick the cheapest hardware point.
 """
 
-from conftest import run_once
+from typing import Any, Sequence
+
+from conftest import TableRecorder, run_once
 
 from repro.coding.cost import EnergyCost
 from repro.coding.base import WordContext
@@ -48,7 +50,7 @@ def _energy_saving(partitions: int, num_cosets: int = 256, words: int = 400) -> 
     return 100.0 * (baseline - encoded_energy) / baseline
 
 
-def run(partition_counts=(2, 4, 8)) -> ResultTable:
+def run(partition_counts: Sequence[int] = (2, 4, 8)) -> ResultTable:
     table = ResultTable(
         title="Ablation — VCC kernel width (N = 256 virtual cosets, random data)",
         columns=["partitions", "kernel_bits", "num_kernels", "energy_saving_percent"],
@@ -64,7 +66,7 @@ def run(partition_counts=(2, 4, 8)) -> ResultTable:
     return table
 
 
-def test_ablation_kernel_width(benchmark, record_table):
+def test_ablation_kernel_width(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("ablation_kernel_width", table)
 

@@ -8,7 +8,9 @@ write energy substantially relative to the unencoded write, with RCC again
 acting as the quality ceiling that VCC approaches.
 """
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.pcm.cell import CellTechnology
 from repro.sim.harness import TechniqueSpec, build_controller, drive_random_lines
@@ -57,7 +59,7 @@ def run(num_cosets: int = 256) -> ResultTable:
     return table
 
 
-def test_ablation_slc_energy(benchmark, record_table):
+def test_ablation_slc_energy(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("ablation_slc", table)
 

@@ -12,7 +12,9 @@ trades graceful degradation for a later first failure, which is exactly
 what this ablation measures.)
 """
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.coding.registry import make_encoder
 from repro.coding.cost import saw_then_energy
@@ -83,7 +85,7 @@ def run() -> ResultTable:
     return table
 
 
-def test_ablation_wear_leveling(benchmark, record_table):
+def test_ablation_wear_leveling(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("ablation_wear_leveling", table)
 

@@ -63,16 +63,16 @@ def _sweep_tasks() -> List[Task]:
 def measure() -> Tuple[float, float, List[dict], List[dict]]:
     """Time the sweep at jobs=1 and jobs=PARALLEL_JOBS (no store)."""
     tasks = _sweep_tasks()
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     serial = run_campaign(tasks, jobs=1)
-    serial_s = time.perf_counter() - start
-    start = time.perf_counter()
+    serial_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     parallel = run_campaign(tasks, jobs=PARALLEL_JOBS)
-    parallel_s = time.perf_counter() - start
+    parallel_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     return serial_s, parallel_s, serial.rows(), parallel.rows()
 
 
-def test_campaign_scaling_determinism_and_cache():
+def test_campaign_scaling_determinism_and_cache() -> None:
     serial_s, parallel_s, serial_rows, parallel_rows = measure()
 
     # Contract 1: bit-identical rows at any worker count.

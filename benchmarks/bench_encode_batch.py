@@ -244,17 +244,17 @@ def measure(spec: TechniqueSpec) -> Tuple[float, float, float]:
     position = 0
     repetitions = -(-SEGMENT_WRITES // len(records))
     for _ in range(SEGMENTS):
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
         for _ in range(SEGMENT_WRITES):
             record = records[position % len(records)]
             scalar_controller.write_line(record.address, list(record.words))
             position += 1
-        scalar_s = time.perf_counter() - start
-        start = time.perf_counter()
+        scalar_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
+        start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
         replay = replay_controller.replay_trace(
             trace, repetitions=repetitions, max_writes=SEGMENT_WRITES
         )
-        replay_s = time.perf_counter() - start
+        replay_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
         assert replay.writes == SEGMENT_WRITES
         best_scalar = min(best_scalar, scalar_s)
         best_replay = min(best_replay, replay_s)
@@ -302,7 +302,7 @@ def run_benchmark(enforce_floor: bool) -> Dict[str, Dict[str, float]]:
     return results
 
 
-def test_encode_batch_parity_and_speedup():
+def test_encode_batch_parity_and_speedup() -> None:
     # Contract 1: bit-identical per-write accounting over the full matrix
     # (9 encoders x SLC/MLC, wear leveling, fault-knowledge modes).
     checked = check_parity()

@@ -58,12 +58,12 @@ def _setup(name: str, seed: int = 3):
 
 def _one_trial(encode, context, lines, min_seconds: float) -> float:
     encoded = 0
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     while True:
         for words in lines:
             encode(words, context)
         encoded += len(lines)
-        elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
         if elapsed >= min_seconds:
             return encoded / elapsed
 
@@ -92,7 +92,7 @@ def run_all() -> Dict[str, Tuple[float, float]]:
     return {plugin.name: measure(plugin.name) for plugin in encoder_plugins()}
 
 
-def test_batched_path_speedup():
+def test_batched_path_speedup() -> None:
     """The batched path must stay >= 3x the scalar path for vcc and rcc."""
     for name, floor in SPEEDUP_FLOORS.items():
         best = 0.0

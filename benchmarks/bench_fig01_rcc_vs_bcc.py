@@ -1,11 +1,13 @@
 """Fig. 1 — analytical reduction in changed bits: RCC vs. BCC."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig01_coding_analysis import run
 
 
-def test_fig01_rcc_vs_bcc(benchmark, record_table):
+def test_fig01_rcc_vs_bcc(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, lambda: run(n=64, coset_counts=(2, 4, 16, 256)))
     record_table("fig01", table)
 

@@ -1,11 +1,13 @@
 """Fig. 2 — mean observed fault rate vs. number of random coset codes."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig02_fault_masking import run
 
 
-def test_fig02_fault_masking(benchmark, record_table):
+def test_fig02_fault_masking(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(
         benchmark,
         lambda: run(coset_counts=(1, 2, 4, 8, 16, 32, 64, 128), rows=96, num_writes=150, seed=7),

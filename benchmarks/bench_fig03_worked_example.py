@@ -1,11 +1,13 @@
 """Fig. 3 — the worked VCC(64, 64, 4) encoding example."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig03_worked_example import run
 
 
-def test_fig03_worked_example(benchmark, record_table):
+def test_fig03_worked_example(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("fig03", table)
 

@@ -1,11 +1,13 @@
 """Fig. 6 — encoder area / energy / delay vs. coset count."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig06_hardware import run
 
 
-def test_fig06_hardware(benchmark, record_table):
+def test_fig06_hardware(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, lambda: run(coset_counts=(32, 64, 128, 256)))
     record_table("fig06", table)
 

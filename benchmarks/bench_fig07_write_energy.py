@@ -1,11 +1,13 @@
 """Fig. 7 — write energy of RCC / VCC / VCC-stored / unencoded vs. coset count."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig07_write_energy import run
 
 
-def test_fig07_write_energy(benchmark, record_table):
+def test_fig07_write_energy(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(
         benchmark, lambda: run(coset_counts=(32, 64, 128, 256), rows=96, num_writes=200, seed=2022)
     )

@@ -1,11 +1,13 @@
 """Fig. 8 — SAW cell improvement vs. coset cardinality."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig08_saw_cosets import run
 
 
-def test_fig08_saw_vs_cosets(benchmark, record_table):
+def test_fig08_saw_vs_cosets(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(
         benchmark, lambda: run(coset_counts=(32, 64, 128, 256), rows=96, num_writes=150, seed=7)
     )

@@ -1,13 +1,15 @@
 """Fig. 9 — per-benchmark write energy under both cost-function orderings."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig09_energy_benchmarks import run
 
 BENCHMARKS = ("lbm", "mcf", "bwaves", "xalancbmk", "xz")
 
 
-def test_fig09_energy_per_benchmark(benchmark, record_table):
+def test_fig09_energy_per_benchmark(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(
         benchmark,
         lambda: run(benchmarks=BENCHMARKS, num_cosets=256, writebacks_per_benchmark=120, rows=96),

@@ -1,13 +1,15 @@
 """Fig. 10 — per-benchmark SAW cells: unencoded vs. VCC(64, 256, 16)."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig10_saw_benchmarks import run
 
 BENCHMARKS = ("lbm", "mcf", "bwaves", "xalancbmk", "xz")
 
 
-def test_fig10_saw_per_benchmark(benchmark, record_table):
+def test_fig10_saw_per_benchmark(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(
         benchmark,
         lambda: run(benchmarks=BENCHMARKS, num_cosets=256, writebacks_per_benchmark=100, rows=96),

@@ -1,6 +1,8 @@
 """Fig. 11 — per-benchmark writes-to-failure for every protection technique."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig11_lifetime_benchmarks import run
 from repro.sim.lifetime_sim import LifetimeStudyConfig
@@ -16,7 +18,7 @@ CONFIG = LifetimeStudyConfig(
 )
 
 
-def test_fig11_lifetime_per_benchmark(benchmark, record_table):
+def test_fig11_lifetime_per_benchmark(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(
         benchmark, lambda: run(benchmarks=BENCHMARKS, num_cosets=256, config=CONFIG)
     )

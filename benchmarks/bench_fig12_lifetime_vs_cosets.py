@@ -1,6 +1,8 @@
 """Fig. 12 — mean writes-to-failure vs. coset count for every technique."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig12_lifetime_cosets import run
 from repro.sim.lifetime_sim import LifetimeStudyConfig
@@ -14,7 +16,7 @@ CONFIG = LifetimeStudyConfig(
 )
 
 
-def test_fig12_lifetime_vs_cosets(benchmark, record_table):
+def test_fig12_lifetime_vs_cosets(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(
         benchmark, lambda: run(coset_counts=(32, 256), benchmarks=("lbm",), config=CONFIG)
     )

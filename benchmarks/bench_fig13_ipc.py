@@ -1,11 +1,13 @@
 """Fig. 13 — normalised IPC of DBI/Flipcy, VCC, and RCC."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.fig13_ipc import run
 
 
-def test_fig13_ipc(benchmark, record_table):
+def test_fig13_ipc(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, lambda: run(num_cosets=256))
     record_table("fig13", table)
 

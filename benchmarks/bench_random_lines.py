@@ -85,19 +85,19 @@ def _assert_parity(spec: TechniqueSpec, total: int) -> None:
 def measure(spec: TechniqueSpec, total: int) -> Tuple[float, float]:
     """Writes/second of the scalar loop and of the batched driver."""
     controller = _controller(spec)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     _drive_scalar(controller, total)
-    scalar_s = time.perf_counter() - start
+    scalar_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
 
     controller = _controller(spec)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     replay = _drive_batched(controller, total)
-    batched_s = time.perf_counter() - start
+    batched_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     assert replay.writes == total
     return total / scalar_s, total / batched_s
 
 
-def test_random_lines_parity_and_speedup():
+def test_random_lines_parity_and_speedup() -> None:
     # Contract 1: bit-identical per-write accounting on both driver paths.
     _assert_parity(
         TechniqueSpec(encoder="unencoded", cost="saw-then-energy"), PARITY_WRITES

@@ -1,11 +1,13 @@
 """Table I — MLC symbol-transition energy classification."""
 
-from conftest import run_once
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.table1_energy_model import run
 
 
-def test_table1_energy_model(benchmark, record_table):
+def test_table1_energy_model(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("table1", table)
 

@@ -1,21 +1,25 @@
 """Table II — architecture parameters of the performance study."""
 
-from conftest import run_once
+import math
+
+from typing import Any
+
+from conftest import TableRecorder, run_once
 
 from repro.experiments.table2_system import run
 
 
-def test_table2_system(benchmark, record_table):
+def test_table2_system(benchmark: Any, record_table: TableRecorder) -> None:
     table = run_once(benchmark, run)
     record_table("table2", table)
 
     parameters = {row["parameter"]: row["value"] for row in table}
     assert parameters["cores (out-of-order)"] == 4
     assert parameters["issue width"] == 4
-    assert parameters["frequency (GHz)"] == 1.0
+    assert math.isclose(parameters["frequency (GHz)"], 1.0)
     assert parameters["row size (bits)"] == 512
     assert parameters["word size (bits)"] == 64
     assert parameters["main memory (GiB, MLC PCM)"] == 2
     assert parameters["channels"] == 2
     assert parameters["banks per rank"] == 8
-    assert parameters["baseline access delay (ns)"] == 84.0
+    assert math.isclose(parameters["baseline access delay (ns)"], 84.0)

@@ -104,24 +104,24 @@ def measure(spec: TechniqueSpec, total: int) -> Tuple[float, float]:
     predicate wired, as the lifetime study drives it)."""
     trace = _trace()
     controller = _controller(spec)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     _drive_scalar(controller, trace, total)
-    scalar_s = time.perf_counter() - start
+    scalar_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
 
     controller = _controller(spec)
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     replay = controller.replay_trace(
         trace,
         repetitions=-(-total // len(trace)),
         max_writes=total,
         stop=lambda index, row, saw, bits: False,
     )
-    replay_s = time.perf_counter() - start
+    replay_s = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=benchmark stopwatch; the elapsed time is the measured quantity and never enters a result table
     assert replay.writes == total
     return total / scalar_s, total / replay_s
 
 
-def test_trace_replay_parity_and_speedup():
+def test_trace_replay_parity_and_speedup() -> None:
     # Contract 1: bit-identical per-write accounting on both engine paths.
     _assert_parity(
         TechniqueSpec(encoder="unencoded", cost="saw-then-energy"), PARITY_WRITES

@@ -10,6 +10,7 @@ regenerating the experiment itself.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Any, Callable
 
 import pytest
 
@@ -17,9 +18,12 @@ from repro.sim.results import ResultTable
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: The record_table fixture's value: saves a table under a name, returns it.
+TableRecorder = Callable[[str, ResultTable], ResultTable]
+
 
 @pytest.fixture
-def record_table():
+def record_table() -> TableRecorder:
     """Save a result table to benchmarks/results/ and echo it to stdout."""
 
     def _record(name: str, table: ResultTable) -> ResultTable:
@@ -34,6 +38,6 @@ def record_table():
     return _record
 
 
-def run_once(benchmark, func):
+def run_once(benchmark: Any, func: Callable[[], ResultTable]) -> ResultTable:
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -17,9 +17,10 @@ from __future__ import annotations
 from repro.pcm.cell import CellTechnology
 from repro.sim.harness import TechniqueSpec, build_controller, drive_trace
 from repro.traces.synthetic import generate_trace
+from repro.traces.trace import Trace
 
 
-def run_case(label: str, spec: TechniqueSpec, trace, encrypt: bool, rows: int) -> None:
+def run_case(label: str, spec: TechniqueSpec, trace: Trace, encrypt: bool, rows: int) -> None:
     controller = build_controller(
         spec, rows=rows, technology=CellTechnology.MLC, seed=5, encrypt=encrypt
     )

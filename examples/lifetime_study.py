@@ -35,7 +35,7 @@ def main(benchmark: str = "mcf") -> None:
           "failure = 4 rows with unmaskable/uncorrectable errors\n")
     baseline = None
     for spec in techniques:
-        start = time.time()
+        start = time.time()  # repro: allow[DET003] reason=progress timing for console output only; elapsed time is printed, never recorded in results
         outcome = simulate_lifetime(spec, benchmark, config)
         if baseline is None:
             baseline = outcome.writes
@@ -44,7 +44,7 @@ def main(benchmark: str = "mcf") -> None:
         print(
             f"{spec.label:10s}  writes to failure {outcome.writes:7d}"
             f"  vs unencoded {improvement:+6.1f} %"
-            f"  ({time.time() - start:4.1f}s){censored}"
+            f"  ({time.time() - start:4.1f}s){censored}"  # repro: allow[DET003] reason=progress timing for console output only; elapsed time is printed, never recorded in results
         )
 
 

@@ -28,9 +28,9 @@ def batched_driver_demo() -> None:
         rows=128,
         seed=2022,
     )
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=demo throughput printout; elapsed time never enters stored results
     replay = controller.write_random_lines(10_000, make_rng(2022, "random-lines"))
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # repro: allow[DET003,OBS001] reason=demo throughput printout; elapsed time never enters stored results
     stats = replay.write_stats()
     print(
         f"wrote {replay.writes} random lines in {elapsed:.2f}s "
@@ -46,14 +46,14 @@ def fig7_campaign_demo(store: Path) -> None:
     """The Fig. 7 sweep as a two-worker campaign with cached resume."""
     config = EnergyStudyConfig(rows=96, num_writes=150, seed=2022)
     for attempt in ("first run (executes every cell)", "second run (all from cache)"):
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: allow[DET003,OBS001] reason=demo throughput printout; elapsed time never enters stored results
         table = random_data_energy_study(
             coset_counts=(32, 64, 128, 256),
             config=config,
             jobs=2,
             store=store,
         )
-        print(f"{attempt}: {time.perf_counter() - start:.2f}s")
+        print(f"{attempt}: {time.perf_counter() - start:.2f}s")  # repro: allow[DET003,OBS001] reason=demo throughput printout; elapsed time never enters stored results
     print()
     print(table.format())
 

@@ -17,10 +17,23 @@ statically, before the code runs:
   overrides present, signatures matching ``coding/base.py``, literal
   content-addressable task names);
 * ``API`` — blanket ``except Exception``, mutable defaults, missing type
-  hints on public functions.
+  hints on public functions;
+* ``PAR`` — parallel-safety hazards only a whole-program view can see:
+  task kinds transitively mutating module globals, closures handed to
+  executors, module-level RNGs reached from workers, unsanctioned writes
+  to guarded ``repro.memctrl``/``repro.campaign`` state;
+* ``IMP`` — module-level import cycles (order-dependent package loads).
+
+The engine runs two passes: per-module AST rules first, then the
+project-scope ``PAR``/``IMP`` rules over a
+:class:`~repro.analysis.project.ProjectContext` assembled from every
+module's summary (symbol tables, import graph, conservative call graph,
+transitive global-mutation closure).  Repeat runs are incremental — a
+content-hash cache skips re-parsing unchanged files.
 
 Rules register through the same decorator idiom as encoders and task
-kinds (:func:`register_rule`); findings are suppressed per line with
+kinds (:func:`register_rule`, with ``scope="module"`` or
+``scope="project"``); findings are suppressed per line with
 ``# repro: allow[RULE] reason=...`` (the reason is mandatory) or
 grandfathered in the committed ``analysis-baseline.json``.  The CLI is
 ``python -m repro.analysis`` — see :mod:`repro.analysis.cli`.
@@ -29,12 +42,17 @@ grandfathered in the committed ``analysis-baseline.json``.  The CLI is
 from repro.analysis.baseline import Baseline
 from repro.analysis.cli import main
 from repro.analysis.engine import (
+    AnalysisReport,
+    AnalysisStats,
     ModuleContext,
     analyze_file,
     analyze_paths,
     analyze_source,
+    analyze_sources,
+    run_analysis,
 )
 from repro.analysis.finding import Finding
+from repro.analysis.project import ProjectContext
 from repro.analysis.registry import (
     RuleSpec,
     available_rules,
@@ -42,18 +60,25 @@ from repro.analysis.registry import (
     rule_specs,
     unregister_rule,
 )
+from repro.analysis.sarif import sarif_report
 
 __all__ = [
+    "AnalysisReport",
+    "AnalysisStats",
     "Baseline",
     "Finding",
     "ModuleContext",
+    "ProjectContext",
     "RuleSpec",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "available_rules",
     "main",
     "register_rule",
     "rule_specs",
+    "run_analysis",
+    "sarif_report",
     "unregister_rule",
 ]

@@ -1,0 +1,165 @@
+"""Content-hash incremental cache for the two-pass analyzer.
+
+The whole-program pass re-reads every module on every run; without a
+cache the CI lint gate would pay a full re-parse of the tree even when
+one file changed.  The cache (``.repro-analysis-cache.json`` in the
+working directory, overridable with ``--cache``) stores, per file:
+
+* the SHA-256 of the file's bytes,
+* the module-scope findings (post-waiver, fingerprinted),
+* the :class:`~repro.analysis.project.ModuleSummary` the project pass
+  consumes,
+* the expanded waiver-coverage map (line → waivable codes), so
+  project-scope findings anchored in a cached file can still be waived.
+
+Entries are keyed by display path and guarded by a *rule-set signature*
+— a hash of the codes and scopes of the rules actually running plus a
+format-version salt — so editing a rule, changing ``--select``, or
+upgrading the engine invalidates the whole cache rather than serving
+stale findings.  Corrupt or unreadable cache files degrade to a cold
+run, never to an error: the cache is an accelerator, not a dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.finding import Finding
+from repro.analysis.project import ModuleSummary
+
+__all__ = ["AnalysisCache", "CachedModule", "DEFAULT_CACHE_NAME", "ruleset_signature"]
+
+#: File name the CLI uses in the working directory by default.
+DEFAULT_CACHE_NAME = ".repro-analysis-cache.json"
+
+#: Bump to invalidate every existing cache when the engine's extraction
+#: or fingerprinting semantics change.
+CACHE_FORMAT_VERSION = 1
+
+
+def ruleset_signature(rule_keys: Sequence[str]) -> str:
+    """Hash identifying the exact rule set (codes + scopes) in effect."""
+    payload = f"v{CACHE_FORMAT_VERSION}|" + "|".join(sorted(rule_keys))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def file_sha256(data: bytes) -> str:
+    """Content hash cache entries are keyed by."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _finding_from_json(payload: Mapping[str, Any]) -> Finding:
+    return Finding(
+        rule=str(payload["rule"]),
+        path=str(payload["path"]),
+        line=int(payload["line"]),
+        column=int(payload["column"]),
+        message=str(payload["message"]),
+        snippet=str(payload["snippet"]),
+        fingerprint=str(payload["fingerprint"]),
+    )
+
+
+@dataclass
+class CachedModule:
+    """Everything one warm file contributes without being re-parsed."""
+
+    sha256: str
+    findings: List[Finding]
+    summary: ModuleSummary
+    #: line → rule codes/families a valid waiver covers on that line.
+    waiver_lines: Dict[int, List[str]]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "sha256": self.sha256,
+            "findings": [finding.to_json() for finding in self.findings],
+            "summary": self.summary.to_json(),
+            "waiver_lines": {
+                str(line): codes for line, codes in sorted(self.waiver_lines.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "CachedModule":
+        return cls(
+            sha256=str(payload["sha256"]),
+            findings=[_finding_from_json(item) for item in payload["findings"]],
+            summary=ModuleSummary.from_json(payload["summary"]),
+            waiver_lines={
+                int(line): [str(code) for code in codes]
+                for line, codes in payload["waiver_lines"].items()
+            },
+        )
+
+
+@dataclass
+class AnalysisCache:
+    """On-disk per-file cache of pass-1 results."""
+
+    signature: str
+    entries: Dict[str, CachedModule] = field(default_factory=dict)
+    #: (hits, misses) of the current run, for the CLI summary and tests.
+    hits: int = 0
+    misses: int = 0
+
+    def lookup(self, path: str, sha256: str) -> Optional[CachedModule]:
+        """The cached entry for ``path`` when its content hash matches."""
+        entry = self.entries.get(path)
+        if entry is not None and entry.sha256 == sha256:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, path: str, entry: CachedModule) -> None:
+        self.entries[path] = entry
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer under analysis."""
+        keep = set(live_paths)
+        for path in list(self.entries):
+            if path not in keep:
+                del self.entries[path]
+
+    # ----------------------------------------------------------------- I/O
+    @classmethod
+    def load(cls, path: Union[str, Path], signature: str) -> "AnalysisCache":
+        """Load a cache file; any mismatch or damage yields an empty cache."""
+        file_path = Path(path)
+        try:
+            payload = json.loads(file_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return cls(signature=signature)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_FORMAT_VERSION
+            or payload.get("signature") != signature
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return cls(signature=signature)
+        entries: Dict[str, CachedModule] = {}
+        try:
+            for key, item in payload["files"].items():
+                entries[str(key)] = CachedModule.from_json(item)
+        except (KeyError, TypeError, ValueError):
+            return cls(signature=signature)
+        return cls(signature=signature, entries=entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": CACHE_FORMAT_VERSION,
+            "signature": self.signature,
+            "files": {
+                key: self.entries[key].to_json() for key in sorted(self.entries)
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+    def stats(self) -> Tuple[int, int]:
+        """(hits, misses) accumulated by :meth:`lookup` this run."""
+        return self.hits, self.misses

@@ -4,8 +4,10 @@ Usage::
 
     python -m repro.analysis src                   # gate against the baseline
     python -m repro.analysis src --format json     # machine-readable findings
+    python -m repro.analysis src --format sarif    # SARIF 2.1.0 log
     python -m repro.analysis src --select DET NUM  # only two rule families
     python -m repro.analysis src --write-baseline  # regenerate the baseline
+    python -m repro.analysis rules                 # the rule catalog
     python -m repro.analysis --list-rules
 
 Exit codes: 0 — no new findings; 1 — at least one finding not covered by
@@ -13,8 +15,14 @@ the baseline; 2 — configuration error (unknown rule, unreadable path).
 
 The baseline (``analysis-baseline.json`` in the working directory, or
 ``--baseline PATH``) grandfathers pre-existing findings; ``--output``
-writes the findings JSON to a file regardless of the terminal format so
-CI can upload it as an artifact while still gating on the exit code.
+writes the findings JSON and ``--sarif`` the SARIF log to files
+regardless of the terminal format, so CI can upload both as artifacts
+while still gating on the exit code.
+
+Repeat runs are incremental: pass-1 results are cached per file in
+``.repro-analysis-cache.json`` keyed by content hash and rule-set
+version, so only changed files are re-parsed (``--no-cache`` opts out,
+``--cache PATH`` relocates the file).
 """
 
 from __future__ import annotations
@@ -26,9 +34,11 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
-from repro.analysis.engine import analyze_paths
+from repro.analysis.cache import DEFAULT_CACHE_NAME
+from repro.analysis.engine import AnalysisStats, run_analysis
 from repro.analysis.finding import Finding
-from repro.analysis.registry import rule_specs, select_rules
+from repro.analysis.registry import RuleSpec, rule_specs, select_rules
+from repro.analysis.sarif import sarif_report
 from repro.errors import ConfigurationError
 
 __all__ = ["main", "build_parser"]
@@ -38,14 +48,19 @@ def build_parser() -> argparse.ArgumentParser:
     """The analyzer's argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Determinism- and numeric-safety static analysis for the repro codebase.",
+        description="Determinism-, numeric- and parallel-safety static analysis "
+        "for the repro codebase.",
     )
-    parser.add_argument("paths", nargs="*", help="files or directories to analyze")
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze ('rules' prints the rule catalog)",
+    )
     parser.add_argument(
         "--select",
         nargs="+",
         metavar="RULE",
-        help="only run these rule codes or families (e.g. DET NUM API001)",
+        help="only run these rule codes or families (e.g. DET NUM PAR001)",
     )
     parser.add_argument(
         "--ignore",
@@ -55,7 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        "--output-format",
+        dest="format",
+        choices=("text", "json", "sarif"),
         default="text",
         help="terminal output format (default: text)",
     )
@@ -63,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="PATH",
         help="also write the findings JSON to PATH (for CI artifacts)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        help="also write a SARIF 2.1.0 log to PATH (for code-scanning upload)",
     )
     parser.add_argument(
         "--baseline",
@@ -79,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        help=f"incremental cache file (default: ./{DEFAULT_CACHE_NAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-parse every file; neither read nor write the cache",
     )
     parser.add_argument(
         "--root",
@@ -100,6 +132,32 @@ def _list_rules() -> int:
     return 0
 
 
+def _rule_catalog_entry(spec: RuleSpec) -> Dict[str, Any]:
+    doc_line = (spec.doc or spec.summary).strip().splitlines()[0].strip()
+    return {
+        "code": spec.code,
+        "family": spec.family,
+        "scope": spec.scope,
+        "summary": spec.summary,
+        "doc": doc_line,
+        "waiver": f"# repro: allow[{spec.code}] reason=<why this site is exempt>",
+    }
+
+
+def _render_rules(output_format: str) -> int:
+    """The ``rules`` subcommand: the full catalog, one entry per rule."""
+    entries = [_rule_catalog_entry(spec) for spec in rule_specs()]
+    if output_format == "json":
+        print(json.dumps({"version": 1, "rules": entries}, indent=2))
+        return 0
+    for entry in entries:
+        print(f"{entry['code']}  [{entry['family']}, {entry['scope']} scope]")
+        print(f"    {entry['doc']}")
+        print(f"    waive with: {entry['waiver']}")
+    print(f"{len(entries)} rule(s) registered")
+    return 0
+
+
 def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
     if args.no_baseline:
         return None
@@ -111,8 +169,19 @@ def _resolve_baseline_path(args: argparse.Namespace) -> Optional[Path]:
     return None
 
 
+def _resolve_cache_path(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_cache:
+        return None
+    if args.cache:
+        return Path(args.cache)
+    return Path(DEFAULT_CACHE_NAME)
+
+
 def _report_json(
-    findings: Sequence[Finding], new: Sequence[Finding], baselined: Sequence[Finding]
+    findings: Sequence[Finding],
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+    stats: AnalysisStats,
 ) -> Dict[str, Any]:
     return {
         "version": 1,
@@ -120,6 +189,11 @@ def _report_json(
             "total": len(findings),
             "new": len(new),
             "baselined": len(baselined),
+        },
+        "stats": {
+            "files": stats.files,
+            "parsed": stats.parsed,
+            "cache_hits": stats.cache_hits,
         },
         "findings": [finding.to_json() for finding in new],
         "baselined": [finding.to_json() for finding in baselined],
@@ -132,17 +206,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.list_rules:
         return _list_rules()
+    if args.paths and args.paths[0] == "rules":
+        if len(args.paths) > 1:
+            print("error: 'rules' takes no path arguments", file=sys.stderr)
+            return 2
+        return _render_rules(args.format)
     if not args.paths:
         parser.print_usage(sys.stderr)
-        print("error: at least one path (or --list-rules) is required", file=sys.stderr)
+        print(
+            "error: at least one path (or 'rules', or --list-rules) is required",
+            file=sys.stderr,
+        )
         return 2
 
     try:
         # Validate selection tokens up front so typos exit 2, not "0 findings".
         select_rules(args.select, args.ignore)
-        findings = analyze_paths(
-            args.paths, root=args.root, select=args.select, ignore=args.ignore
+        report = run_analysis(
+            args.paths,
+            root=args.root,
+            select=args.select,
+            ignore=args.ignore,
+            cache_path=_resolve_cache_path(args),
         )
+        findings, stats = report.findings, report.stats
         baseline_path = _resolve_baseline_path(args)
 
         if args.write_baseline:
@@ -162,21 +249,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     new, baselined = baseline.partition(findings)
-    report = _report_json(findings, new, baselined)
+    json_report = _report_json(findings, new, baselined, stats)
 
     if args.output:
         Path(args.output).write_text(
-            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+            json.dumps(json_report, indent=2) + "\n", encoding="utf-8"
+        )
+    if args.sarif:
+        Path(args.sarif).write_text(
+            json.dumps(sarif_report(new, baselined), indent=2) + "\n", encoding="utf-8"
         )
 
     if args.format == "json":
-        print(json.dumps(report, indent=2))
+        print(json.dumps(json_report, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(sarif_report(new, baselined), indent=2))
     else:
         if not args.quiet:
             for finding in new:
                 print(finding.render())
         print(
             f"repro.analysis: {len(new)} new finding(s), "
-            f"{len(baselined)} baselined, over {len(findings)} total"
+            f"{len(baselined)} baselined, over {len(findings)} total "
+            f"({stats.cache_hits}/{stats.files} cached, {stats.parsed} parsed)"
         )
     return 1 if new else 0

@@ -1,11 +1,20 @@
 """The analysis engine: parse modules, run rules, apply waivers.
 
-The public entry points are :func:`analyze_source` (one in-memory module,
-what the test fixtures use), :func:`analyze_file`, and
-:func:`analyze_paths` (recursive over directories, what the CLI uses).
-All three return :class:`~repro.analysis.finding.Finding` lists sorted by
-location; baseline filtering happens one layer up (:mod:`repro.analysis.cli`)
-so the API always reports the full picture.
+The engine runs in two passes.  Pass 1 parses each module, runs the
+``scope="module"`` rules, applies inline waivers, and distils the module
+into a :class:`~repro.analysis.project.ModuleSummary`.  Pass 2 assembles
+every summary into a :class:`~repro.analysis.project.ProjectContext` and
+runs the ``scope="project"`` rules (the ``PAR``/``IMP`` families), whose
+findings are waived through the same per-module waiver tables.
+
+Public entry points: :func:`analyze_source` (one in-memory module, what
+the per-rule test fixtures use; module scope only), :func:`analyze_file`,
+:func:`analyze_sources` (an in-memory *set* of modules, both passes),
+:func:`analyze_paths` (recursive over directories), and
+:func:`run_analysis` (what the CLI uses — adds the incremental cache and
+returns cache statistics).  All report :class:`~repro.analysis.finding.Finding`
+lists sorted by location; baseline filtering happens one layer up
+(:mod:`repro.analysis.cli`) so the API always reports the full picture.
 """
 
 from __future__ import annotations
@@ -13,19 +22,35 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Type, TypeVar, Union
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.analysis.cache import AnalysisCache, CachedModule, file_sha256, ruleset_signature
 from repro.analysis.finding import Finding, fingerprint
-from repro.analysis.registry import select_rules
+from repro.analysis.project import ModuleSummary, ProjectContext, summarize_module
+from repro.analysis.registry import RuleSpec, select_rules
 from repro.analysis.waivers import WaiverTable, parse_waivers
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "AnalysisReport",
+    "AnalysisStats",
     "ModuleContext",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "analyze_sources",
     "iter_python_files",
+    "run_analysis",
 ]
 
 #: Rule code used for files the parser rejects; never waivable or baselined
@@ -36,12 +61,9 @@ PARSE_RULE = "SYN001"
 #: itself so a reasonless waiver can never be excused by another waiver.
 WAIVER_RULE = "WVR001"
 
-_NodeT = TypeVar("_NodeT", bound=ast.AST)
-
-
 @dataclass
 class ModuleContext:
-    """Everything a rule needs to know about one module under analysis.
+    """Everything a module-scope rule needs to know about one module.
 
     Attributes
     ----------
@@ -72,10 +94,16 @@ class ModuleContext:
             return self.lines[line - 1].strip()
         return ""
 
-    def walk(self, *types: Type[_NodeT]) -> Iterator[_NodeT]:
-        """Walk the AST yielding nodes of the requested types."""
+    def walk(self, *types: type) -> Iterator[Any]:
+        """Walk the AST yielding nodes of the requested types.
+
+        Typed ``Iterator[Any]`` deliberately: callers pass several node
+        classes at once (``walk(ast.FunctionDef, ast.Lambda)``) and read
+        their shared-but-unrelated attributes, which no common AST base
+        class can express.
+        """
         for node in ast.walk(self.tree):
-            if isinstance(node, types):
+            if isinstance(node, tuple(types)):
                 yield node
 
     def finding(
@@ -106,6 +134,23 @@ class ModuleContext:
         return any(fragment in normalised for fragment in fragments)
 
 
+@dataclass
+class AnalysisStats:
+    """How much work a :func:`run_analysis` call actually did."""
+
+    files: int = 0
+    parsed: int = 0
+    cache_hits: int = 0
+
+
+@dataclass
+class AnalysisReport:
+    """Findings plus the work statistics of one analyzer run."""
+
+    findings: List[Finding]
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+
+
 def _code_lines(lines: Sequence[str]) -> List[int]:
     """1-based numbers of lines holding code (non-blank, not pure comment)."""
     return [
@@ -117,7 +162,7 @@ def _code_lines(lines: Sequence[str]) -> List[int]:
 
 def _assign_fingerprints(findings: List[Finding]) -> List[Finding]:
     """Fill in baseline fingerprints, indexing duplicate snippets per file."""
-    counts: dict = {}
+    counts: Dict[Tuple[str, str, str], int] = {}
     out: List[Finding] = []
     for item in sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule)):
         key = (item.rule, item.path, item.snippet.strip())
@@ -137,23 +182,19 @@ def _assign_fingerprints(findings: List[Finding]) -> List[Finding]:
     return out
 
 
-def analyze_source(
-    source: str,
-    path: str = "<string>",
-    select: Optional[Sequence[str]] = None,
-    ignore: Optional[Sequence[str]] = None,
-) -> List[Finding]:
-    """Analyze one module given as source text.
+def _split_scopes(specs: Sequence[RuleSpec]) -> Tuple[List[RuleSpec], List[RuleSpec]]:
+    module_specs = [spec for spec in specs if spec.scope == "module"]
+    project_specs = [spec for spec in specs if spec.scope == "project"]
+    return module_specs, project_specs
 
-    Runs the selected rules, drops findings covered by a valid inline
-    waiver, reports reasonless waivers under ``WVR001``, and returns the
-    remaining findings sorted by location with fingerprints assigned.
-    """
+
+def _parse_module(source: str, path: str) -> Union[ModuleContext, Finding]:
+    """Parse one module, or the SYN001 finding when it does not parse."""
     lines = source.splitlines()
     try:
         tree = ast.parse(source)
     except SyntaxError as error:
-        bad = Finding(
+        return Finding(
             rule=PARSE_RULE,
             path=path,
             line=error.lineno or 1,
@@ -161,15 +202,18 @@ def analyze_source(
             message=f"file does not parse: {error.msg}",
             snippet=(error.text or "").strip(),
         )
-        return _assign_fingerprints([bad])
+    return ModuleContext(path=path, relpath=path, source=source, tree=tree, lines=lines)
 
-    module = ModuleContext(
-        path=path, relpath=path, source=source, tree=tree, lines=lines
+
+def _pass1(
+    module: ModuleContext, module_specs: Sequence[RuleSpec]
+) -> Tuple[List[Finding], WaiverTable]:
+    """Run the module-scope rules and build the module's waiver table."""
+    table = WaiverTable(
+        parse_waivers(module.lines), _code_lines(module.lines), module.lines
     )
-    table = WaiverTable(parse_waivers(lines), _code_lines(lines))
-
     findings: List[Finding] = []
-    for spec in select_rules(select, ignore):
+    for spec in module_specs:
         for item in spec.check(module):
             if not table.waives(item.rule, item.line):
                 findings.append(item)
@@ -182,7 +226,77 @@ def analyze_source(
                 "(write `# repro: allow[RULE] reason=...`)",
             )
         )
+    return findings, table
+
+
+def _pass2(
+    summaries: Sequence[ModuleSummary],
+    project_specs: Sequence[RuleSpec],
+    waiver_maps: Mapping[str, Mapping[int, Sequence[str]]],
+) -> List[Finding]:
+    """Run the project-scope rules over the assembled whole-program view."""
+    if not project_specs:
+        return []
+    project = ProjectContext(summaries)
+    findings: List[Finding] = []
+    for spec in project_specs:
+        for item in spec.check(project):
+            covered = waiver_maps.get(item.path, {}).get(item.line, ())
+            family = item.rule.rstrip("0123456789")
+            if any(code in (item.rule, family) for code in covered):
+                continue
+            findings.append(item)
+    return findings
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze one module given as source text (module-scope rules only).
+
+    Runs the selected rules, drops findings covered by a valid inline
+    waiver, reports reasonless waivers under ``WVR001``, and returns the
+    remaining findings sorted by location with fingerprints assigned.
+    Project-scope rules need a whole program — use :func:`analyze_sources`
+    or :func:`analyze_paths` for those.
+    """
+    parsed = _parse_module(source, path)
+    if isinstance(parsed, Finding):
+        return _assign_fingerprints([parsed])
+    module_specs, _ = _split_scopes(select_rules(select, ignore))
+    findings, _table = _pass1(parsed, module_specs)
     return _assign_fingerprints(findings)
+
+
+def analyze_sources(
+    sources: Mapping[str, str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Analyze an in-memory set of modules with both passes.
+
+    ``sources`` maps display paths (used for module-name derivation, e.g.
+    ``"src/mypkg/worker.py"``) to module source text.  This is how the
+    project-rule tests seed synthetic packages without touching disk.
+    """
+    module_specs, project_specs = _split_scopes(select_rules(select, ignore))
+    findings: List[Finding] = []
+    summaries: List[ModuleSummary] = []
+    waiver_maps: Dict[str, Dict[int, List[str]]] = {}
+    for path in sorted(sources):
+        parsed = _parse_module(sources[path], path)
+        if isinstance(parsed, Finding):
+            findings.extend(_assign_fingerprints([parsed]))
+            continue
+        module_findings, table = _pass1(parsed, module_specs)
+        findings.extend(_assign_fingerprints(module_findings))
+        summaries.append(summarize_module(parsed.relpath, parsed.tree, parsed.lines))
+        waiver_maps[path] = table.covered_codes_by_line()
+    findings.extend(_assign_fingerprints(_pass2(summaries, project_specs, waiver_maps)))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))
 
 
 def analyze_file(
@@ -191,7 +305,8 @@ def analyze_file(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Analyze one file on disk, reporting paths relative to ``root``."""
+    """Analyze one file on disk (module scope), reporting paths
+    relative to ``root``."""
     file_path = Path(path)
     try:
         source = file_path.read_text(encoding="utf-8")
@@ -234,19 +349,119 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return unique
 
 
+def run_analysis(
+    paths: Sequence[Union[str, Path]],
+    root: Optional[Union[str, Path]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    cache_path: Optional[Union[str, Path]] = None,
+) -> AnalysisReport:
+    """Analyze every ``.py`` file under ``paths`` with both passes.
+
+    ``root`` (default: the current working directory) anchors the relative
+    paths used in reports and baseline fingerprints.  When ``cache_path``
+    is given, pass-1 results for files whose content hash matches the
+    cache are reused without re-parsing, and the cache file is rewritten
+    at the end of the run; the project pass always runs (it is summary-
+    based and cheap) so cross-module findings stay correct.
+    """
+    base = Path(root) if root is not None else Path.cwd()
+    specs = select_rules(select, ignore)
+    module_specs, project_specs = _split_scopes(specs)
+
+    cache: Optional[AnalysisCache] = None
+    if cache_path is not None:
+        cache = AnalysisCache.load(
+            cache_path, ruleset_signature([spec.cache_key for spec in specs])
+        )
+
+    stats = AnalysisStats()
+    findings: List[Finding] = []
+    summaries: List[ModuleSummary] = []
+    waiver_maps: Dict[str, Dict[int, List[str]]] = {}
+    live_paths: List[str] = []
+
+    for file_path in iter_python_files(paths):
+        stats.files += 1
+        display = _display_path(file_path, base)
+        live_paths.append(display)
+        try:
+            data = file_path.read_bytes()
+        except OSError as error:
+            raise ConfigurationError(f"cannot read {file_path}: {error}") from error
+        sha = file_sha256(data)
+
+        if cache is not None:
+            cached = cache.lookup(display, sha)
+            if cached is not None:
+                stats.cache_hits += 1
+                findings.extend(cached.findings)
+                summaries.append(cached.summary)
+                waiver_maps[display] = {
+                    line: list(codes) for line, codes in cached.waiver_lines.items()
+                }
+                continue
+
+        stats.parsed += 1
+        source = data.decode("utf-8")
+        parsed = _parse_module(source, display)
+        if isinstance(parsed, Finding):
+            file_findings = _assign_fingerprints([parsed])
+            findings.extend(file_findings)
+            # A non-parsing file still occupies a cache slot so a warm run
+            # does not re-raise the same SyntaxError parse.
+            if cache is not None:
+                cache.store(
+                    display,
+                    CachedModule(
+                        sha256=sha,
+                        findings=file_findings,
+                        summary=ModuleSummary(module="", path=display),
+                        waiver_lines={},
+                    ),
+                )
+            continue
+        module_findings, table = _pass1(parsed, module_specs)
+        file_findings = _assign_fingerprints(module_findings)
+        findings.extend(file_findings)
+        summary = summarize_module(parsed.relpath, parsed.tree, parsed.lines)
+        summaries.append(summary)
+        waiver_map = table.covered_codes_by_line()
+        waiver_maps[display] = waiver_map
+        if cache is not None:
+            cache.store(
+                display,
+                CachedModule(
+                    sha256=sha,
+                    findings=file_findings,
+                    summary=summary,
+                    waiver_lines=waiver_map,
+                ),
+            )
+
+    real_summaries = [summary for summary in summaries if summary.module]
+    findings.extend(
+        _assign_fingerprints(_pass2(real_summaries, project_specs, waiver_maps))
+    )
+
+    if cache is not None and cache_path is not None:
+        cache.prune(live_paths)
+        try:
+            cache.save(cache_path)
+        except OSError:
+            pass  # the cache is an accelerator; failing to persist it is not an error
+
+    return AnalysisReport(
+        findings=sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule)),
+        stats=stats,
+    )
+
+
 def analyze_paths(
     paths: Sequence[Union[str, Path]],
     root: Optional[Union[str, Path]] = None,
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Analyze every ``.py`` file under ``paths``.
-
-    ``root`` (default: the current working directory) anchors the relative
-    paths used in reports and baseline fingerprints.
-    """
-    base = Path(root) if root is not None else Path.cwd()
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(analyze_file(file_path, root=base, select=select, ignore=ignore))
-    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))
+    """Analyze every ``.py`` file under ``paths`` (both passes, no cache)."""
+    return run_analysis(paths, root=root, select=select, ignore=ignore).findings

@@ -44,7 +44,12 @@ _BUILTIN_MODULES = (
     "repro.analysis.rules.registry_contracts",
     "repro.analysis.rules.api_hygiene",
     "repro.analysis.rules.observability",
+    "repro.analysis.rules.parallel_safety",
+    "repro.analysis.rules.imports",
 )
+
+#: Valid values for a rule's ``scope``.
+RULE_SCOPES = ("module", "project")
 
 _builtins_loaded = False
 
@@ -60,34 +65,57 @@ class RuleSpec:
     code:
         Rule code, e.g. ``DET001``; the leading letters are the family.
     summary:
-        One-line description shown by ``--list-rules``.
+        One-line description shown by ``--list-rules`` and the catalog.
     check:
-        Function mapping a module context to an iterable of findings.
+        For ``scope="module"`` rules, a function mapping a
+        :class:`~repro.analysis.engine.ModuleContext` to findings; for
+        ``scope="project"`` rules, one mapping a
+        :class:`~repro.analysis.project.ProjectContext` to findings.
+    scope:
+        ``"module"`` (pass 1, one file at a time — the default) or
+        ``"project"`` (pass 2, receives the whole-program context).
+    doc:
+        Longer description rendered by ``python -m repro.analysis rules``;
+        defaults to the check function's docstring.
     """
 
     code: str
     summary: str
     check: CheckFunction
+    scope: str = "module"
+    doc: str = ""
 
     @property
     def family(self) -> str:
         """The rule family prefix (letters before the rule number)."""
         return self.code.rstrip("0123456789")
 
+    @property
+    def cache_key(self) -> str:
+        """Identity the incremental cache signs the rule set with."""
+        return f"{self.code}:{self.scope}"
+
 
 _RULES: Dict[str, RuleSpec] = {}
 
 
-def register_rule(code: str, *, summary: str = "") -> Callable[[CheckFunction], CheckFunction]:
+def register_rule(
+    code: str, *, summary: str = "", scope: str = "module"
+) -> Callable[[CheckFunction], CheckFunction]:
     """Function decorator registering an analysis rule under ``code``."""
     key = code.upper()
     if not key or not key[0].isalpha():
         raise ConfigurationError(f"rule code {code!r} must start with a family letter")
+    if scope not in RULE_SCOPES:
+        raise ConfigurationError(
+            f"rule scope {scope!r} must be one of {', '.join(RULE_SCOPES)}"
+        )
 
     def decorator(check: CheckFunction) -> CheckFunction:
         if key in _RULES:
             raise ConfigurationError(f"rule {key!r} is already registered")
-        _RULES[key] = RuleSpec(code=key, summary=summary, check=check)
+        doc = (check.__doc__ or "").strip()
+        _RULES[key] = RuleSpec(code=key, summary=summary, check=check, scope=scope, doc=doc)
         return check
 
     return decorator

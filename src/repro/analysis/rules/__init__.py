@@ -8,8 +8,17 @@
   task-kind registry contracts.
 * :mod:`repro.analysis.rules.api_hygiene` — ``API``: blanket exception
   handlers, mutable defaults, missing public type hints.
+* :mod:`repro.analysis.rules.observability` — ``OBS``: raw stopwatch
+  pairs that belong in ``repro.obs`` spans.
+* :mod:`repro.analysis.rules.parallel_safety` — ``PAR`` (project scope):
+  worker-side global mutation, unpicklable executor callables, shared
+  module-level RNGs, unsanctioned writes to guarded package state.
+* :mod:`repro.analysis.rules.imports` — ``IMP`` (project scope):
+  module-level import cycles.
 
 Each module registers its rules on import via
 :func:`repro.analysis.registry.register_rule`; the registry imports them
-lazily on first resolution.
+lazily on first resolution.  ``scope="module"`` checks receive a
+:class:`~repro.analysis.engine.ModuleContext`, ``scope="project"`` checks
+a :class:`~repro.analysis.project.ProjectContext`.
 """

@@ -41,6 +41,9 @@ def _broad_handler_name(handler: ast.ExceptHandler) -> Optional[str]:
     summary="bare or blanket except Exception handler without a waiver",
 )
 def check_blanket_except(module: ModuleContext) -> Iterator[Finding]:
+    """Flag bare ``except:`` and blanket ``except Exception:`` handlers;
+    they swallow the typed error taxonomy (``repro.errors``) that
+    callers and the campaign engine dispatch on."""
     for handler in module.walk(ast.ExceptHandler):
         broad = _broad_handler_name(handler)
         if broad is None:
@@ -65,6 +68,8 @@ def _mutable_default(expr: ast.expr) -> bool:
 
 @register_rule("API002", summary="mutable default argument")
 def check_mutable_defaults(module: ModuleContext) -> Iterator[Finding]:
+    """Flag mutable default argument values (lists, dicts, sets, ...);
+    they alias one instance across calls and across forked workers."""
     for node in module.walk(ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda):
         defaults = list(node.args.defaults) + [
             default for default in node.args.kw_defaults if default is not None
@@ -109,6 +114,9 @@ def _public_functions(
     summary="public function missing parameter or return annotations",
 )
 def check_public_annotations(module: ModuleContext) -> Iterator[Finding]:
+    """Require parameter and return annotations on public module-level
+    functions and public methods; the typed surface is what the
+    strict-mypy packages and downstream callers build against."""
     for function, owner in _public_functions(module):
         if function.name.startswith("_"):
             continue

@@ -63,6 +63,9 @@ def _is_whitelisted_rng_module(module: ModuleContext) -> bool:
     "outside utils/rng.py",
 )
 def check_unseeded_numpy(module: ModuleContext) -> Iterator[Finding]:
+    """Flag ``np.random.*`` legacy-global calls and ``default_rng()``
+    without a seed outside the whitelisted ``repro/utils/rng.py``;
+    unseeded generators make results non-reproducible."""
     if _is_whitelisted_rng_module(module):
         return
     for node in module.walk(ast.Call):
@@ -97,6 +100,9 @@ def check_unseeded_numpy(module: ModuleContext) -> Iterator[Finding]:
     "outside utils/rng.py",
 )
 def check_stdlib_random(module: ModuleContext) -> Iterator[Finding]:
+    """Flag imports of the stdlib ``random`` module outside the
+    whitelisted RNG module; its global state is process-wide and
+    invisible to the seed-derivation scheme."""
     if _is_whitelisted_rng_module(module):
         return
     for node in module.walk(ast.Import):
@@ -124,6 +130,9 @@ def check_stdlib_random(module: ModuleContext) -> Iterator[Finding]:
     "be a pure function of the seed)",
 )
 def check_time_derived(module: ModuleContext) -> Iterator[Finding]:
+    """Flag wall-clock reads (``time.time``, ``datetime.now``, ...) whose
+    values could leak into results; sanctioned timing goes through
+    ``repro.obs`` spans and counters."""
     for node in module.walk(ast.Call):
         name = call_name(node)
         if name in _TIME_CALLS:
@@ -142,6 +151,9 @@ def check_time_derived(module: ModuleContext) -> Iterator[Finding]:
     "(wrap in sorted())",
 )
 def check_set_iteration(module: ModuleContext) -> Iterator[Finding]:
+    """Flag direct iteration over set literals/comprehensions and
+    ``set(...)`` calls; iteration order varies with hash seeding, so
+    anything order-sensitive must go through ``sorted()``."""
     message = (
         "iteration order over a set is unspecified and varies with hash "
         "seeding across processes; wrap in sorted() before it can reach "
@@ -169,6 +181,9 @@ def check_set_iteration(module: ModuleContext) -> Iterator[Finding]:
     summary="make_rng() without an explicit seed in experiment/campaign code",
 )
 def check_unseeded_make_rng(module: ModuleContext) -> Iterator[Finding]:
+    """In experiment and campaign code, require every ``make_rng()`` call
+    to pass an explicit seed; entry points own the seed so that
+    results are a pure function of it."""
     if not module.in_path("repro/experiments/", "repro/campaign/"):
         return
     for node in module.walk(ast.Call):

@@ -1,0 +1,55 @@
+"""IMP — import-graph rules (project scope).
+
+Built on the module-level import graph the project pass assembles
+(:class:`repro.analysis.project.ProjectContext`).  Lazy in-function
+imports — the registry modules' sanctioned cycle-breaking idiom — and
+``if TYPE_CHECKING:`` imports are excluded from the graph, so a cycle
+reported here is one the interpreter actually executes at import time:
+whether it works depends on statement order inside ``__init__`` modules,
+and the next re-ordering breaks it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.finding import Finding
+from repro.analysis.project import ProjectContext
+from repro.analysis.registry import register_rule
+
+
+@register_rule(
+    "IMP001",
+    summary="module-level import cycle (order-dependent; break it with a "
+    "lazy in-function import or an interface module)",
+    scope="project",
+)
+def check_import_cycles(project: ProjectContext) -> Iterator[Finding]:
+    """Report each strongly-connected component of the module-level
+    import graph (TYPE_CHECKING and in-function imports excluded) as one
+    finding, anchored at the first module's import of the next member."""
+    for cycle in project.import_cycles():
+        first = project.modules[cycle[0]]
+        successor = cycle[1] if len(cycle) > 1 else cycle[0]
+        anchor = None
+        for record in first.imports:
+            resolved = project.resolve_module(record.target)
+            if resolved == successor:
+                anchor = record
+                break
+        if anchor is None and first.imports:
+            anchor = first.imports[0]
+        lineno = anchor.lineno if anchor is not None else 1
+        snippet = anchor.snippet if anchor is not None else ""
+        chain = " -> ".join(cycle + [cycle[0]])
+        yield Finding(
+            rule="IMP001",
+            path=first.path,
+            line=lineno,
+            column=0,
+            message=f"module-level import cycle: {chain}; import order now "
+            "decides whether this tree loads — break the cycle with a lazy "
+            "in-function import (the registry idiom) or by importing from "
+            "the defining submodule instead of the package __init__",
+            snippet=snippet,
+        )

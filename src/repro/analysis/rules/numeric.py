@@ -62,6 +62,10 @@ def _has_dtype_kw(node: ast.Call) -> bool:
     "(use contiguous np.take; 1-ulp hazard)",
 )
 def check_gather_reduction(module: ModuleContext) -> Iterator[Finding]:
+    """Flag pairwise reductions (``sum``/``dot``/...) applied directly to
+    an advanced-indexing gather; re-association across the gather
+    cost PR 5 a 1-ulp oracle mismatch — reduce over a contiguous
+    intermediate instead."""
     for node in module.walk(ast.Call):
         operand = _reduced_operand(node)
         if (
@@ -85,6 +89,9 @@ def check_gather_reduction(module: ModuleContext) -> Iterator[Finding]:
     "(platform-dependent accumulator width)",
 )
 def check_bool_sum_dtype(module: ModuleContext) -> Iterator[Finding]:
+    """Flag ``sum()`` reductions over boolean masks without an explicit
+    ``dtype=``; platform-dependent accumulator widths change
+    overflow behaviour silently."""
     for node in module.walk(ast.Call):
         operand = _reduced_operand(node)
         if operand is None or _has_dtype_kw(node):
@@ -107,6 +114,9 @@ def check_bool_sum_dtype(module: ModuleContext) -> Iterator[Finding]:
     "exact integers or explicit tolerances)",
 )
 def check_float_equality(module: ModuleContext) -> Iterator[Finding]:
+    """Flag ``==``/``!=`` comparisons against float literals; rounding
+    makes exact float equality order- and platform-dependent — use
+    ``math.isclose``/``np.isclose`` or compare integers."""
     for node in module.walk(ast.Compare):
         operands = [node.left, *node.comparators]
         has_float_literal = any(

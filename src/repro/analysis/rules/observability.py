@@ -43,6 +43,9 @@ _STOPWATCH_CALLS = {
     "obs.monotonic / obs.span / obs.timed)",
 )
 def check_direct_stopwatch(module: ModuleContext) -> Iterator[Finding]:
+    """Flag raw ``time.perf_counter()``/``monotonic()`` stopwatch pairs in
+    library code; timing belongs in ``repro.obs`` spans so reports
+    aggregate it (benchmark harnesses waive this)."""
     for node in module.walk(ast.Call):
         name = call_name(node)
         if name in _STOPWATCH_CALLS:

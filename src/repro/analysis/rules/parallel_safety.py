@@ -1,0 +1,271 @@
+"""PAR — parallel-safety rules (project scope).
+
+The campaign engine fans tasks out over worker processes, and the
+ROADMAP's two big open items — parallel-scaling fixes and the sharded
+multi-bank memory service — multiply the state crossing that boundary.
+These rules see the whole program (call graph, import bindings,
+global-mutation summaries from :mod:`repro.analysis.project`) and catch
+the hazard classes the per-module pass is structurally blind to:
+
+* ``PAR001`` — a registered task kind transitively mutates module-level
+  state.  Under ``fork`` the mutation lands in a copy-on-write clone and
+  silently diverges from the coordinator; under ``spawn`` it lands in a
+  freshly-imported module and diverges *differently*.  The sanctioned
+  exception is the ``_OBS_*`` metric/span registry handles, whose
+  per-task snapshots are merged explicitly by the executor.
+* ``PAR002`` — a closure, lambda, or bound method handed to an executor
+  fan-out call.  ``spawn`` pickles the callable: lambdas and nested
+  functions fail outright, bound methods drag their whole instance —
+  including any unpicklable or mutable-global state it holds — across
+  the process boundary.
+* ``PAR003`` — an RNG object created at module level and reached from a
+  worker-side function.  Cross-process generator sharing breaks the
+  "bit-identical at any ``--jobs``" determinism contract: each fork
+  advances its own copy of the stream.
+* ``PAR004`` — module-level mutable state in ``repro.memctrl`` /
+  ``repro.campaign`` written outside a sanctioned setter.  This is the
+  invariant the sharded-bank refactor must not erode: those packages'
+  globals are either import-time constants, ``_OBS_*`` handles, or
+  mutated only through named setters (``register_*`` / ``reset_*`` /
+  ``_set_*`` / ``_ensure_builtins``) that the executor protocol accounts
+  for.
+
+Findings anchor at the *write/submit/binding site*, so one waiver next
+to an idempotent lazy-registry write excuses every task kind that
+reaches it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.finding import Finding
+from repro.analysis.project import (
+    FunctionSummary,
+    ModuleSummary,
+    ProjectContext,
+    WriteSite,
+)
+from repro.analysis.registry import register_rule
+
+#: Module-global name prefixes PAR001 treats as sanctioned worker-side
+#: mutation targets (the executor merges their per-task snapshots).
+_SANCTIONED_GLOBAL_PREFIXES = ("_OBS_",)
+
+#: Packages PAR004 holds to the sanctioned-setter discipline.
+_GUARDED_PACKAGES = ("repro.memctrl", "repro.campaign")
+
+#: Outermost function-name patterns PAR004 accepts as sanctioned setters.
+_SANCTIONED_SETTER_PREFIXES = (
+    "register_",
+    "unregister_",
+    "reset_",
+    "_reset_",
+    "set_",
+    "_set_",
+    "configure_",
+    "_configure_",
+)
+_SANCTIONED_SETTER_NAMES = ("__init__", "_ensure_builtins")
+
+
+def _sanctioned_global(name: str) -> bool:
+    return name.startswith(_SANCTIONED_GLOBAL_PREFIXES)
+
+
+def _sanctioned_setter(outer_name: str) -> bool:
+    return outer_name in _SANCTIONED_SETTER_NAMES or outer_name.startswith(
+        _SANCTIONED_SETTER_PREFIXES
+    )
+
+
+def _site_finding(
+    rule: str, summary: ModuleSummary, lineno: int, snippet: str, message: str
+) -> Finding:
+    return Finding(
+        rule=rule,
+        path=summary.path,
+        line=lineno,
+        column=0,
+        message=message,
+        snippet=snippet,
+    )
+
+
+def _chain_text(chain: Tuple[str, ...]) -> str:
+    names = [qualname.split(":", 1)[1] for qualname in chain]
+    return " -> ".join(names)
+
+
+@register_rule(
+    "PAR001",
+    summary="@register_task function transitively mutates module globals "
+    "(diverges under spawn vs fork); _OBS_* handles are sanctioned",
+    scope="project",
+)
+def check_task_global_mutation(project: ProjectContext) -> Iterator[Finding]:
+    """Walk the call graph from every registered task kind and flag each
+    reachable write to a module-level name, excluding the ``_OBS_*``
+    telemetry handles whose snapshots the executor merges explicitly.
+    Anchored at the write site so one waiver covers all reaching tasks."""
+    reaching: Dict[Tuple[str, str, int], Tuple[ModuleSummary, WriteSite, Tuple[str, ...], List[str]]] = {}
+    for task in project.task_functions():
+        for module_name, site, chain in project.transitive_writes(task):
+            if _sanctioned_global(site.name):
+                continue
+            summary = project.modules.get(module_name)
+            if summary is None:
+                continue
+            key = (module_name, site.name, site.lineno)
+            if key not in reaching:
+                reaching[key] = (summary, site, chain, [])
+            kinds = reaching[key][3]
+            if task.task_kind is not None and task.task_kind not in kinds:
+                kinds.append(task.task_kind)
+    for key in sorted(reaching):
+        summary, site, chain, kinds = reaching[key]
+        shown = ", ".join(sorted(kinds)[:3])
+        extra = len(kinds) - 3
+        if extra > 0:
+            shown += f" (+{extra} more)"
+        via = f" via {_chain_text(chain)}" if len(chain) > 1 else ""
+        yield _site_finding(
+            "PAR001",
+            summary,
+            site.lineno,
+            site.snippet,
+            f"module global '{site.name}' is mutated ({site.kind}) on a path "
+            f"reachable from task kind(s) {shown}{via}; worker-side mutation "
+            "silently diverges under spawn vs fork — return state through "
+            "task rows, use an _OBS_* handle, or waive if the write is "
+            "idempotent (e.g. lazy registry import)",
+        )
+
+
+@register_rule(
+    "PAR002",
+    summary="lambda/closure/bound method submitted to an executor "
+    "(unpicklable under spawn, drags captured state)",
+    scope="project",
+)
+def check_executor_capture(project: ProjectContext) -> Iterator[Finding]:
+    """Flag executor fan-out calls (``submit``, pool ``map``/``apply_async``)
+    whose callable is a lambda, a function nested in the submitting scope,
+    or a bound method: spawn must pickle the callable, and each of those
+    either fails to pickle or captures mutable state by reference."""
+    explanations = {
+        "lambda": "a lambda cannot be pickled by the spawn start method",
+        "nested-function": "a nested function (closure) cannot be pickled by "
+        "the spawn start method and captures enclosing state by reference",
+        "bound-method": "a bound method pickles its whole instance, dragging "
+        "any unpicklable or mutable-global state it holds into the worker",
+    }
+    for function in project.functions():
+        summary = project.modules[function.module]
+        for site in function.submits:
+            explanation = explanations.get(site.callable_kind)
+            if explanation is None:
+                continue
+            label = site.callable_name or site.callable_kind
+            yield _site_finding(
+                "PAR002",
+                summary,
+                site.lineno,
+                site.snippet,
+                f"{site.receiver}.{site.method}() is handed '{label}' — "
+                f"{explanation}; submit a module-level function and pass "
+                "state through its arguments",
+            )
+
+
+@register_rule(
+    "PAR003",
+    summary="module-level RNG reached from worker-side code "
+    "(cross-process generator sharing breaks determinism)",
+    scope="project",
+)
+def check_shared_rng(project: ProjectContext) -> Iterator[Finding]:
+    """Find module-level names bound to RNG constructors (``make_rng``,
+    ``default_rng``, ...) that a task-kind function — or a function
+    submitted to an executor — transitively reads.  Each worker advances
+    its own copy-on-write clone of such a generator, so results stop
+    being a pure function of the seed; anchored at the binding."""
+    entry_points: List[FunctionSummary] = list(project.task_functions())
+    for function in project.functions():
+        for site in function.submits:
+            if site.callable_kind != "name":
+                continue
+            target = project.modules[function.module].functions.get(site.callable_name)
+            if target is not None and target not in entry_points:
+                entry_points.append(target)
+    reported: set = set()
+    for entry in entry_points:
+        for module_name, name in sorted(project.transitive_reads(entry)):
+            summary = project.modules.get(module_name)
+            if summary is None:
+                continue
+            binding = summary.globals_.get(name)
+            if binding is None or not binding.is_rng:
+                continue
+            key = (module_name, name)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield _site_finding(
+                "PAR003",
+                summary,
+                binding.lineno,
+                binding.snippet,
+                f"module-level RNG '{name}' is reached from worker-side "
+                f"code ({entry.name}); every worker process advances its own "
+                "copy of the stream, breaking the bit-identical-at-any-jobs "
+                "contract — derive a per-task generator from an explicit "
+                "seed (repro.utils.rng.derive_seed) instead",
+            )
+
+
+@register_rule(
+    "PAR004",
+    summary="module-level mutable state in repro.memctrl/repro.campaign "
+    "written outside a sanctioned setter",
+    scope="project",
+)
+def check_guarded_package_state(project: ProjectContext) -> Iterator[Finding]:
+    """In the packages the sharded-bank refactor will rework
+    (``repro.memctrl``, ``repro.campaign``), every write to module-level
+    state must come from a sanctioned setter (``register_*`` /
+    ``unregister_*`` / ``reset_*`` / ``set_*`` / ``_set_*`` /
+    ``configure_*`` / ``_ensure_builtins`` / ``__init__``) or target an
+    ``_OBS_*`` handle; anything else is a finding at the write site."""
+    for module_name in sorted(project.modules):
+        if not module_name.startswith(_GUARDED_PACKAGES):
+            continue
+        summary = project.modules[module_name]
+        for function_name in sorted(summary.functions):
+            function = summary.functions[function_name]
+            if _sanctioned_setter(function.outer_name):
+                continue
+            for site in function.global_writes:
+                if _sanctioned_global(site.name):
+                    continue
+                if site.kind in ("subscript", "attribute", "mutate-call", "delete"):
+                    if site.name not in summary.globals_:
+                        continue
+                elif site.name not in summary.globals_ and site.kind not in (
+                    "rebind",
+                    "augment",
+                ):
+                    continue
+                yield _site_finding(
+                    "PAR004",
+                    summary,
+                    site.lineno,
+                    site.snippet,
+                    f"{function.name} writes module-level state "
+                    f"'{site.name}' ({site.kind}) in guarded package "
+                    f"{module_name.split('.')[0]}.{module_name.split('.')[1]}; "
+                    "the sharded-bank/warm-worker rework relies on these "
+                    "modules holding no ad-hoc global mutation — move the "
+                    "write into a sanctioned setter (register_*/reset_*/"
+                    "_set_*) or an _OBS_* handle",
+                )

@@ -68,6 +68,9 @@ def _positional_args(function: ast.FunctionDef) -> List[str]:
     "encode_line/encode_lines/decode_line contract",
 )
 def check_encoder_contract(module: ModuleContext) -> Iterator[Finding]:
+    """Check every ``@register_encoder`` class against the
+    ``coding/base.py`` contract: required methods present, batched
+    overrides paired with their scalar oracles, signatures matching."""
     for node in module.walk(ast.ClassDef):
         if _registered_with(node, "register_encoder") is None:
             continue
@@ -111,6 +114,9 @@ def check_encoder_contract(module: ModuleContext) -> Iterator[Finding]:
     "params argument (content-addressing contract)",
 )
 def check_task_contract(module: ModuleContext) -> Iterator[Finding]:
+    """Check every ``@register_task`` function: a literal task-kind name
+    (content-addressable store keys must not be computed) and the
+    task-callable signature the campaign executor expects."""
     for node in module.walk(ast.FunctionDef, ast.AsyncFunctionDef):
         dec = _registered_with(node, "register_task")
         if dec is None:

@@ -1,0 +1,113 @@
+"""SARIF 2.1.0 rendering of analyzer findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests, so CI can upload the analyzer's findings and have
+them annotate pull-request diffs inline.  One :func:`sarif_report` call
+renders a full run: the driver's rule catalog (every registered rule,
+plus the two engine-emitted pseudo-rules ``SYN001``/``WVR001``), the
+findings as ``results``, and the baseline split as SARIF
+``baselineState`` (``new`` vs ``unchanged``) so dashboards can filter on
+exactly the set the exit code gates on.
+
+The report is deterministic: rules sort by code, results keep the
+engine's location order, and no timestamps are embedded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.finding import Finding
+from repro.analysis.registry import rule_specs
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "sarif_report"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Rules the engine emits itself (not registered via ``@register_rule``).
+_ENGINE_RULES = {
+    "SYN001": "file does not parse; nothing else can be checked",
+    "WVR001": "waiver comment is missing its mandatory reason string",
+}
+
+#: SARIF severity per rule family; anything unlisted reports as warning.
+_LEVELS = {"SYN": "error", "WVR": "error"}
+
+
+def _rule_entries() -> List[Dict[str, Any]]:
+    entries: Dict[str, Dict[str, Any]] = {}
+    for spec in rule_specs():
+        entries[spec.code] = {
+            "id": spec.code,
+            "shortDescription": {"text": spec.summary},
+            "fullDescription": {"text": spec.doc or spec.summary},
+            "properties": {"family": spec.family, "scope": spec.scope},
+        }
+    for code, summary in _ENGINE_RULES.items():
+        entries[code] = {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "fullDescription": {"text": summary},
+            "properties": {"family": code.rstrip("0123456789"), "scope": "module"},
+        }
+    return [entries[code] for code in sorted(entries)]
+
+
+def _result(finding: Finding, rule_index: Dict[str, int], state: str) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.family, "warning"),
+        "message": {"text": finding.message},
+        "baselineState": state,
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if finding.fingerprint:
+        entry["partialFingerprints"] = {"reproAnalysis/v1": finding.fingerprint}
+    index = rule_index.get(finding.rule)
+    if index is not None:
+        entry["ruleIndex"] = index
+    return entry
+
+
+def sarif_report(
+    new: Sequence[Finding], baselined: Sequence[Finding] = ()
+) -> Dict[str, Any]:
+    """Render findings as one SARIF 2.1.0 log dictionary.
+
+    ``new`` findings carry ``baselineState: "new"`` (these are what the
+    CLI's exit code gates on); ``baselined`` ones carry ``"unchanged"``.
+    """
+    rules = _rule_entries()
+    rule_index = {entry["id"]: position for position, entry in enumerate(rules)}
+    results = [_result(finding, rule_index, "new") for finding in new]
+    results.extend(_result(finding, rule_index, "unchanged") for finding in baselined)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

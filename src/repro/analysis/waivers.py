@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["Waiver", "WaiverTable", "parse_waivers"]
 
@@ -49,28 +49,75 @@ class Waiver:
 
 
 class WaiverTable:
-    """All waivers of one module, indexed by the line(s) they cover."""
+    """All waivers of one module, indexed by the line(s) they cover.
 
-    def __init__(self, waivers: Sequence[Waiver], code_lines: Sequence[int]):
+    Coverage forwards in two ways beyond the waiver's own line:
+
+    * a waiver on a comment-only line covers the next line holding code;
+    * when the covered code line is a decorator (``@...``), coverage
+      extends through any further decorator lines to the decorated
+      ``def``/``class`` line — so a waiver above ``@register_task(...)``
+      still excuses a finding anchored at the function definition.
+    """
+
+    def __init__(
+        self,
+        waivers: Sequence[Waiver],
+        code_lines: Sequence[int],
+        source_lines: Optional[Sequence[str]] = None,
+    ):
         self.waivers: List[Waiver] = list(waivers)
-        #: line -> waivers covering findings on that line.  A waiver on a
-        #: comment-only line forwards to the next line holding code.
+        #: line -> waivers covering findings on that line.
         self._by_line: Dict[int, List[Waiver]] = {}
-        code_set = set(code_lines)
+        code_sorted = sorted(code_lines)
+        code_set = set(code_sorted)
+
+        def stripped(line: int) -> str:
+            if source_lines is not None and 1 <= line <= len(source_lines):
+                return source_lines[line - 1].strip()
+            return ""
+
+        def forward(line: int) -> List[int]:
+            """Lines covered downstream of ``line`` (decorator chains)."""
+            covered: List[int] = []
+            current = line
+            while stripped(current).startswith("@"):
+                following = [number for number in code_sorted if number > current]
+                if not following:
+                    break
+                current = following[0]
+                covered.append(current)
+            return covered
+
         for waiver in self.waivers:
             if not waiver.valid:
                 continue
             lines = [waiver.line]
+            anchor = waiver.line
             if waiver.line not in code_set:
-                following = [line for line in code_set if line > waiver.line]
+                following = [number for number in code_sorted if number > waiver.line]
                 if following:
-                    lines.append(min(following))
+                    anchor = following[0]
+                    lines.append(anchor)
+            lines.extend(forward(anchor))
             for line in lines:
                 self._by_line.setdefault(line, []).append(waiver)
 
     def waives(self, rule: str, line: int) -> bool:
         """True when a valid waiver covers ``rule`` at ``line``."""
         return any(waiver.covers(rule) for waiver in self._by_line.get(line, ()))
+
+    def covered_codes_by_line(self) -> Dict[int, List[str]]:
+        """line → waiver codes (rules or families) valid on that line.
+
+        This is the serialisable form the incremental cache stores so
+        project-scope findings anchored in a cached (un-parsed) file can
+        still be waived.
+        """
+        return {
+            line: sorted({code for waiver in waivers for code in waiver.codes})
+            for line, waivers in self._by_line.items()
+        }
 
     def invalid(self) -> List[Waiver]:
         """Waivers missing their mandatory reason string."""

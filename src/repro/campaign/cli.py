@@ -34,7 +34,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro import obs
+import repro.obs as obs
 from repro.campaign.engine import CampaignProgress, last_campaign_telemetry, run_campaign
 from repro.campaign.spec import SweepSpec
 from repro.campaign.tasks import available_task_kinds

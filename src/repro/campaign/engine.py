@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro import obs
+import repro.obs as obs
 from repro.campaign.executor import TaskTelemetry, make_executor
 from repro.campaign.spec import SweepSpec, Task
 from repro.campaign.store import ResultStore
@@ -172,6 +172,12 @@ def last_campaign_telemetry() -> Optional[CampaignTelemetry]:
     return _last_telemetry
 
 
+def _set_last_telemetry(telemetry: CampaignTelemetry) -> None:
+    """Record the just-finished run's telemetry (coordinator process only)."""
+    global _last_telemetry
+    _last_telemetry = telemetry
+
+
 def run_campaign(
     work: Union[SweepSpec, Iterable[Task]],
     store: Union[ResultStore, str, Path, None] = None,
@@ -202,7 +208,6 @@ def run_campaign(
         Optional callback invoked once per task completion, cache hits
         included, with a :class:`CampaignProgress` event.
     """
-    global _last_telemetry
     if isinstance(work, SweepSpec):
         tasks = work.expand()
     else:
@@ -297,7 +302,7 @@ def run_campaign(
         run_span.set(executed=len(pending), cached=cached)
 
     telemetry.wall_s = obs.monotonic() - run_begin
-    _last_telemetry = telemetry
+    _set_last_telemetry(telemetry)
     return CampaignResult(
         tasks=tuple(tasks),
         rows_by_hash=rows_by_hash,

@@ -22,7 +22,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
-from repro import obs
+import repro.obs as obs
 from repro.campaign.spec import Task
 
 __all__ = ["ResultStore"]

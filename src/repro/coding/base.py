@@ -54,7 +54,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro import obs
+import repro.obs as obs
 from repro.errors import ConfigurationError, EncodingError
 from repro.pcm.array import cells_to_word, word_to_cells
 from repro.pcm.cell import CellTechnology

@@ -42,7 +42,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro import obs
+import repro.obs as obs
 from repro.coding.base import LineContext, WordContext, stack_line_contexts
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology

@@ -30,7 +30,7 @@ from repro.coding.base import (
 )
 from repro.coding.cost import BitChangeCost, CostFunction
 from repro.coding.registry import register_encoder
-from repro import obs
+import repro.obs as obs
 from repro.errors import ConfigurationError
 from repro.pcm.cell import CellTechnology
 from repro.utils.bitops import random_word

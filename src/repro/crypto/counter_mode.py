@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro import obs
+import repro.obs as obs
 from repro.crypto.aes import AES128
 from repro.errors import ConfigurationError
 from repro.utils.validation import require

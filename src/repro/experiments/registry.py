@@ -4,22 +4,20 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+import repro.experiments.fig01_coding_analysis as fig01_coding_analysis
+import repro.experiments.fig02_fault_masking as fig02_fault_masking
+import repro.experiments.fig03_worked_example as fig03_worked_example
+import repro.experiments.fig06_hardware as fig06_hardware
+import repro.experiments.fig07_write_energy as fig07_write_energy
+import repro.experiments.fig08_saw_cosets as fig08_saw_cosets
+import repro.experiments.fig09_energy_benchmarks as fig09_energy_benchmarks
+import repro.experiments.fig10_saw_benchmarks as fig10_saw_benchmarks
+import repro.experiments.fig11_lifetime_benchmarks as fig11_lifetime_benchmarks
+import repro.experiments.fig12_lifetime_cosets as fig12_lifetime_cosets
+import repro.experiments.fig13_ipc as fig13_ipc
+import repro.experiments.table1_energy_model as table1_energy_model
+import repro.experiments.table2_system as table2_system
 from repro.errors import ConfigurationError
-from repro.experiments import (
-    fig01_coding_analysis,
-    fig02_fault_masking,
-    fig03_worked_example,
-    fig06_hardware,
-    fig07_write_energy,
-    fig08_saw_cosets,
-    fig09_energy_benchmarks,
-    fig10_saw_benchmarks,
-    fig11_lifetime_benchmarks,
-    fig12_lifetime_cosets,
-    fig13_ipc,
-    table1_energy_model,
-    table2_system,
-)
 from repro.sim.results import ResultTable
 
 __all__ = ["available_experiments", "get_experiment", "run_experiment"]

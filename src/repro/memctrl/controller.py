@@ -38,7 +38,7 @@ if TYPE_CHECKING:  # runtime import would be circular via repro.traces
 
 import numpy as np
 
-from repro import obs
+import repro.obs as obs
 from repro.coding.base import (
     EncodedLine,
     Encoder,

@@ -1,0 +1,166 @@
+"""The incremental analysis cache: warm runs skip re-parsing.
+
+The cache keys each file by content hash plus the rule-set signature, and
+stores pass-1 findings, the module summary, and the waiver-coverage map —
+enough for a warm run to skip parsing entirely while the (cheap,
+summary-based) project pass still sees every module.
+"""
+
+import json
+
+from repro.analysis.cache import AnalysisCache, ruleset_signature
+from repro.analysis.engine import run_analysis
+
+
+def _write_tree(tmp_path):
+    pkg = tmp_path / "src" / "mypkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "clean.py").write_text(
+        "def double(value: int) -> int:\n    return 2 * value\n", encoding="utf-8"
+    )
+    (pkg / "dirty.py").write_text(
+        "import time\n\n\ndef stamp() -> float:\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    return pkg
+
+
+class TestWarmRuns:
+    def test_cold_then_warm_hits_every_file(self, tmp_path):
+        _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        assert cold.stats.files == 3
+        assert cold.stats.parsed == 3
+        assert cold.stats.cache_hits == 0
+
+        warm = run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        assert warm.stats.files == 3
+        assert warm.stats.parsed == 0
+        assert warm.stats.cache_hits == 3
+        # Identical findings either way, fingerprints included.
+        assert [f.to_json() for f in warm.findings] == [f.to_json() for f in cold.findings]
+
+    def test_editing_one_file_reparses_only_it(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+
+        (pkg / "clean.py").write_text(
+            "def triple(value: int) -> int:\n    return 3 * value\n", encoding="utf-8"
+        )
+        warm = run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        assert warm.stats.parsed == 1
+        assert warm.stats.cache_hits == 2
+
+    def test_rule_selection_change_invalidates_cache(self, tmp_path):
+        _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        narrowed = run_analysis(
+            [tmp_path / "src"], root=tmp_path, cache_path=cache, select=["DET"]
+        )
+        assert narrowed.stats.cache_hits == 0
+        assert narrowed.stats.parsed == 3
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tmp_path):
+        _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        cache.write_text("{not json", encoding="utf-8")
+        warm = run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        assert warm.stats.cache_hits == 0
+        assert warm.stats.parsed == 3
+        # And the cache healed: the next run is warm again.
+        healed = run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        assert healed.stats.cache_hits == 3
+
+    def test_cached_findings_keep_gating(self, tmp_path):
+        """A finding in an unchanged (cached) file must still be reported."""
+        _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        assert "DET003" in [f.rule for f in cold.findings]
+        warm = run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        assert "DET003" in [f.rule for f in warm.findings]
+
+    def test_deleted_file_pruned_from_cache(self, tmp_path):
+        pkg = _write_tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        (pkg / "dirty.py").unlink()
+        run_analysis([tmp_path / "src"], root=tmp_path, cache_path=cache)
+        payload = json.loads(cache.read_text(encoding="utf-8"))
+        assert not any("dirty.py" in key for key in payload["files"])
+
+    def test_project_findings_survive_warm_runs(self, tmp_path):
+        """PAR001 crosses two modules; both cached, the finding must persist."""
+        pkg = tmp_path / "src" / "mypkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "worker.py").write_text(
+            "from mypkg.state import remember\n\n\n"
+            '@register_task("cell")\n'
+            "def run_cell(kind: str) -> list:\n"
+            "    remember(kind)\n"
+            "    return []\n",
+            encoding="utf-8",
+        )
+        (pkg / "state.py").write_text(
+            "_SEEN = []\n\n\ndef remember(kind: str) -> None:\n    _SEEN.append(kind)\n",
+            encoding="utf-8",
+        )
+        cache = tmp_path / "cache.json"
+        cold = run_analysis(
+            [tmp_path / "src"], root=tmp_path, cache_path=cache, select=["PAR001"]
+        )
+        assert [f.rule for f in cold.findings] == ["PAR001"]
+        warm = run_analysis(
+            [tmp_path / "src"], root=tmp_path, cache_path=cache, select=["PAR001"]
+        )
+        assert warm.stats.cache_hits == 3
+        assert [f.to_json() for f in warm.findings] == [f.to_json() for f in cold.findings]
+
+    def test_waiver_in_cached_file_still_suppresses_project_finding(self, tmp_path):
+        pkg = tmp_path / "src" / "mypkg"
+        pkg.mkdir(parents=True)
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "state.py").write_text(
+            "_SEEN = []\n\n\n"
+            '@register_task("cell")\n'
+            "def run_cell(kind: str) -> list:\n"
+            "    # repro: allow[PAR001] reason=append is merged by the executor\n"
+            "    _SEEN.append(kind)\n"
+            "    return []\n",
+            encoding="utf-8",
+        )
+        cache = tmp_path / "cache.json"
+        cold = run_analysis(
+            [tmp_path / "src"], root=tmp_path, cache_path=cache, select=["PAR001"]
+        )
+        assert cold.findings == []
+        warm = run_analysis(
+            [tmp_path / "src"], root=tmp_path, cache_path=cache, select=["PAR001"]
+        )
+        assert warm.stats.cache_hits == 2
+        assert warm.findings == []
+
+
+class TestSignature:
+    def test_signature_depends_on_rule_keys(self):
+        a = ruleset_signature(["DET001:module", "PAR001:project"])
+        b = ruleset_signature(["DET001:module"])
+        assert a != b
+
+    def test_signature_is_order_independent(self):
+        a = ruleset_signature(["DET001:module", "PAR001:project"])
+        b = ruleset_signature(["PAR001:project", "DET001:module"])
+        assert a == b
+
+    def test_load_rejects_other_signature(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = AnalysisCache(signature="aaa")
+        cache.save(path)
+        reloaded = AnalysisCache.load(path, "bbb")
+        assert reloaded.entries == {}

@@ -15,7 +15,13 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parents[2]
 PYPROJECT = REPO_ROOT / "pyproject.toml"
 
-STRICT_PACKAGES = ("repro.utils", "repro.coding", "repro.campaign")
+STRICT_PACKAGES = (
+    "repro.utils",
+    "repro.coding",
+    "repro.campaign",
+    "repro.analysis",
+    "repro.obs",
+)
 
 
 class TestProjectConfig:
@@ -42,9 +48,14 @@ class TestProjectConfig:
     def test_ci_lint_job_wired(self):
         workflow = (REPO_ROOT / ".github" / "workflows" / "ci.yml").read_text(encoding="utf-8")
         assert "lint:" in workflow
-        assert "python -m repro.analysis src --output analysis-findings.json" in workflow
+        assert "python -m repro.analysis src benchmarks examples" in workflow
+        assert "--output analysis-findings.json --sarif analysis-findings.sarif" in workflow
+        assert "github/codeql-action/upload-sarif" in workflow
         assert "ruff check src" in workflow
-        assert "mypy -p repro.utils -p repro.coding -p repro.campaign" in workflow
+        assert (
+            "mypy -p repro.utils -p repro.coding -p repro.campaign"
+            " -p repro.analysis -p repro.obs" in workflow
+        )
 
 
 class TestToolExecution:
@@ -52,7 +63,7 @@ class TestToolExecution:
         if shutil.which("mypy") is None:
             pytest.skip("mypy not installed in this environment (CI-only)")
         result = subprocess.run(
-            ["mypy", "-p", "repro.utils", "-p", "repro.coding", "-p", "repro.campaign"],
+            ["mypy"] + [token for pkg in STRICT_PACKAGES for token in ("-p", pkg)],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,

@@ -19,6 +19,9 @@ EXPECTED_RULES = {
     "NUM001", "NUM002", "NUM003",
     "REG001", "REG002",
     "API001", "API002", "API003",
+    "OBS001",
+    "PAR001", "PAR002", "PAR003", "PAR004",
+    "IMP001",
 }
 
 

@@ -1,0 +1,148 @@
+"""Waiver-placement edge cases: decorators, multi-line defs, families.
+
+The forwarding rules under test (see
+:class:`repro.analysis.waivers.WaiverTable`): a comment-only waiver
+covers the next code line; when that line is a decorator, coverage
+extends through the decorator chain to the ``def`` itself; and a
+family-level code (``# repro: allow[PAR]``) covers every rule of the
+family.
+"""
+
+import textwrap
+
+from repro.analysis.engine import analyze_source, analyze_sources
+
+
+def _source(text):
+    return textwrap.dedent(text).lstrip("\n")
+
+
+class TestDecoratedFunctions:
+    def test_waiver_above_decorator_covers_the_def(self):
+        findings = analyze_source(
+            _source(
+                """
+                # repro: allow[API003] reason=registered callback, signature fixed by the protocol
+                @memoised
+                def handler(event):
+                    return event
+                """
+            ),
+            path="src/mod.py",
+            select=["API003"],
+        )
+        assert findings == []
+
+    def test_waiver_forwards_through_a_decorator_chain(self):
+        findings = analyze_source(
+            _source(
+                """
+                # repro: allow[API003] reason=registered callback, signature fixed by the protocol
+                @first
+                @second
+                @third
+                def handler(event):
+                    return event
+                """
+            ),
+            path="src/mod.py",
+            select=["API003"],
+        )
+        assert findings == []
+
+    def test_undecorated_neighbour_is_not_covered(self):
+        findings = analyze_source(
+            _source(
+                """
+                # repro: allow[API003] reason=registered callback, signature fixed by the protocol
+                @memoised
+                def handler(event):
+                    return event
+
+
+                def other(event):
+                    return event
+                """
+            ),
+            path="src/mod.py",
+            select=["API003"],
+        )
+        assert findings, "the waiver must not cover the undecorated neighbour"
+        assert {f.rule for f in findings} == {"API003"}
+        assert all("other" in f.message for f in findings)
+
+
+class TestMultiLineSignatures:
+    def test_waiver_above_multi_line_def_covers_it(self):
+        findings = analyze_source(
+            _source(
+                """
+                # repro: allow[API003] reason=harness shim, params documented in the runbook
+                def handler(
+                    event,
+                    context,
+                    retries,
+                ):
+                    return event
+                """
+            ),
+            path="src/mod.py",
+            select=["API003"],
+        )
+        assert findings == []
+
+    def test_waiver_on_the_def_line_itself_covers_it(self):
+        findings = analyze_source(
+            _source(
+                """
+                def handler(  # repro: allow[API003] reason=harness shim
+                    event,
+                    context,
+                ):
+                    return event
+                """
+            ),
+            path="src/mod.py",
+            select=["API003"],
+        )
+        assert findings == []
+
+
+class TestFamilyWaivers:
+    def test_family_waiver_covers_project_scope_rule(self):
+        findings = analyze_sources(
+            {
+                "src/mypkg/worker.py": _source(
+                    """
+                    _SEEN = []
+
+                    @register_task("cell")
+                    def run_cell(kind: str) -> list:
+                        # repro: allow[PAR] reason=executor merges per-task appends
+                        _SEEN.append(kind)
+                        return []
+                    """
+                )
+            },
+            select=["PAR"],
+        )
+        assert findings == []
+
+    def test_family_waiver_does_not_leak_across_families(self):
+        findings = analyze_sources(
+            {
+                "src/mypkg/alpha.py": _source(
+                    """
+                    # repro: allow[PAR] reason=wrong family on purpose
+                    from mypkg.beta import helper
+                    """
+                ),
+                "src/mypkg/beta.py": _source(
+                    """
+                    from mypkg.alpha import thing
+                    """
+                ),
+            },
+            select=["IMP001"],
+        )
+        assert [f.rule for f in findings] == ["IMP001"]
