@@ -106,6 +106,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--spec", type=Path, default=None, help="JSON SweepSpec file to run")
     parser.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes")
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tasks per worker batch for --spec runs (default: derived so "
+        "every worker gets several batches); rows are identical at any value",
+    )
+    parser.add_argument(
         "--store",
         type=Path,
         default=Path(".campaign-store"),
@@ -166,6 +174,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.batch_size is not None and args.batch_size < 1:
+        parser.error("--batch-size must be >= 1")
     if (args.sweep is None) == (args.spec is None):
         parser.error("name exactly one sweep: a positional name or --spec FILE")
 
@@ -193,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 jobs=args.jobs,
                 resume=not args.no_resume,
                 progress=progress,
+                batch_size=args.batch_size,
             )
             # Prefix each row with the sweep-axis values of its task so
             # rows stay distinguishable (e.g. across a seeds axis) even
@@ -213,6 +224,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             if args.no_resume:
                 parser.error("--no-resume applies only to --spec runs (figures always resume)")
+            if args.batch_size is not None:
+                parser.error(
+                    "--batch-size applies only to --spec runs (figure sweeps "
+                    "use the derived batching)"
+                )
             table = _named_sweep_table(args, progress)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -91,6 +91,10 @@ class CampaignTelemetry:
     dispatch_s: float = 0.0
     compute_s: float = 0.0
     transfer_s: float = 0.0
+    #: Distinct executor batches the executed tasks rode in (equals the
+    #: executed-task count at ``jobs=1``, where every task is its own
+    #: size-1 batch).
+    batches: int = 0
     #: Worker-side metric snapshots merged across all executed tasks
     #: (empty at ``jobs=1``, where increments land in the coordinator's
     #: process registry directly).
@@ -113,8 +117,9 @@ class CampaignTelemetry:
 
     def summary(self) -> str:
         """One-line phase breakdown for the CLI's stderr summary."""
+        batches = f" in {self.batches} batches" if self.batches else ""
         return (
-            f"phases over {self.task_wall_s:.3f}s of executed-task wall time: "
+            f"phases over {self.task_wall_s:.3f}s of executed-task wall time{batches}: "
             f"queue-wait {self.queue_wait_s:.3f}s, dispatch {self.dispatch_s:.3f}s, "
             f"compute {self.compute_s:.3f}s, transfer {self.transfer_s:.3f}s "
             f"(executor overhead {self.overhead_fraction * 100.0:.1f}%)"
@@ -184,6 +189,7 @@ def run_campaign(
     jobs: int = 1,
     resume: bool = True,
     progress: Optional[ProgressCallback] = None,
+    batch_size: Optional[int] = None,
 ) -> CampaignResult:
     """Run a sweep to completion and return its rows in deterministic order.
 
@@ -207,6 +213,10 @@ def run_campaign(
     progress:
         Optional callback invoked once per task completion, cache hits
         included, with a :class:`CampaignProgress` event.
+    batch_size:
+        Tasks per executor batch when ``jobs > 1``; ``None`` (the
+        default) derives a size that gives every worker several batches.
+        Purely a scheduling knob — rows are bit-identical at any value.
     """
     if isinstance(work, SweepSpec):
         tasks = work.expand()
@@ -274,13 +284,21 @@ def run_campaign(
                 )
                 emit(task, from_cache=True, wall_s=wall_s)
 
+        batch_indices: "set[int]" = set()
+
         def on_result(
             task: Task, rows: List[Dict[str, Any]], task_telemetry: TaskTelemetry
         ) -> None:
+            # Streaming results path: completed batches land here while
+            # other batches are still computing in the pool, so the
+            # store write and progress emission below overlap worker
+            # compute instead of serialising after the sweep.
             rows_by_hash[task.task_hash] = rows
             if store is not None:
                 store.put(task, rows)
             telemetry.absorb(task_telemetry)
+            batch_indices.add(task_telemetry.batch_index)
+            telemetry.batches = len(batch_indices)
             if task_telemetry.metrics:
                 obs.merge_metrics(task_telemetry.metrics)
                 _merge_into(telemetry.metrics, task_telemetry.metrics)
@@ -294,12 +312,14 @@ def run_campaign(
                 dispatch_s=task_telemetry.dispatch_s,
                 compute_s=task_telemetry.compute_s,
                 transfer_s=task_telemetry.transfer_s,
+                batch=task_telemetry.batch_index,
+                batch_size=task_telemetry.batch_size,
             )
             emit(task, from_cache=False, wall_s=task_telemetry.wall_s)
 
         if pending:
-            make_executor(jobs).run(pending, on_result)
-        run_span.set(executed=len(pending), cached=cached)
+            make_executor(jobs, batch_size=batch_size).run(pending, on_result)
+        run_span.set(executed=len(pending), cached=cached, batches=telemetry.batches)
 
     telemetry.wall_s = obs.monotonic() - run_begin
     _set_last_telemetry(telemetry)

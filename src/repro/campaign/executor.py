@@ -1,44 +1,80 @@
-"""Task executors: in-process serial and ``multiprocessing`` pools.
+"""Task executors: in-process serial and batched ``multiprocessing`` pools.
 
 Both executors implement the same protocol — ``run(tasks, on_result)``
-calls ``on_result(task, rows, telemetry)`` once per task, in
-**completion** order — and both produce bit-identical results for the
-same task list, because every task carries its own seed and shares no
-state with its siblings.  The engine (:mod:`repro.campaign.engine`)
-re-orders completions back into submission order, so callers never
-observe scheduling.
+calls ``on_result(task, rows, telemetry)`` once per task — and both
+produce bit-identical results for the same task list, because every task
+carries its own seed and shares no state with its siblings.  The engine
+(:mod:`repro.campaign.engine`) re-orders completions back into
+submission order, so callers never observe scheduling.
+
+The parallel path is *batched*: tasks shard into :class:`TaskBatch`
+units — contiguous slices of the submission order, sized
+``ceil(n_tasks / (BATCHES_PER_WORKER * jobs))`` — and each batch is one
+pool round-trip.  A warm :class:`concurrent.futures.ProcessPoolExecutor`
+stays alive for the whole run; the worker loops
+:func:`repro.campaign.tasks.run_task` over its batch so the per-task
+process round-trips that made fig-sized sweeps *slower* under ``--jobs``
+(0.84x at 4 workers before this rework) disappear into one dispatch,
+one queue transit, and one result transfer per batch.
+
+Bulk results ride shared memory instead of the pool's pickle pipe: when
+a batch's pickled rows exceed :data:`SHM_MIN_BYTES` the worker copies
+the payload into a :mod:`multiprocessing.shared_memory` segment and
+sends only the descriptor; the coordinator reattaches, copies the rows
+out, and unlinks the segment.  Both sides guarantee the unlink on their
+error paths, so a crashed worker or an interrupted coordinator never
+leaks ``/dev/shm`` entries.  Small batches fall back to plain pickle.
 
 The :class:`TaskTelemetry` handed to ``on_result`` is pure measurement —
-it never feeds back into rows or seeds.  It splits each task's wall time
-into the four phases the campaign-scaling work needs to see
-(queue-wait / dispatch / compute / result-transfer) and carries the
-worker-side metrics snapshot, so hot-path counters incremented inside a
-worker process reach the coordinator's registry.  The cross-process
-timestamp arithmetic is sound because every stamp comes from
+it never feeds back into rows or seeds.  Batch-level costs (dispatch,
+queue-wait, result transfer) are amortised evenly across the batch's
+members while compute is stamped per task in the worker, so the four
+phases still tile each task's reported wall time exactly and batch walls
+sum to the true batch interval.  The cross-process timestamp arithmetic
+is sound because every stamp comes from
 :func:`repro.obs.clock.monotonic` (``CLOCK_MONOTONIC`` is host-wide).
 
 :class:`SerialExecutor` runs everything in the calling process and is
-what tests and ``--jobs 1`` use; :class:`ProcessExecutor` fans tasks out
-over a :class:`concurrent.futures.ProcessPoolExecutor`.  The ``fork``
-start method is preferred when the platform offers it (workers inherit
-already-registered task kinds); under ``spawn`` the workers re-import
-the builtin task modules via the pool initializer, so builtin kinds work
-everywhere and custom kinds need only live in an importable module.
+what tests and ``--jobs 1`` use; :class:`ProcessExecutor` fans batches
+out over the pool.  The ``fork`` start method is preferred when the
+platform offers it (workers inherit already-registered task kinds);
+under ``spawn`` the workers re-import the builtin task modules via the
+pool initializer, so builtin kinds work everywhere and custom kinds need
+only live in an importable module.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
+import pickle
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.spec import Task
 from repro.campaign.tasks import _ensure_builtins, run_task
 from repro.errors import ConfigurationError
 from repro.obs import metrics_snapshot, monotonic, reset_metrics
 
-__all__ = ["SerialExecutor", "ProcessExecutor", "TaskTelemetry", "make_executor"]
+__all__ = [
+    "BATCHES_PER_WORKER",
+    "SHM_MIN_BYTES",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TaskBatch",
+    "TaskTelemetry",
+    "make_executor",
+]
+
+#: Oversubscription factor: tasks shard into ~this many batches per
+#: worker, so stragglers rebalance while round-trips stay amortised.
+BATCHES_PER_WORKER = 4
+
+#: Pickled-rows size (bytes) above which a batch's results travel via a
+#: shared-memory segment instead of the pool's pickle pipe.
+SHM_MIN_BYTES = 64 * 1024
 
 
 @dataclass(frozen=True)
@@ -49,17 +85,22 @@ class TaskTelemetry:
     the interval ``[submitted_s, received_s]`` exactly:
 
     * ``dispatch_s`` — the coordinator's ``submit`` call (serialising the
-      task into the pool's work queue);
-    * ``queue_wait_s`` — from dispatch completion until a worker picked
-      the task up;
-    * ``compute_s`` — ``run_task`` itself, measured in the worker;
-    * ``transfer_s`` — from worker completion until the coordinator
-      held the unpickled rows (result pickling + queue transit + the
-      coordinator's completion-loop latency).
+      batch into the pool's work queue), amortised over the batch;
+    * ``queue_wait_s`` — this task's share of the wait until the worker
+      began the batch, plus the worker-side gap before this task;
+    * ``compute_s`` — ``run_task`` itself, stamped per task in the worker;
+    * ``transfer_s`` — this task's share of result packing + queue/shared
+      -memory transit + the coordinator's completion-loop latency.
 
-    ``metrics`` is the worker registry's per-task snapshot (empty for the
-    serial executor, whose increments land in the coordinator's registry
-    directly).
+    For batched execution the batch-level phases are divided evenly over
+    the batch's members and each task's ``[submitted_s, received_s]``
+    interval is synthesised around its worker compute stamps, so per-task
+    walls still tile exactly and the batch's walls sum to the true
+    submit-to-receipt interval.  ``metrics`` is the worker registry's
+    per-task snapshot (empty for the serial executor, whose increments
+    land in the coordinator's registry directly).  ``batch_index`` /
+    ``batch_size`` identify the batch the task rode in (serial tasks are
+    their own size-1 batch).
     """
 
     submitted_s: float
@@ -69,6 +110,8 @@ class TaskTelemetry:
     compute_s: float
     transfer_s: float
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    batch_index: int = 0
+    batch_size: int = 1
 
     @property
     def wall_s(self) -> float:
@@ -79,13 +122,24 @@ class TaskTelemetry:
 OnResult = Callable[[Task, List[Dict[str, Any]], TaskTelemetry], None]
 
 
+@dataclass(frozen=True)
+class TaskBatch:
+    """One pool round-trip: a contiguous slice of the submission order."""
+
+    index: int
+    tasks: Tuple[Task, ...]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
 class SerialExecutor:
     """Execute tasks one after another in the calling process."""
 
     jobs = 1
 
     def run(self, tasks: Sequence[Task], on_result: OnResult) -> None:
-        for task in tasks:
+        for index, task in enumerate(tasks):
             begin = monotonic()
             rows = run_task(task)
             end = monotonic()
@@ -99,6 +153,8 @@ class SerialExecutor:
                     queue_wait_s=0.0,
                     compute_s=end - begin,
                     transfer_s=0.0,
+                    batch_index=index,
+                    batch_size=1,
                 ),
             )
 
@@ -108,90 +164,338 @@ def _worker_init() -> None:
     _ensure_builtins()
 
 
-#: What one worker invocation sends back: the task, its rows, the
-#: worker-side start/finish stamps, and the worker registry's snapshot.
-_WorkerResult = Tuple[Task, List[Dict[str, Any]], float, float, Dict[str, Dict[str, Any]]]
+@dataclass(frozen=True)
+class _ShmRows:
+    """Descriptor of a shared-memory segment holding pickled batch rows.
+
+    Only the descriptor crosses the process boundary; the coordinator
+    reattaches by name, copies the payload out, and unlinks.  Ownership
+    transfers with the descriptor — the worker unregisters the segment
+    from its resource tracker when it packs one (see :func:`_pack_rows`),
+    so exactly one side is responsible for the unlink.
+    """
+
+    name: str
+    size: int
+
+    def load(self) -> List[List[Dict[str, Any]]]:
+        """Attach, unpickle the rows, and unconditionally unlink."""
+        segment = shared_memory.SharedMemory(name=self.name)
+        try:
+            payload = pickle.loads(bytes(segment.buf[: self.size]))
+        finally:
+            # The unlink lives in the finally so a truncated or
+            # unpicklable payload still releases the segment.
+            segment.close()
+            segment.unlink()
+        if not isinstance(payload, list):  # pragma: no cover - defensive
+            raise ConfigurationError("shared-memory rows payload is not a list")
+        return payload
+
+    def discard(self) -> None:
+        """Release the segment without reading it (abort-path cleanup)."""
+        try:
+            segment = shared_memory.SharedMemory(name=self.name)
+        except OSError:
+            return  # already unlinked
+        segment.close()
+        try:
+            segment.unlink()
+        except OSError:  # pragma: no cover - raced with another unlink
+            pass
 
 
-def _execute(task: Task) -> _WorkerResult:
+#: Either inline rows (small batches) or a shared-memory descriptor.
+_RowsPayload = Union[List[List[Dict[str, Any]]], _ShmRows]
+
+#: Per-task worker measurement: compute start/finish stamps plus the
+#: worker registry's per-task metric snapshot.
+_TaskRun = Tuple[float, float, Dict[str, Dict[str, Any]]]
+
+#: What one worker batch invocation sends back.
+_BatchResult = Tuple[int, _RowsPayload, List[_TaskRun]]
+
+
+def _untrack_segment(segment: shared_memory.SharedMemory) -> None:
+    """Detach a segment from this process's resource tracker.
+
+    The descriptor hands ownership to the coordinator, which unlinks
+    after copying the rows out.  Without this, the worker-side tracker
+    (a separate one per process under ``spawn``) would see the segment
+    as leaked at pool shutdown and spam warnings while re-unlinking.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(
+            getattr(segment, "_name", segment.name), "shared_memory"
+        )
+    # repro: allow[API001] reason=resource_tracker internals vary across CPython minors; tracker bookkeeping must never fail a batch that already computed
+    except Exception:  # pragma: no cover - tracker internals unavailable
+        pass
+
+
+def _pack_rows(
+    rows_per_task: List[List[Dict[str, Any]]], shm_threshold: int
+) -> _RowsPayload:
+    """Choose the transport for a batch's rows (worker side).
+
+    Small payloads return as-is and ride the pool's pickle pipe; bulk
+    payloads are pickled once into a fresh shared-memory segment whose
+    descriptor alone crosses the boundary.  Creation and copy-in are
+    guarded so any failure unlinks the segment before re-raising — a
+    crashing worker never leaves a stale ``/dev/shm`` entry behind.
+    """
+    blob = pickle.dumps(rows_per_task, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) < shm_threshold:
+        return rows_per_task
+    segment = shared_memory.SharedMemory(create=True, size=len(blob))
+    # Guaranteed-unlink error path: any failure between create and
+    # hand-off (including KeyboardInterrupt) releases the segment before
+    # the exception propagates, so a crashed worker cannot leak it.
+    handed_off = False
+    try:
+        segment.buf[: len(blob)] = blob
+        _untrack_segment(segment)
+        handed_off = True
+    finally:
+        if not handed_off:
+            segment.close()
+            segment.unlink()
+    segment.close()
+    return _ShmRows(name=segment.name, size=len(blob))
+
+
+def _execute_batch(batch: TaskBatch, shm_threshold: int) -> _BatchResult:
     """Top-level worker entry point (must be picklable).
 
-    Resets the worker's metrics registry before running the task so the
-    returned snapshot is this task's delta — fork-started workers inherit
-    the coordinator's counter values, which must not be re-merged.
+    Loops ``run_task`` over the batch so its tasks share one process
+    round-trip.  The worker's metrics registry is reset before each task
+    so every returned snapshot is that task's delta — fork-started
+    workers inherit the coordinator's counter values, which must not be
+    re-merged — and compute is stamped per task so batch telemetry can
+    amortise only the true batch-level overheads.
     """
-    started_s = monotonic()
-    reset_metrics()
-    rows = run_task(task)
-    snapshot = metrics_snapshot()
-    finished_s = monotonic()
-    return task, rows, started_s, finished_s, snapshot
+    rows_per_task: List[List[Dict[str, Any]]] = []
+    runs: List[_TaskRun] = []
+    for task in batch.tasks:
+        reset_metrics()
+        started_s = monotonic()
+        rows = run_task(task)
+        finished_s = monotonic()
+        rows_per_task.append(rows)
+        runs.append((started_s, finished_s, metrics_snapshot()))
+    return batch.index, _pack_rows(rows_per_task, shm_threshold), runs
 
 
 class ProcessExecutor:
-    """Execute tasks on a pool of ``jobs`` worker processes."""
+    """Execute tasks in batches on a warm pool of ``jobs`` workers.
 
-    def __init__(self, jobs: int, max_in_flight: int = 0):
+    Parameters
+    ----------
+    jobs:
+        Worker process count (>= 1).
+    max_in_flight:
+        How many *batches* may be submitted to the pool at once; bounding
+        it keeps completion callbacks (store writes, progress) flowing
+        during very large sweeps instead of after full submission.
+        ``None`` (the default) means ``4 * jobs``; explicit values must
+        be positive.
+    batch_size:
+        Tasks per batch.  ``None`` derives
+        ``ceil(n_tasks / (BATCHES_PER_WORKER * jobs))`` at run time;
+        explicit values must be positive (``1`` reproduces the old
+        one-round-trip-per-task behaviour).
+    shm_threshold:
+        Pickled-rows size in bytes at which a batch's results switch
+        from the pool's pickle pipe to a shared-memory segment.
+    start_method:
+        Optional :mod:`multiprocessing` start method override (``"fork"``
+        or ``"spawn"``); ``None`` prefers ``fork`` where available.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        max_in_flight: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        shm_threshold: int = SHM_MIN_BYTES,
+        start_method: Optional[str] = None,
+    ):
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ConfigurationError(
+                "max_in_flight must be >= 1 (or None for the 4*jobs default)"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError(
+                "batch_size must be >= 1 (or None to derive from the task count)"
+            )
+        if shm_threshold < 0:
+            raise ConfigurationError("shm_threshold must be >= 0")
         self.jobs = jobs
-        #: How many tasks are submitted to the pool at once; bounding it
-        #: keeps completion callbacks (store writes, progress) flowing
-        #: during very large sweeps instead of after full submission.
-        self.max_in_flight = max_in_flight or 4 * jobs
+        self.max_in_flight = 4 * jobs if max_in_flight is None else max_in_flight
+        self.batch_size = batch_size
+        self.shm_threshold = shm_threshold
+        self.start_method = start_method
 
-    @staticmethod
-    def _context():
+    def _context(self) -> Any:
         methods = multiprocessing.get_all_start_methods()
+        if self.start_method is not None:
+            if self.start_method not in methods:
+                raise ConfigurationError(
+                    f"start method {self.start_method!r} is unavailable here; "
+                    f"this platform offers: {', '.join(methods)}"
+                )
+            return multiprocessing.get_context(self.start_method)
         return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
+    def shard(self, tasks: Sequence[Task]) -> List[TaskBatch]:
+        """Slice the submission order into worker-sized batches."""
+        if not tasks:
+            return []
+        size = self.batch_size
+        if size is None:
+            size = max(1, math.ceil(len(tasks) / (BATCHES_PER_WORKER * self.jobs)))
+        return [
+            TaskBatch(index=index, tasks=tuple(tasks[offset: offset + size]))
+            for index, offset in enumerate(range(0, len(tasks), size))
+        ]
+
     def run(self, tasks: Sequence[Task], on_result: OnResult) -> None:
-        pending = list(tasks)
-        if not pending:
+        batches = self.shard(list(tasks))
+        if not batches:
             return
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(pending)),
+            max_workers=min(self.jobs, len(batches)),
             mp_context=self._context(),
             initializer=_worker_init,
         ) as pool:
-            in_flight: "set[Future[_WorkerResult]]" = set()
-            stamps: "Dict[Future[_WorkerResult], Tuple[float, float]]" = {}
+            in_flight: Dict[Future[_BatchResult], TaskBatch] = {}
+            stamps: Dict[Future[_BatchResult], Tuple[float, float]] = {}
             cursor = 0
             try:
-                while cursor < len(pending) or in_flight:
-                    while cursor < len(pending) and len(in_flight) < self.max_in_flight:
+                while cursor < len(batches) or in_flight:
+                    while cursor < len(batches) and len(in_flight) < self.max_in_flight:
                         submitted_s = monotonic()
-                        future = pool.submit(_execute, pending[cursor])
+                        future = pool.submit(
+                            _execute_batch, batches[cursor], self.shm_threshold
+                        )
                         stamps[future] = (submitted_s, monotonic())
-                        in_flight.add(future)
+                        in_flight[future] = batches[cursor]
                         cursor += 1
-                    done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+                    done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
                     for future in done:
-                        task, rows, started_s, finished_s, snapshot = future.result()
+                        batch = in_flight.pop(future)
+                        _, payload, runs = future.result()
+                        rows_per_task = (
+                            payload.load() if isinstance(payload, _ShmRows) else payload
+                        )
                         received_s = monotonic()
                         submitted_s, dispatched_s = stamps.pop(future)
-                        on_result(
-                            task,
-                            rows,
-                            TaskTelemetry(
-                                submitted_s=submitted_s,
-                                received_s=received_s,
-                                dispatch_s=dispatched_s - submitted_s,
-                                queue_wait_s=started_s - dispatched_s,
-                                compute_s=finished_s - started_s,
-                                transfer_s=received_s - finished_s,
-                                metrics=snapshot,
-                            ),
+                        _deliver_batch(
+                            batch,
+                            rows_per_task,
+                            runs,
+                            submitted_s,
+                            dispatched_s,
+                            received_s,
+                            on_result,
                         )
-            # repro: allow[API001] reason=cancel every in-flight future on any failure (including worker crashes outside the repro.errors taxonomy), then re-raise unchanged
-            except Exception:
-                for future in in_flight:
-                    future.cancel()
+            # repro: allow[API001] reason=deterministic teardown on any failure (worker crashes outside the repro.errors taxonomy, KeyboardInterrupt): cancel queued batches, stop the pool, drain stamps, release shm segments, then re-raise unchanged
+            except BaseException:
+                self._abort(pool, in_flight, stamps)
                 raise
 
+    @staticmethod
+    def _abort(
+        pool: ProcessPoolExecutor,
+        in_flight: Dict["Future[_BatchResult]", TaskBatch],
+        stamps: Dict["Future[_BatchResult]", Tuple[float, float]],
+    ) -> None:
+        """Deterministic teardown after a failure mid-sweep.
 
-def make_executor(jobs: int) -> Union[SerialExecutor, ProcessExecutor]:
-    """Executor for a worker count: serial at 1, a process pool above."""
+        Cancels every queued batch, waits for running ones to finish (a
+        worker cannot be interrupted mid-task), releases the shared
+        -memory segments of batches that completed but were never
+        consumed, and drains the stamp map — so a crashed sweep leaves
+        no abandoned futures, no stale ``/dev/shm`` entries, and a store
+        whose already-persisted tasks resume cleanly on the next run.
+        """
+        pool.shutdown(wait=True, cancel_futures=True)
+        for future in list(in_flight):
+            if not future.done() or future.cancelled():
+                continue
+            try:
+                _, payload, _ = future.result()
+            # repro: allow[API001] reason=abort-path sweep over sibling futures; their own exceptions (whatever the type) are not the error being propagated
+            except BaseException:
+                continue
+            if isinstance(payload, _ShmRows):
+                payload.discard()
+        in_flight.clear()
+        stamps.clear()
+
+
+def _deliver_batch(
+    batch: TaskBatch,
+    rows_per_task: List[List[Dict[str, Any]]],
+    runs: List[_TaskRun],
+    submitted_s: float,
+    dispatched_s: float,
+    received_s: float,
+    on_result: OnResult,
+) -> None:
+    """Emit per-task results with phases that tile each task's wall.
+
+    Batch-level costs are amortised evenly: ``dispatch`` (submit call),
+    the wait until the worker began the first task, and the post-compute
+    transfer (result packing + transit + completion-loop latency) are
+    each divided by the batch size.  Worker-side gaps between consecutive
+    tasks (metric snapshotting, loop overhead) land in the following
+    task's queue-wait.  Each task's ``[submitted_s, received_s]`` is
+    synthesised around its own compute stamps so the four phases tile it
+    exactly and the batch's walls telescope to the true batch interval.
+    """
+    if len(rows_per_task) != len(batch.tasks) or len(runs) != len(batch.tasks):
+        raise ConfigurationError(
+            f"batch {batch.index} returned {len(rows_per_task)} row lists / "
+            f"{len(runs)} runs for {len(batch.tasks)} tasks"
+        )
+    count = len(batch.tasks)
+    dispatch_share = (dispatched_s - submitted_s) / count
+    queue_share = (runs[0][0] - dispatched_s) / count
+    transfer_share = (received_s - runs[-1][1]) / count
+    previous_finish = runs[0][0]
+    for task, (started_s, finished_s, snapshot), rows in zip(
+        batch.tasks, runs, rows_per_task
+    ):
+        queue_wait_s = queue_share + (started_s - previous_finish)
+        previous_finish = finished_s
+        on_result(
+            task,
+            rows,
+            TaskTelemetry(
+                submitted_s=started_s - queue_wait_s - dispatch_share,
+                received_s=finished_s + transfer_share,
+                dispatch_s=dispatch_share,
+                queue_wait_s=queue_wait_s,
+                compute_s=finished_s - started_s,
+                transfer_s=transfer_share,
+                metrics=snapshot,
+                batch_index=batch.index,
+                batch_size=count,
+            ),
+        )
+
+
+def make_executor(
+    jobs: int, batch_size: Optional[int] = None
+) -> Union[SerialExecutor, ProcessExecutor]:
+    """Executor for a worker count: serial at 1, a batched pool above."""
     if jobs < 1:
         raise ConfigurationError("jobs must be >= 1")
-    return SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs, batch_size=batch_size)

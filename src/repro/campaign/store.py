@@ -35,6 +35,9 @@ _OBS_CORRUPT = obs.counter(
     "store.corrupt", "stored objects rejected as truncated or inconsistent"
 )
 _OBS_PUTS = obs.counter("store.puts", "task results persisted to the store")
+_OBS_PROBES = obs.counter(
+    "store.probes", "stat-based existence probes (no rows served, no hit/miss)"
+)
 
 
 class ResultStore:
@@ -49,7 +52,17 @@ class ResultStore:
 
     # ------------------------------------------------------------- queries
     def __contains__(self, task: Task) -> bool:
-        return self.get(task) is not None
+        """Existence probe via a single ``stat`` — no parse, no hit/miss.
+
+        Membership used to answer through :meth:`get`, paying full JSON
+        deserialisation and bumping ``store.hits`` for a probe that
+        serves no rows.  The fast path keeps the hit/miss counters
+        meaning "rows served" (``store.probes`` counts these instead).
+        A present-but-corrupt object reports ``True`` here; :meth:`get`
+        still treats it as a miss and recomputes.
+        """
+        _OBS_PROBES.inc()
+        return self._path(task.task_hash).is_file()
 
     def get(self, task: Task) -> Optional[List[Dict[str, Any]]]:
         """Stored rows for ``task``, or ``None`` on a miss."""

@@ -32,6 +32,7 @@ import importlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Tuple
 
+import repro.obs as obs
 from repro.campaign.spec import Task, _canonical_value
 from repro.errors import ConfigurationError, SimulationError
 
@@ -58,6 +59,11 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
 )
 
 _builtins_loaded = False
+
+# Bumped once per task-kind execution, in whichever process ran it; the
+# batched executor snapshots the worker registry per task, so the
+# coordinator's merged total still equals the executed-task count.
+_OBS_TASKS = obs.counter("campaign.tasks_run", "campaign task-kind executions")
 
 
 @dataclass(frozen=True)
@@ -122,6 +128,7 @@ def get_task_kind(name: str) -> TaskKind:
 
 def run_task(task: Task) -> List[Dict[str, Any]]:
     """Execute one task and validate its rows are JSON-serialisable."""
+    _OBS_TASKS.inc()
     kind = get_task_kind(task.kind)
     rows = kind.function(dict(task.params))
     if not isinstance(rows, list) or not all(isinstance(row, dict) for row in rows):

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 __all__ = ["AES128"]
@@ -69,6 +71,19 @@ def _mul(a: int, b: int) -> int:
     return result
 
 
+# Vectorised-cipher lookup tables, derived from the scalar primitives so
+# the batched path is bit-identical by construction.
+_SBOX_NP = np.array(_SBOX, dtype=np.uint8)
+_XTIME_NP = np.array([_xtime(value) for value in range(256)], dtype=np.uint8)
+# State is column-major (state[row + 4*col]); ShiftRows moves
+# state[row + 4*((col+row) % 4)] into state[row + 4*col], so gathering
+# with this permutation equals the scalar _shift_rows.
+_SHIFT_ROWS_NP = np.array(
+    [(index % 4) + 4 * (((index // 4) + (index % 4)) % 4) for index in range(16)],
+    dtype=np.intp,
+)
+
+
 class AES128:
     """AES-128 forward cipher operating on 16-byte blocks.
 
@@ -90,6 +105,8 @@ class AES128:
                 f"AES-128 requires a {self.KEY_SIZE}-byte key, got {len(key_bytes)} bytes"
             )
         self._round_keys = self._expand_key(key_bytes)
+        # (ROUNDS+1, 16) uint8 view of the round keys for the batched path.
+        self._round_keys_np = np.array(self._round_keys, dtype=np.uint8)
 
     # ------------------------------------------------------------------ key
     @staticmethod
@@ -158,3 +175,45 @@ class AES128:
         self._shift_rows(state)
         self._add_round_key(state, self._round_keys[self.ROUNDS])
         return bytes(state)
+
+    @staticmethod
+    def _mix_columns_batch(state: "np.ndarray") -> "np.ndarray":
+        """MixColumns over a ``(blocks, 16)`` state matrix."""
+        columns = state.reshape(-1, 4, 4)  # [block, col, row]
+        a0, a1 = columns[:, :, 0], columns[:, :, 1]
+        a2, a3 = columns[:, :, 2], columns[:, :, 3]
+        m0, m1 = _XTIME_NP[a0], _XTIME_NP[a1]
+        m2, m3 = _XTIME_NP[a2], _XTIME_NP[a3]
+        mixed = np.empty_like(columns)
+        mixed[:, :, 0] = m0 ^ (m1 ^ a1) ^ a2 ^ a3
+        mixed[:, :, 1] = a0 ^ m1 ^ (m2 ^ a2) ^ a3
+        mixed[:, :, 2] = a0 ^ a1 ^ m2 ^ (m3 ^ a3)
+        mixed[:, :, 3] = (m0 ^ a0) ^ a1 ^ a2 ^ m3
+        return mixed.reshape(-1, 16)
+
+    def encrypt_blocks(self, blocks: "np.ndarray") -> "np.ndarray":
+        """Encrypt many 16-byte blocks in one vectorised pass.
+
+        ``blocks`` is a ``(count, 16)`` uint8 matrix; the returned matrix
+        has the same shape and is bit-identical to calling
+        :meth:`encrypt_block` on each row (every table above is derived
+        from the scalar primitives).  This is what lets the counter-mode
+        engine generate a whole chunk's pads with one call instead of
+        ``blocks_per_line`` Python-level cipher invocations per line.
+        """
+        state = np.ascontiguousarray(blocks, dtype=np.uint8)
+        if state.ndim != 2 or state.shape[1] != self.BLOCK_SIZE:
+            raise ConfigurationError(
+                f"expected a (count, {self.BLOCK_SIZE}) block matrix, "
+                f"got shape {state.shape}"
+            )
+        state = state ^ self._round_keys_np[0]
+        for round_index in range(1, self.ROUNDS):
+            state = _SBOX_NP[state]
+            state = state[:, _SHIFT_ROWS_NP]
+            state = self._mix_columns_batch(state)
+            state ^= self._round_keys_np[round_index]
+        state = _SBOX_NP[state]
+        state = state[:, _SHIFT_ROWS_NP]
+        state ^= self._round_keys_np[self.ROUNDS]
+        return state

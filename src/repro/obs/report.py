@@ -98,6 +98,7 @@ def _aggregate_tasks(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
     wall_s = 0.0
     tasks = 0
     cached = 0
+    batches = set()
     for event in events:
         if event.get("name") != "campaign.task":
             continue
@@ -107,6 +108,8 @@ def _aggregate_tasks(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
             continue
         tasks += 1
         wall_s += _duration(event)
+        if attrs.get("batch") is not None:
+            batches.add((event.get("pid"), int(attrs["batch"])))
         for phase in TASK_PHASES:
             value = attrs.get(phase)
             if value is not None:
@@ -118,6 +121,7 @@ def _aggregate_tasks(events: List[Dict[str, Any]]) -> Optional[Dict[str, Any]]:
     return {
         "tasks": tasks,
         "cached": cached,
+        "batches": len(batches),
         "wall_s": wall_s,
         "phases_s": phases,
         "covered_s": covered_s,
@@ -174,9 +178,16 @@ def render_text(report: Dict[str, Any], stream: TextIO, top: int = 10) -> None:
     executor = report.get("executor")
     if executor is not None:
         phases = executor["phases_s"]
+        batches = executor.get("batches") or 0
+        batched = ""
+        if batches:
+            batched = (
+                f" in {batches} batches"
+                f" (mean {executor['tasks'] / batches:.1f} tasks/batch)"
+            )
         print(
             f"\nexecutor: {executor['tasks']} executed tasks"
-            f" ({executor['cached']} cached), {_fmt_s(executor['wall_s'])}"
+            f" ({executor['cached']} cached){batched}, {_fmt_s(executor['wall_s'])}"
             " summed task wall time",
             file=stream,
         )

@@ -1,5 +1,6 @@
 """Tests for the content-addressed result store."""
 
+import repro.obs as obs
 from repro.campaign.spec import Task
 from repro.campaign.store import ResultStore
 
@@ -60,6 +61,36 @@ class TestResultStore:
         assert store.discard(task) is True
         assert store.get(task) is None
         assert store.discard(task) is False
+
+    def test_contains_fast_path_skips_hit_miss_counters(self, tmp_path):
+        """Membership probes stat the object — no parse, no hits bump.
+
+        ``store.hits`` / ``store.misses`` keep meaning "rows served";
+        probes are counted separately under ``store.probes``.
+        """
+        store = ResultStore(tmp_path / "store")
+        present, absent = _task(1), _task(2)
+        store.put(present, [{"a": 1}])
+        obs.reset_metrics()
+        assert present in store
+        assert absent not in store
+        snapshot = obs.metrics_snapshot()
+        assert snapshot["store.probes"]["value"] == 2
+        assert "store.hits" not in snapshot
+        assert "store.misses" not in snapshot
+        # Serving rows still bumps the hit counter.
+        assert store.get(present) == [{"a": 1}]
+        assert obs.metrics_snapshot()["store.hits"]["value"] == 1
+        obs.reset_metrics()
+
+    def test_contains_true_for_corrupt_object_but_get_recomputes(self, tmp_path):
+        """A present-but-corrupt object is "in" the store; ``get`` is a miss."""
+        store = ResultStore(tmp_path / "store")
+        task = _task()
+        path = store.put(task, [{"a": 1}])
+        path.write_text("{truncated", encoding="utf-8")
+        assert task in store
+        assert store.get(task) is None
 
     def test_put_overwrites_atomically(self, tmp_path):
         store = ResultStore(tmp_path / "store")

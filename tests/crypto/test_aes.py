@@ -1,5 +1,6 @@
 """Tests for the pure-Python AES-128 implementation."""
 
+import numpy as np
 import pytest
 
 from repro.crypto.aes import AES128
@@ -51,3 +52,42 @@ class TestInterface:
     def test_output_length(self):
         cipher = AES128(bytes(16))
         assert len(cipher.encrypt_block(bytes(16))) == 16
+
+
+class TestBatchedCipher:
+    """The vectorised multi-block path must match the scalar cipher bit
+    for bit — it is what the counter-mode engine trusts for whole-chunk
+    pad generation."""
+
+    def test_fips197_appendix_c1_in_batch(self):
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+        expected = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+        blocks = np.frombuffer(plaintext, dtype=np.uint8).reshape(1, 16)
+        assert AES128(key).encrypt_blocks(blocks).tobytes() == expected
+
+    def test_bit_identical_to_scalar_over_many_blocks(self):
+        cipher = AES128(bytes(range(16)))
+        rng = np.random.default_rng(42)
+        # 257 blocks: not a multiple of anything the reshape could hide.
+        blocks = rng.integers(0, 256, size=(257, 16), dtype=np.uint8)
+        batched = cipher.encrypt_blocks(blocks)
+        for index in range(blocks.shape[0]):
+            assert batched[index].tobytes() == cipher.encrypt_block(
+                blocks[index].tobytes()
+            )
+
+    def test_preserves_input_and_shape(self):
+        cipher = AES128(bytes(16))
+        blocks = np.zeros((3, 16), dtype=np.uint8)
+        out = cipher.encrypt_blocks(blocks)
+        assert out.shape == (3, 16)
+        assert not blocks.any(), "input matrix must not be mutated"
+        assert (out[0] == out[1]).all() and (out[1] == out[2]).all()
+
+    def test_wrong_shape_rejected(self):
+        cipher = AES128(bytes(16))
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt_blocks(np.zeros((4, 8), dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            cipher.encrypt_blocks(np.zeros(16, dtype=np.uint8))
