@@ -46,6 +46,7 @@ _BUILTIN_MODULES = (
     "repro.analysis.rules.observability",
     "repro.analysis.rules.parallel_safety",
     "repro.analysis.rules.imports",
+    "repro.analysis.rules.resilience",
 )
 
 #: Valid values for a rule's ``scope``.

@@ -15,6 +15,8 @@
   module-level RNGs, unsanctioned writes to guarded package state.
 * :mod:`repro.analysis.rules.imports` — ``IMP`` (project scope):
   module-level import cycles.
+* :mod:`repro.analysis.rules.resilience` — ``RES``: unbounded retry
+  loops that bypass the executor's bounded retry/backoff machinery.
 
 Each module registers its rules on import via
 :func:`repro.analysis.registry.register_rule`; the registry imports them

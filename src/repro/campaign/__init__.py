@@ -23,10 +23,20 @@ from repro.campaign.engine import (
     CampaignProgress,
     CampaignResult,
     CampaignTelemetry,
+    RunPolicy,
     last_campaign_telemetry,
+    reset_run_policy,
     run_campaign,
+    set_run_policy,
 )
-from repro.campaign.executor import ProcessExecutor, SerialExecutor, TaskTelemetry, make_executor
+from repro.campaign.executor import (
+    ExecutorStats,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskFailure,
+    TaskTelemetry,
+    make_executor,
+)
 from repro.campaign.spec import SweepSpec, Task
 from repro.campaign.store import ResultStore
 from repro.campaign.tasks import (
@@ -42,11 +52,14 @@ __all__ = [
     "CampaignProgress",
     "CampaignResult",
     "CampaignTelemetry",
+    "ExecutorStats",
     "ProcessExecutor",
     "ResultStore",
+    "RunPolicy",
     "SerialExecutor",
     "SweepSpec",
     "Task",
+    "TaskFailure",
     "TaskKind",
     "TaskTelemetry",
     "available_task_kinds",
@@ -54,7 +67,9 @@ __all__ = [
     "last_campaign_telemetry",
     "make_executor",
     "register_task",
+    "reset_run_policy",
     "run_campaign",
     "run_task",
+    "set_run_policy",
     "unregister_task",
 ]

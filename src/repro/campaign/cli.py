@@ -35,7 +35,14 @@ from pathlib import Path
 from typing import List, Optional
 
 import repro.obs as obs
-from repro.campaign.engine import CampaignProgress, last_campaign_telemetry, run_campaign
+from repro.campaign.engine import (
+    CampaignProgress,
+    RunPolicy,
+    last_campaign_telemetry,
+    reset_run_policy,
+    run_campaign,
+    set_run_policy,
+)
 from repro.campaign.spec import SweepSpec
 from repro.campaign.tasks import available_task_kinds
 from repro.errors import ReproError
@@ -82,6 +89,7 @@ def _named_sweep_table(args: argparse.Namespace, progress) -> ResultTable:
         "rows": args.rows,
         "seed": args.seed,
         "repetitions": args.repetitions,
+        "fault_model": args.fault_model,
     }
     for name, value in option_map.items():
         if value is None:
@@ -164,6 +172,55 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--repetitions", type=int, default=None, help="repetitions (lifetime sweeps)"
     )
+    parser.add_argument(
+        "--fault-model",
+        default=None,
+        metavar="NAME",
+        help="repro.faults model for the sweep (fig2/fig11/fig12; "
+        "see repro.faults.available_fault_models)",
+    )
+    # Resilience knobs (see repro.campaign.engine.RunPolicy).  Any of
+    # them arms graceful degradation: tasks that exhaust their retry
+    # budget become structured failure rows instead of aborting the run.
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-queue failed or crash-lost tasks up to N times "
+        "(exponential backoff); default 0 keeps fail-fast behaviour",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-task wall-clock budget in seconds (timed-out tasks "
+        "retry, then degrade to failure rows)",
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        metavar="S",
+        help="base of the exponential retry backoff (default 0.05s)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="arm deterministic chaos injection (worker crashes etc.) "
+        "with this seed — testing only, rows are unaffected",
+    )
+    parser.add_argument(
+        "--chaos-crash-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="per-batch worker-crash probability for --chaos-seed runs "
+        "(default 0.25)",
+    )
     args = parser.parse_args(argv)
 
     if args.list_kinds:
@@ -178,6 +235,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--batch-size must be >= 1")
     if (args.sweep is None) == (args.spec is None):
         parser.error("name exactly one sweep: a positional name or --spec FILE")
+    if args.retries is not None and args.retries < 0:
+        parser.error("--retries must be >= 0")
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be positive")
+    if args.backoff is not None and args.backoff < 0:
+        parser.error("--backoff must be >= 0")
+    if args.chaos_crash_rate is not None and args.chaos_seed is None:
+        parser.error("--chaos-crash-rate requires --chaos-seed")
+
+    # Any resilience flag arms the degraded-run policy: retries/timeouts
+    # apply and exhausted tasks become failure rows instead of aborting.
+    resilience_active = any(
+        value is not None
+        for value in (args.retries, args.task_timeout, args.backoff, args.chaos_seed)
+    )
+    if resilience_active:
+        try:
+            chaos = None
+            if args.chaos_seed is not None:
+                from repro.faults.chaos import ChaosPlan
+
+                chaos = ChaosPlan(
+                    seed=args.chaos_seed,
+                    crash_rate=(
+                        0.25 if args.chaos_crash_rate is None else args.chaos_crash_rate
+                    ),
+                )
+            set_run_policy(
+                RunPolicy(
+                    retries=args.retries or 0,
+                    task_timeout_s=args.task_timeout,
+                    backoff_s=0.05 if args.backoff is None else args.backoff,
+                    degrade=True,
+                    chaos=chaos,
+                )
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     stats = {"done": 0, "cached": 0, "total": 0}
     printer = _progress_printer(args.quiet)
@@ -211,7 +307,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             axis_names = [name for name, _ in spec.axes()]
             rows = []
             for task in result.tasks:
-                for row in result.rows_for(task):
+                # Failed tasks (degraded runs) have no rows to merge.
+                for row in result.rows_by_hash.get(task.task_hash, []):
                     merged = {
                         name: task.params[name] for name in axis_names if name not in row
                     }
@@ -233,6 +330,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if resilience_active:
+            reset_run_policy()
 
     print(table.format())
     if args.json is not None:
@@ -251,4 +351,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"campaign finished: {stats['total']} tasks, "
         f"{executed} executed, {stats['cached']} from cache"
     )
+    # Printed only when resilience flags are armed, so plain runs keep a
+    # byte-identical stdout (CI diffs fresh vs cached invocations); the
+    # counts themselves are scheduling-dependent, like the stderr
+    # telemetry, which is why CI asserts on the label, not the numbers.
+    if resilience_active and telemetry is not None:
+        print(f"campaign resilience: {telemetry.resilience_summary()}")
     return 0

@@ -27,21 +27,81 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 import repro.obs as obs
-from repro.campaign.executor import TaskTelemetry, make_executor
+from repro.campaign.executor import TaskFailure, TaskTelemetry, make_executor
 from repro.campaign.spec import SweepSpec, Task
 from repro.campaign.store import ResultStore
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - the runtime import would be circular
+    from repro.faults.chaos import ChaosPlan
     from repro.sim.results import ResultTable
 
 __all__ = [
     "CampaignProgress",
     "CampaignResult",
     "CampaignTelemetry",
+    "RunPolicy",
+    "TaskFailure",
     "last_campaign_telemetry",
+    "reset_run_policy",
     "run_campaign",
+    "set_run_policy",
 ]
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Resilience knobs one :func:`run_campaign` call runs under.
+
+    The process-wide default (see :func:`set_run_policy`) lets the CLI
+    arm retries/timeouts for the figure sweeps without threading new
+    keyword arguments through every experiment entry point; explicit
+    ``run_campaign`` keywords override it field by field.
+
+    * ``retries`` — re-queue attempts per failed task / crash-lost batch;
+    * ``task_timeout_s`` — per-task wall-clock budget (``None`` = off);
+    * ``backoff_s`` — base of the exponential re-queue backoff;
+    * ``degrade`` — when ``True``, tasks that exhaust their budget become
+      structured :class:`TaskFailure` rows on the result instead of
+      aborting the sweep;
+    * ``chaos`` — optional :class:`~repro.faults.chaos.ChaosPlan`
+      injecting worker crashes / transport failures / slow tasks /
+      store-object corruption (testing only; results stay bit-identical
+      because every task's rows are a pure function of its parameters).
+    """
+
+    retries: int = 0
+    task_timeout_s: Optional[float] = None
+    backoff_s: float = 0.05
+    degrade: bool = False
+    chaos: Optional["ChaosPlan"] = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0.0:
+            raise ConfigurationError("task_timeout_s must be positive (or None)")
+        if self.backoff_s < 0.0:
+            raise ConfigurationError("backoff_s must be >= 0")
+
+
+#: Process-wide default policy; plain historical behaviour unless the
+#: CLI (or a test) installs something else via :func:`set_run_policy`.
+_run_policy = RunPolicy()
+
+
+def set_run_policy(policy: RunPolicy) -> RunPolicy:
+    """Install the default :class:`RunPolicy`; returns the previous one."""
+    global _run_policy
+    previous = _run_policy
+    _run_policy = policy
+    return previous
+
+
+def reset_run_policy() -> None:
+    """Restore the plain (no-retry, no-timeout, fail-fast) default policy."""
+    global _run_policy
+    _run_policy = RunPolicy()
 
 
 @dataclass(frozen=True)
@@ -55,11 +115,14 @@ class CampaignProgress:
     #: Submission-to-receipt wall time of this task (store-lookup time for
     #: cache hits).  Measurement only — never part of the result rows.
     wall_s: float = 0.0
+    #: The task exhausted its retry budget and was surrendered (degraded
+    #: runs only — fail-fast runs abort instead of reporting this).
+    failed: bool = False
 
     def format(self) -> str:
         """Render as the one-line form the CLI prints."""
         width = len(str(self.total))
-        origin = "cached" if self.from_cache else "ran"
+        origin = "failed" if self.failed else ("cached" if self.from_cache else "ran")
         wall = (
             f"{self.wall_s * 1e3:.1f}ms" if self.wall_s < 1.0 else f"{self.wall_s:.2f}s"
         )
@@ -99,6 +162,13 @@ class CampaignTelemetry:
     #: (empty at ``jobs=1``, where increments land in the coordinator's
     #: process registry directly).
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Resilience accounting (see :class:`RunPolicy`): re-queued batches,
+    #: per-task timeout expiries, tasks surrendered as failures, and pool
+    #: rebuilds after a worker death.  All zero on a clean run.
+    retried: int = 0
+    timeouts: int = 0
+    degraded: int = 0
+    worker_crashes: int = 0
 
     @property
     def overhead_fraction(self) -> float:
@@ -125,6 +195,13 @@ class CampaignTelemetry:
             f"(executor overhead {self.overhead_fraction * 100.0:.1f}%)"
         )
 
+    def resilience_summary(self) -> str:
+        """Deterministic one-line retry/timeout/degradation account."""
+        return (
+            f"{self.retried} retried, {self.timeouts} timed out, "
+            f"{self.degraded} degraded, {self.worker_crashes} worker crashes"
+        )
+
 
 @dataclass
 class CampaignResult:
@@ -135,6 +212,10 @@ class CampaignResult:
     executed: int
     cached: int
     telemetry: CampaignTelemetry = field(default_factory=CampaignTelemetry)
+    #: Tasks surrendered after exhausting their retry budget (degraded
+    #: runs only).  Their hashes are absent from ``rows_by_hash`` and
+    #: never persisted, so a rerun re-executes exactly these tasks.
+    failures: List[TaskFailure] = field(default_factory=list)
 
     @property
     def total(self) -> int:
@@ -142,10 +223,33 @@ class CampaignResult:
         return len(self.rows_by_hash)
 
     def rows(self) -> List[Dict[str, Any]]:
-        """All result rows flattened in task-submission order."""
+        """All result rows flattened in task-submission order.
+
+        Failed tasks (degraded runs) contribute no rows — consult
+        :attr:`failures` / :meth:`failure_rows` for their record.
+        """
         out: List[Dict[str, Any]] = []
         for task in self.tasks:
-            out.extend(self.rows_by_hash[task.task_hash])
+            out.extend(self.rows_by_hash.get(task.task_hash, []))
+        return out
+
+    def failure_rows(self) -> List[Dict[str, Any]]:
+        """Structured failure records in task-submission order."""
+        by_hash = {failure.task.task_hash: failure for failure in self.failures}
+        out = []
+        for task in self.tasks:
+            failure = by_hash.get(task.task_hash)
+            if failure is None:
+                continue
+            out.append(
+                {
+                    "task": failure.task.describe(),
+                    "task_hash": failure.task.task_hash,
+                    "kind": failure.kind,
+                    "attempts": failure.attempts,
+                    "message": failure.message,
+                }
+            )
         return out
 
     def rows_for(self, task: Task) -> List[Dict[str, Any]]:
@@ -190,6 +294,11 @@ def run_campaign(
     resume: bool = True,
     progress: Optional[ProgressCallback] = None,
     batch_size: Optional[int] = None,
+    retries: Optional[int] = None,
+    task_timeout_s: Optional[float] = None,
+    backoff_s: Optional[float] = None,
+    degrade: Optional[bool] = None,
+    chaos: Optional["ChaosPlan"] = None,
 ) -> CampaignResult:
     """Run a sweep to completion and return its rows in deterministic order.
 
@@ -217,7 +326,21 @@ def run_campaign(
         Tasks per executor batch when ``jobs > 1``; ``None`` (the
         default) derives a size that gives every worker several batches.
         Purely a scheduling knob — rows are bit-identical at any value.
+    retries / task_timeout_s / backoff_s / degrade / chaos:
+        Resilience knobs; each defaults to the process-wide
+        :class:`RunPolicy` (see :func:`set_run_policy`) when ``None``.
+        With ``degrade`` on, tasks that exhaust their retry budget land
+        in :attr:`CampaignResult.failures` instead of aborting the run —
+        and because failures are never persisted, a later run heals them
+        from the store.  All of these are scheduling-only: the rows of
+        every task that completes are bit-identical whatever the knobs.
     """
+    policy = _run_policy
+    retries = policy.retries if retries is None else retries
+    task_timeout_s = policy.task_timeout_s if task_timeout_s is None else task_timeout_s
+    backoff_s = policy.backoff_s if backoff_s is None else backoff_s
+    degrade = policy.degrade if degrade is None else degrade
+    chaos = policy.chaos if chaos is None else chaos
     if isinstance(work, SweepSpec):
         tasks = work.expand()
     else:
@@ -256,7 +379,7 @@ def run_campaign(
         done = 0
         total = len(unique)
 
-        def emit(task: Task, from_cache: bool, wall_s: float) -> None:
+        def emit(task: Task, from_cache: bool, wall_s: float, failed: bool = False) -> None:
             nonlocal done
             done += 1
             if progress is not None:
@@ -267,6 +390,7 @@ def run_campaign(
                         task=task,
                         from_cache=from_cache,
                         wall_s=wall_s,
+                        failed=failed,
                     )
                 )
 
@@ -296,6 +420,12 @@ def run_campaign(
             rows_by_hash[task.task_hash] = rows
             if store is not None:
                 store.put(task, rows)
+                if chaos is not None and chaos.should_corrupt(task.task_hash):
+                    # Chaos injection: mangle the just-persisted object.
+                    # This run's rows are already in memory, so the sweep
+                    # is unaffected; the *next* run quarantines the
+                    # object and recomputes — the healing path under test.
+                    store.corrupt_object(task.task_hash)
             telemetry.absorb(task_telemetry)
             batch_indices.add(task_telemetry.batch_index)
             telemetry.batches = len(batch_indices)
@@ -317,18 +447,55 @@ def run_campaign(
             )
             emit(task, from_cache=False, wall_s=task_telemetry.wall_s)
 
+        failures: List[TaskFailure] = []
+
+        def on_failure(failure: TaskFailure) -> None:
+            # Graceful degradation: the task exhausted its retry budget.
+            # Record it (never persist it — the next run re-executes it
+            # from the store's point of view) and keep the sweep going.
+            failures.append(failure)
+            now = obs.monotonic()
+            obs.emit_span(
+                "campaign.degraded",
+                now,
+                now,
+                task=failure.task.describe(),
+                kind=failure.kind,
+                attempts=failure.attempts,
+                message=failure.message,
+            )
+            emit(failure.task, from_cache=False, wall_s=0.0, failed=True)
+
         if pending:
-            make_executor(jobs, batch_size=batch_size).run(pending, on_result)
-        run_span.set(executed=len(pending), cached=cached, batches=telemetry.batches)
+            executor = make_executor(
+                jobs,
+                batch_size=batch_size,
+                retries=retries,
+                task_timeout_s=task_timeout_s,
+                backoff_s=backoff_s,
+                chaos=chaos,
+            )
+            stats = executor.run(pending, on_result, on_failure if degrade else None)
+            telemetry.retried = stats.retried
+            telemetry.timeouts = stats.timeouts
+            telemetry.degraded = stats.degraded
+            telemetry.worker_crashes = stats.worker_crashes
+        run_span.set(
+            executed=len(pending) - len(failures),
+            cached=cached,
+            batches=telemetry.batches,
+            failed=len(failures),
+        )
 
     telemetry.wall_s = obs.monotonic() - run_begin
     _set_last_telemetry(telemetry)
     return CampaignResult(
         tasks=tuple(tasks),
         rows_by_hash=rows_by_hash,
-        executed=len(pending),
+        executed=len(pending) - len(failures),
         cached=cached,
         telemetry=telemetry,
+        failures=failures,
     )
 
 

@@ -11,7 +11,11 @@ Writes are atomic (temp file + ``os.replace`` in the same directory), so
 a campaign killed mid-write never leaves a half-written object behind;
 re-running the campaign simply resumes from the objects that made it to
 disk.  Corrupt or mismatched objects are treated as cache misses and
-recomputed, never served.
+recomputed, never served — and *quarantined*: the bad file is renamed to
+``<hash>.corrupt`` in place (counted by ``store.quarantined`` and marked
+with a ``store.quarantine`` trace event), so it stops shadowing the slot
+its recomputed replacement will occupy and stays on disk for a
+post-mortem instead of being silently overwritten.
 """
 
 from __future__ import annotations
@@ -37,6 +41,9 @@ _OBS_CORRUPT = obs.counter(
 _OBS_PUTS = obs.counter("store.puts", "task results persisted to the store")
 _OBS_PROBES = obs.counter(
     "store.probes", "stat-based existence probes (no rows served, no hit/miss)"
+)
+_OBS_QUARANTINED = obs.counter(
+    "store.quarantined", "corrupt stored objects renamed aside to <hash>.corrupt"
 )
 
 
@@ -77,7 +84,9 @@ class ResultStore:
         misses so one bad object degrades to a recompute, not a crash.
         The two cases are told apart in telemetry (``store.misses`` vs
         ``store.corrupt``) because a corrupt object means lost compute,
-        not just a cold cache.
+        not just a cold cache.  Every corrupt object is quarantined —
+        renamed to ``<hash>.corrupt`` next to its slot — so the
+        recomputed result can land cleanly and the evidence survives.
         """
         path = self._path(task_hash)
         try:
@@ -88,17 +97,34 @@ class ResultStore:
         try:
             payload = json.loads(text)
         except json.JSONDecodeError:
-            _OBS_CORRUPT.inc()
+            self._quarantine(path)
             return None
         if not isinstance(payload, dict) or payload.get("task_hash") != task_hash:
-            _OBS_CORRUPT.inc()
+            self._quarantine(path)
             return None
         rows = payload.get("rows")
         if not isinstance(rows, list) or not all(isinstance(row, dict) for row in rows):
-            _OBS_CORRUPT.inc()
+            self._quarantine(path)
             return None
         _OBS_HITS.inc()
         return rows
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt object aside as ``<hash>.corrupt`` (best effort).
+
+        The rename is atomic within the shard directory; a filesystem
+        that refuses it (read-only store, raced deletion) degrades to
+        the old leave-in-place behaviour rather than failing the lookup.
+        """
+        _OBS_CORRUPT.inc()
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        _OBS_QUARANTINED.inc()
+        now = obs.monotonic()
+        obs.emit_span("store.quarantine", now, now, object=path.stem)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.iter_hashes())
@@ -160,3 +186,17 @@ class ResultStore:
             return True
         except OSError:
             return False
+
+    def corrupt_object(self, task_hash: str) -> bool:
+        """Chaos-testing hook: truncate one stored object to garbage.
+
+        Used by the campaign engine's :class:`~repro.faults.chaos.ChaosPlan`
+        injection to exercise the quarantine/recompute path end to end;
+        returns whether an object was present to mangle.  Never called
+        outside chaos runs.
+        """
+        path = self._path(task_hash)
+        if not path.is_file():
+            return False
+        path.write_text('{"schema": 1, "task_hash": "', encoding="utf-8")
+        return True

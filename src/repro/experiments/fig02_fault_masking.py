@@ -21,12 +21,14 @@ def run(
     jobs: int = 1,
     store_dir: Union[ResultStore, str, Path, None] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_model: Optional[str] = None,
 ) -> ResultTable:
     """Regenerate Fig. 2 on a scaled memory snapshot with a 1e-2 fault rate.
 
     ``jobs`` fans the per-count cells out over worker processes through
     the campaign engine (rows are bit-identical for any count);
-    ``store_dir`` enables cached resume across runs.
+    ``store_dir`` enables cached resume across runs; ``fault_model``
+    selects a :mod:`repro.faults` model for the sweep.
     """
     config = SawStudyConfig(rows=rows, num_writes=num_writes, seed=seed)
     return fault_masking_study(
@@ -35,4 +37,5 @@ def run(
         jobs=jobs,
         store=store_dir,
         progress=progress,
+        fault_model=fault_model,
     )

@@ -26,12 +26,14 @@ def run(
     jobs: int = 1,
     store_dir: Union[ResultStore, str, Path, None] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_model: Optional[str] = None,
 ) -> ResultTable:
     """Regenerate Fig. 11 on the scaled-down memory/endurance configuration.
 
     ``jobs`` fans the benchmark × technique × repetition cells out over
     worker processes through the campaign engine (rows are bit-identical
-    for any count); ``store_dir`` enables cached resume across runs.
+    for any count); ``store_dir`` enables cached resume across runs;
+    ``fault_model`` runs the line-up under one :mod:`repro.faults` model.
     """
     return lifetime_study(
         benchmarks=benchmarks,
@@ -42,4 +44,5 @@ def run(
         jobs=jobs,
         store=store_dir,
         progress=progress,
+        fault_model=fault_model,
     )

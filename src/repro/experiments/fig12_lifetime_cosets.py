@@ -25,6 +25,7 @@ def run(
     jobs: int = 1,
     store_dir: Union[ResultStore, str, Path, None] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_model: Optional[str] = None,
 ) -> ResultTable:
     """Regenerate Fig. 12 on the scaled-down memory/endurance configuration.
 
@@ -42,4 +43,5 @@ def run(
         jobs=jobs,
         store=store_dir,
         progress=progress,
+        fault_model=fault_model,
     )

@@ -1,0 +1,288 @@
+"""The device-face fault zoo: how cells fail, as pluggable models.
+
+A :class:`FaultModel` describes one physical failure mode through three
+orthogonal hooks, each of which the memory stack consults at a different
+layer:
+
+* :meth:`FaultModel.stuck_cells` — the *initial* stuck-at snapshot; used
+  by :class:`repro.pcm.faultmap.FaultMap` when it generates a map.
+* :meth:`FaultModel.wear_thresholds` — per-cell write budgets; installed
+  by :class:`repro.pcm.array.PCMArray` (when no explicit endurance model
+  is supplied) so cells *transition* to stuck mid-replay once their write
+  counts cross the sampled thresholds.
+* :attr:`FaultModel.read_flip_rate` — transient sensing noise; applied by
+  :class:`repro.memctrl.controller.MemoryController` to the old-row state
+  the encoder sees on each write's read-modify-write, after the ECC read
+  path (:mod:`repro.ecc` ECP / Hamming) has had its chance to correct.
+
+All three hooks draw exclusively from :func:`repro.utils.rng.make_rng` /
+:func:`~repro.utils.rng.derive_seed` labels, so a fault landscape is a
+pure function of ``(model, geometry, seed)`` — bit-identical across
+worker counts, batch sizes, and start methods.
+
+The four builtin models:
+
+========================  =====================================================
+``static-stuck-at``       Pre-generated stuck cells (the historical behaviour,
+                          extracted verbatim from ``FaultMap._generate``).
+``row-correlated``        The same expected fault count concentrated into a
+                          small set of weak rows (process variation,
+                          Section II-A).
+``transient``             No initial stuck cells; seeded per-read bit flips
+                          that ECP/Hamming may correct before the encoder
+                          observes them.
+``wear-drift``            Cells start healthy and stick at their current value
+                          once per-cell write counts cross sampled endurance
+                          thresholds mid-replay.
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.registry import register_fault_model
+from repro.pcm.cell import CellTechnology
+from repro.pcm.endurance import EnduranceModel
+from repro.pcm.faultmap import RowFaults
+from repro.utils.rng import make_rng
+from repro.utils.validation import require, require_in_range
+
+__all__ = [
+    "FaultModel",
+    "RowCorrelatedFaults",
+    "StaticStuckAtFaults",
+    "TransientReadFaults",
+    "WearDriftFaults",
+]
+
+
+def _generate_stuck_rows(
+    rows: int,
+    cells_per_row: int,
+    technology: CellTechnology,
+    fault_rate: float,
+    clustering: float,
+    stuck_values: str,
+    seed: Optional[int],
+) -> Dict[int, RowFaults]:
+    """The historical stuck-at map generator (ex ``FaultMap._generate``).
+
+    Draw order and labels are load-bearing: maps built through any model
+    that delegates here are bit-identical to the maps every pre-zoo run
+    produced for the same parameters and seed.
+    """
+    out: Dict[int, RowFaults] = {}
+    rng = make_rng(seed, "faultmap")
+    total_cells = rows * cells_per_row
+    expected_faults = int(round(total_cells * fault_rate))
+    if expected_faults == 0:
+        return out
+    max_value = technology.levels
+    if clustering <= 0.0:
+        # Independent faults: draw the number per row from a binomial.
+        fault_counts = rng.binomial(cells_per_row, fault_rate, size=rows)
+    else:
+        # Concentrate the same expected number of faults into a subset
+        # of "weak" rows.
+        weak_fraction = max(1.0 - clustering, 1.0 / rows)
+        weak_rows = max(1, int(round(rows * weak_fraction)))
+        per_weak_row_rate = min(1.0, fault_rate / weak_fraction)
+        fault_counts = np.zeros(rows, dtype=np.int64)
+        weak_indices = rng.choice(rows, size=weak_rows, replace=False)
+        fault_counts[weak_indices] = rng.binomial(
+            cells_per_row, per_weak_row_rate, size=weak_rows
+        )
+    if technology is CellTechnology.MLC and stuck_values == "extremes":
+        # Physical stuck-at faults land in the extreme resistance states
+        # (full SET / full RESET), i.e. the two ends of the Gray level
+        # sequence.
+        from repro.pcm.cell import MLC_GRAY_LEVELS
+
+        allowed_values = np.array(
+            [MLC_GRAY_LEVELS[0], MLC_GRAY_LEVELS[-1]], dtype=np.int64
+        )
+    else:
+        allowed_values = np.arange(max_value, dtype=np.int64)
+    for row_index in np.nonzero(fault_counts)[0]:
+        count = int(fault_counts[row_index])
+        positions = np.sort(
+            rng.choice(cells_per_row, size=count, replace=False)
+        ).astype(np.int64)
+        values = allowed_values[rng.integers(0, len(allowed_values), size=count)].astype(
+            np.int64
+        )
+        out[int(row_index)] = RowFaults(positions=positions, stuck_values=values)
+    return out
+
+
+class FaultModel:
+    """Base class of the fault zoo; hooks default to "no effect".
+
+    Attributes
+    ----------
+    name:
+        Registry name; the string experiments carry in task parameters.
+    summary:
+        One-line description for docs and CLI listings.
+    read_flip_rate:
+        Per-cell probability that one sensed read-before-write flips the
+        cell's observed value (transient noise; 0 disables the hook).
+    """
+
+    name: str = ""
+    summary: str = ""
+    read_flip_rate: float = 0.0
+
+    def stuck_cells(
+        self,
+        rows: int,
+        cells_per_row: int,
+        technology: CellTechnology,
+        fault_rate: float,
+        clustering: float,
+        stuck_values: str,
+        seed: Optional[int],
+    ) -> Dict[int, RowFaults]:
+        """Initial stuck-at snapshot; empty for purely dynamic models."""
+        return {}
+
+    def wear_thresholds(
+        self, rows: int, cells_per_row: int, seed: Optional[int]
+    ) -> Optional[np.ndarray]:
+        """Per-cell stuck thresholds, or ``None`` when cells never drift."""
+        return None
+
+    def describe(self) -> str:
+        """``name — summary`` line for listings."""
+        return f"{self.name} — {self.summary}"
+
+
+@register_fault_model
+class StaticStuckAtFaults(FaultModel):
+    """Today's behaviour: a fixed pre-generated stuck-at snapshot."""
+
+    name = "static-stuck-at"
+    summary = "pre-generated stuck cells, fixed for the whole run"
+
+    def stuck_cells(
+        self,
+        rows: int,
+        cells_per_row: int,
+        technology: CellTechnology,
+        fault_rate: float,
+        clustering: float,
+        stuck_values: str,
+        seed: Optional[int],
+    ) -> Dict[int, RowFaults]:
+        return _generate_stuck_rows(
+            rows, cells_per_row, technology, fault_rate, clustering, stuck_values, seed
+        )
+
+
+@register_fault_model
+class RowCorrelatedFaults(FaultModel):
+    """Stuck cells clustered into weak rows (correlated process variation).
+
+    Parameters
+    ----------
+    clustering:
+        Concentration knob in ``[0, 1)``; the map-level ``clustering``
+        parameter overrides it when set, so explicit sweeps keep working.
+    """
+
+    name = "row-correlated"
+    summary = "the same expected fault count concentrated into weak rows"
+
+    def __init__(self, clustering: float = 0.875):
+        require_in_range(clustering, 0.0, 0.999, "clustering")
+        self.clustering = clustering
+
+    def stuck_cells(
+        self,
+        rows: int,
+        cells_per_row: int,
+        technology: CellTechnology,
+        fault_rate: float,
+        clustering: float,
+        stuck_values: str,
+        seed: Optional[int],
+    ) -> Dict[int, RowFaults]:
+        effective = clustering if clustering > 0.0 else self.clustering
+        return _generate_stuck_rows(
+            rows, cells_per_row, technology, fault_rate, effective, stuck_values, seed
+        )
+
+
+@register_fault_model
+class TransientReadFaults(FaultModel):
+    """Seeded per-read sensing flips, correctable by the ECC read path.
+
+    No cell is ever physically stuck: each read-before-write senses a few
+    cells wrongly (rate ``rate`` per cell), the controller's read
+    corrector (ECP / Hamming, when the technique carries one) corrects
+    what its budget covers, and only the escaped flips reach the encoder.
+
+    Parameters
+    ----------
+    rate:
+        Per-cell flip probability per sensed read.  The paper-scale rows
+        (256 MLC cells) see ~``256 * rate`` flipped cells per read.
+    """
+
+    name = "transient"
+    summary = "seeded per-read sensing flips, ECC-correctable before the encoder"
+
+    def __init__(self, rate: float = 2e-3):
+        require_in_range(rate, 0.0, 1.0, "rate")
+        self.read_flip_rate = rate
+
+
+@register_fault_model
+class WearDriftFaults(FaultModel):
+    """Cells drift to stuck as write counts cross sampled thresholds.
+
+    Reuses the :class:`repro.pcm.endurance.EnduranceModel` machinery: the
+    model samples one threshold per cell and the array's existing wear
+    accounting (:meth:`repro.pcm.array.PCMArray.write_row_fast`) flips a
+    cell to stuck-at-its-current-value the moment its state-changing
+    write count reaches the threshold — mid-replay, not as a pre-run
+    snapshot.
+
+    Parameters
+    ----------
+    mean_writes / coefficient_of_variation / minimum_writes:
+        Forwarded to :class:`~repro.pcm.endurance.EnduranceModel`.  The
+        default mean is deliberately small so short figure sweeps observe
+        drift; lifetime studies that pass their own endurance model are
+        unaffected (an explicit model always wins).
+    """
+
+    name = "wear-drift"
+    summary = "cells transition to stuck as write counts cross sampled thresholds"
+
+    def __init__(
+        self,
+        mean_writes: float = 96.0,
+        coefficient_of_variation: float = 0.25,
+        minimum_writes: int = 4,
+    ):
+        require(mean_writes > 0, "mean_writes must be positive")
+        self.endurance = EnduranceModel(
+            mean_writes=mean_writes,
+            coefficient_of_variation=coefficient_of_variation,
+            minimum_writes=minimum_writes,
+        )
+
+    def wear_thresholds(
+        self, rows: int, cells_per_row: int, seed: Optional[int]
+    ) -> Optional[np.ndarray]:
+        if rows <= 0 or cells_per_row <= 0:
+            raise ConfigurationError("wear thresholds need a positive geometry")
+        samples = self.endurance.sample(
+            rows * cells_per_row, rng=make_rng(seed, "fault-wear-drift")
+        )
+        return samples.reshape(rows, cells_per_row)

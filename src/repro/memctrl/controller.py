@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # runtime import would be circular via repro.traces
+    from repro.faults.models import FaultModel
     from repro.traces.trace import Trace
 
 import numpy as np
@@ -47,6 +48,7 @@ from repro.coding.base import (
     words_matrix_to_cells,
 )
 from repro.crypto.counter_mode import CounterModeEngine
+from repro.ecc.base import ErrorCorrector
 from repro.errors import ConfigurationError, MemoryModelError
 from repro.memctrl.config import ControllerConfig
 from repro.pcm.array import PCMArray
@@ -56,6 +58,7 @@ from repro.pcm.faultrepo import FaultRepository
 from repro.pcm.stats import WriteStats
 from repro.pcm.wearlevel import StartGapWearLeveler
 from repro.utils.bitops import popcount64_array, random_word
+from repro.utils.rng import derive_seed, make_rng
 
 __all__ = ["LineWriteResult", "ReplayResult", "MemoryController"]
 
@@ -95,6 +98,15 @@ _OBS_EARLY_STOPS = obs.counter(
 )
 _OBS_EARLY_STOP_INDEX = obs.gauge(
     "replay.early_stop_index", "write index at which the latest replay stopped early"
+)
+_OBS_TRANSIENT_FLIPS = obs.counter(
+    "faults.transient_flips", "cells sensed wrongly by the transient fault model"
+)
+_OBS_TRANSIENT_CORRECTED = obs.counter(
+    "faults.transient_corrected", "sensed reads fully repaired by the ECC read path"
+)
+_OBS_TRANSIENT_ESCAPED = obs.counter(
+    "faults.transient_escaped", "sensed reads whose flips escaped ECC into the encoder"
 )
 _OBS_SPAN = obs.span
 
@@ -302,6 +314,16 @@ class MemoryController:
         Optional Start-Gap wear leveler.  When present, line addresses are
         first mapped to logical rows and then rotated onto physical rows;
         the array must provide ``wear_leveler.physical_rows_required`` rows.
+    fault_model:
+        Optional :class:`repro.faults.models.FaultModel` whose *sensing*
+        effects attach here: a model with a nonzero ``read_flip_rate``
+        (e.g. ``transient``) perturbs the old-row view the encoder sees on
+        each read-before-write.  Energy/bit accounting always uses the
+        true array state — only the encoder's context is perturbed.
+    read_corrector:
+        Optional :class:`repro.ecc.base.ErrorCorrector` adjudicating
+        sensed reads: flips within its budget are repaired before the
+        encoder observes them, the rest escape into the line context.
     """
 
     def __init__(
@@ -315,6 +337,8 @@ class MemoryController:
         use_fault_context: bool = True,
         fault_knowledge: Optional[str] = None,
         wear_leveler: Optional[StartGapWearLeveler] = None,
+        fault_model: Optional["FaultModel"] = None,
+        read_corrector: Optional[ErrorCorrector] = None,
     ):
         self.config = config or ControllerConfig()
         if array.word_bits != self.config.word_bits:
@@ -392,6 +416,20 @@ class MemoryController:
         #: exposed as an attribute so studies with huge candidate sets can
         #: trade peak memory against batching.
         self.replay_wave_lines = REPLAY_WAVE_LINES
+        self.fault_model = fault_model
+        self.read_corrector = read_corrector
+        self._read_flip_rate = float(fault_model.read_flip_rate) if fault_model else 0.0
+        if self._read_flip_rate > 0.0:
+            # Sensed-read bookkeeping: one seeded stream per (row, nth read
+            # of that row), so scalar replays and wave gathers perturb the
+            # same reads identically regardless of batching.
+            self._sense_seed: Optional[int] = derive_seed(
+                array.seed if array.seed is not None else 0, "transient-sense"
+            )
+            self._sense_counts: Optional[np.ndarray] = np.zeros(array.rows, dtype=np.int64)
+        else:
+            self._sense_seed = None
+            self._sense_counts = None
 
     # ------------------------------------------------------------- mapping
     def row_for_address(self, address: int) -> int:
@@ -465,7 +503,7 @@ class MemoryController:
 
         old_auxes = self._aux_store[row_index].copy()
         context = LineContext.from_row(
-            old_row,
+            self._sensed_view(old_row, row_index),
             words_per_line,
             bits_per_cell=self.array.bits_per_cell,
             stuck_mask=stuck_row,
@@ -868,9 +906,10 @@ class MemoryController:
                 old_rows = array.read_rows(row_array)
                 stuck_rows = self._stuck_rows(row_array)
                 old_auxes = self._aux_store[row_array]
+                sensed_rows = self._sensed_rows(old_rows, rows)
                 contexts = [
                     LineContext.from_rows(
-                        old_rows, words_per_line, bits_per_cell, stuck_rows, old_auxes, line
+                        sensed_rows, words_per_line, bits_per_cell, stuck_rows, old_auxes, line
                     )
                     for line in range(count)
                 ]
@@ -996,6 +1035,59 @@ class MemoryController:
             new_auxes.astype(np.uint64) ^ old_auxes.astype(np.uint64)
         ).sum(axis=1)
         replay.aux_energy_pj[lo:hi] = self._aux_bit_energy * changed
+
+    def _sensed_view(self, old_row: np.ndarray, row_index: int) -> np.ndarray:
+        """The old-row state the encoder observes for one read-before-write.
+
+        With no fault model (or a zero flip rate) this is ``old_row``
+        itself.  Under a transient model each read of a row draws its own
+        seeded stream keyed by ``(row, nth-read-of-row)``: the number of
+        mis-sensed cells is binomial in the flip rate, the read corrector
+        (when present) repairs reads within its budget, and only escaped
+        flips reach the returned copy.  The true ``old_row`` is never
+        mutated — accounting stays on the real array state.
+        """
+        if self._sense_counts is None or self._sense_seed is None:
+            return old_row
+        count = int(self._sense_counts[row_index])
+        self._sense_counts[row_index] = count + 1
+        rng = make_rng(derive_seed(self._sense_seed, f"{row_index}:{count}"), "sense")
+        cells = old_row.shape[0]
+        flips = int(rng.binomial(cells, self._read_flip_rate))
+        if flips == 0:
+            return old_row
+        positions = rng.choice(cells, size=flips, replace=False)
+        _OBS_TRANSIENT_FLIPS.inc(flips)
+        if self.read_corrector is not None:
+            # Each mis-sensed cell is one wrong bit (the flip toggles the
+            # low bit of the cell's symbol); bucket them per word and ask
+            # the corrector whether its budget covers the read.
+            cells_per_word = cells // self.config.words_per_line
+            wrong_bits_per_word = np.bincount(
+                positions // cells_per_word, minlength=self.config.words_per_line
+            )
+            if self.read_corrector.row_outcome(wrong_bits_per_word.tolist()).correctable:
+                _OBS_TRANSIENT_CORRECTED.inc()
+                return old_row
+        _OBS_TRANSIENT_ESCAPED.inc()
+        sensed = old_row.copy()
+        sensed[positions] ^= 1
+        return sensed
+
+    def _sensed_rows(self, old_rows: np.ndarray, rows: List[int]) -> np.ndarray:
+        """Wave sibling of :meth:`_sensed_view` over distinct rows.
+
+        Rows within a wave are pairwise distinct, so perturbing each
+        gathered row once — in wave order — consumes exactly the per-row
+        streams a sequential scalar replay of the same writes would, which
+        keeps wave and scalar encoder inputs bit-identical.
+        """
+        if self._sense_counts is None:
+            return old_rows
+        sensed = old_rows.copy()
+        for line, row_index in enumerate(rows):
+            sensed[line] = self._sensed_view(old_rows[line], row_index)
+        return sensed
 
     def _stuck_rows(self, row_indices: np.ndarray) -> Optional[np.ndarray]:
         """The stuck masks the encoder may see for a wave of rows."""

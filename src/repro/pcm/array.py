@@ -21,7 +21,7 @@ intended cell values could not be stored (stuck-at-wrong, SAW).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.pcm.endurance import EnduranceModel
 from repro.pcm.faultmap import FaultMap
 from repro.utils.rng import make_rng
 from repro.utils.validation import require, require_divisible
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only; repro.faults imports repro.pcm
+    from repro.faults.models import FaultModel
 
 __all__ = ["PCMArray", "RowWriteResult", "word_to_cells", "cells_to_word"]
 
@@ -135,6 +138,13 @@ class PCMArray:
         samples.
     word_bits:
         Word granularity used by :meth:`read_word` / :meth:`write_word`.
+    fault_model:
+        Optional :class:`repro.faults.models.FaultModel` instance whose
+        *dynamic* device effects attach here: a model that samples
+        :meth:`~repro.faults.models.FaultModel.wear_thresholds` (e.g.
+        ``wear-drift``) installs per-cell stuck thresholds so cells
+        transition to stuck mid-replay.  An explicit ``endurance_model``
+        always wins over the fault model's thresholds.
     """
 
     def __init__(
@@ -146,6 +156,7 @@ class PCMArray:
         endurance_model: Optional[EnduranceModel] = None,
         seed: Optional[int] = 0,
         word_bits: int = 64,
+        fault_model: Optional["FaultModel"] = None,
     ):
         require(rows > 0, "rows must be positive")
         require(row_bits > 0, "row_bits must be positive")
@@ -162,6 +173,7 @@ class PCMArray:
         self.words_per_row = row_bits // word_bits
         self.fault_map = fault_map
         self.endurance_model = endurance_model
+        self.fault_model = fault_model
         self.seed = seed
 
         if fault_map is not None:
@@ -188,11 +200,24 @@ class PCMArray:
         if endurance_model is not None:
             total_cells = rows * self.cells_per_row
             lifetimes = endurance_model.sample(total_cells, rng=make_rng(seed, "pcm-endurance"))
-            self._endurance = lifetimes.reshape(rows, self.cells_per_row)
-            self._wear = np.zeros((rows, self.cells_per_row), dtype=np.int64)
+            self._endurance: Optional[np.ndarray] = lifetimes.reshape(rows, self.cells_per_row)
+            self._wear: Optional[np.ndarray] = np.zeros(
+                (rows, self.cells_per_row), dtype=np.int64
+            )
         else:
             self._endurance = None
             self._wear = None
+
+        if fault_model is not None and self._endurance is None:
+            thresholds = fault_model.wear_thresholds(rows, self.cells_per_row, seed)
+            if thresholds is not None:
+                if thresholds.shape != (rows, self.cells_per_row):
+                    raise MemoryModelError(
+                        "fault model wear thresholds have shape "
+                        f"{thresholds.shape}, expected {(rows, self.cells_per_row)}"
+                    )
+                self._endurance = thresholds
+                self._wear = np.zeros((rows, self.cells_per_row), dtype=np.int64)
 
     # ---------------------------------------------------------------- reads
     def read_row(self, row_index: int) -> np.ndarray:

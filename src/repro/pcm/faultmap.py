@@ -15,14 +15,13 @@ weak cells within a row, Section II-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, MemoryModelError
 from repro.pcm.cell import CellTechnology
-from repro.utils.rng import make_rng
 from repro.utils.validation import require, require_in_range
 
 __all__ = ["RowFaults", "FaultMap"]
@@ -103,6 +102,13 @@ class FaultMap:
     seed:
         Seed for the map; two maps built with the same parameters and seed
         are identical.
+    model:
+        Name of the :class:`repro.faults.models.FaultModel` that decides
+        *which* cells start out stuck.  The default, ``"static-stuck-at"``,
+        reproduces the historical generator bit for bit; other registered
+        models (``"row-correlated"``, ``"transient"``, ``"wear-drift"``)
+        reshape or empty the snapshot — their dynamic effects live in
+        :class:`repro.pcm.array.PCMArray` and the memory controller.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class FaultMap:
         clustering: float = 0.0,
         stuck_values: str = "extremes",
         seed: Optional[int] = 0,
+        model: str = "static-stuck-at",
     ):
         require(rows > 0, "rows must be positive")
         require(cells_per_row > 0, "cells_per_row must be positive")
@@ -127,49 +134,25 @@ class FaultMap:
         self.clustering = clustering
         self.stuck_values = stuck_values
         self.seed = seed
+        self.model = model
         self._rows: Dict[int, RowFaults] = {}
         self._generate()
 
     # ------------------------------------------------------------ creation
     def _generate(self) -> None:
-        rng = make_rng(self.seed, "faultmap")
-        total_cells = self.rows * self.cells_per_row
-        expected_faults = int(round(total_cells * self.fault_rate))
-        if expected_faults == 0:
-            return
-        max_value = self.technology.levels
-        if self.clustering <= 0.0:
-            # Independent faults: draw the number per row from a binomial.
-            fault_counts = rng.binomial(self.cells_per_row, self.fault_rate, size=self.rows)
-        else:
-            # Concentrate the same expected number of faults into a subset
-            # of "weak" rows.
-            weak_fraction = max(1.0 - self.clustering, 1.0 / self.rows)
-            weak_rows = max(1, int(round(self.rows * weak_fraction)))
-            per_weak_row_rate = min(1.0, self.fault_rate / weak_fraction)
-            fault_counts = np.zeros(self.rows, dtype=np.int64)
-            weak_indices = rng.choice(self.rows, size=weak_rows, replace=False)
-            fault_counts[weak_indices] = rng.binomial(
-                self.cells_per_row, per_weak_row_rate, size=weak_rows
-            )
-        if self.technology is CellTechnology.MLC and self.stuck_values == "extremes":
-            # Physical stuck-at faults land in the extreme resistance states
-            # (full SET / full RESET), i.e. the two ends of the Gray level
-            # sequence.
-            from repro.pcm.cell import MLC_GRAY_LEVELS
+        # Imported here (not at module top) because the fault-model zoo
+        # itself imports RowFaults from this module.
+        from repro.faults.registry import make_fault_model
 
-            allowed_values = np.array([MLC_GRAY_LEVELS[0], MLC_GRAY_LEVELS[-1]], dtype=np.int64)
-        else:
-            allowed_values = np.arange(max_value, dtype=np.int64)
-        for row_index in np.nonzero(fault_counts)[0]:
-            count = int(fault_counts[row_index])
-            positions = np.sort(
-                rng.choice(self.cells_per_row, size=count, replace=False)
-            ).astype(np.int64)
-            stuck_values = allowed_values[
-                rng.integers(0, len(allowed_values), size=count)
-            ].astype(np.int64)
-            self._rows[int(row_index)] = RowFaults(positions=positions, stuck_values=stuck_values)
+        self._rows = make_fault_model(self.model).stuck_cells(
+            rows=self.rows,
+            cells_per_row=self.cells_per_row,
+            technology=self.technology,
+            fault_rate=self.fault_rate,
+            clustering=self.clustering,
+            stuck_values=self.stuck_values,
+            seed=self.seed,
+        )
 
     # -------------------------------------------------------------- access
     def row_faults(self, row_index: int) -> RowFaults:

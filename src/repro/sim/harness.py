@@ -26,7 +26,9 @@ from repro.coding.cost import (
     saw_then_energy,
 )
 from repro.coding.registry import make_encoder
+from repro.ecc import ECP, ErrorCorrector, HammingSecded
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults.registry import make_fault_model
 from repro.memctrl.config import ControllerConfig
 from repro.memctrl.controller import LineWriteResult, MemoryController, ReplayResult
 from repro.pcm.array import PCMArray
@@ -50,6 +52,7 @@ __all__ = [
     "drive_random_lines_scalar",
     "drive_trace",
     "make_cost",
+    "make_read_corrector",
     "scalar_random_line_results",
 ]
 
@@ -135,6 +138,11 @@ class TechniqueSpec:
     corrector:
         Optional lifetime-study correction budget: ``None`` (any residual
         wrong bit kills the row), ``"secded"`` or ``"ecp3"``.
+    fault_model:
+        Optional :mod:`repro.faults` model name (``static-stuck-at``,
+        ``row-correlated``, ``transient``, ``wear-drift``).  ``None``
+        keeps the historical static stuck-at behaviour and leaves task
+        hashes unchanged.
     """
 
     encoder: str
@@ -142,12 +150,19 @@ class TechniqueSpec:
     num_cosets: int = 256
     label: str = ""
     corrector: Optional[str] = None
+    fault_model: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.cost, str) or self.cost.lower() not in _COST_NAMES:
             raise ConfigurationError(
                 f"unknown cost function {self.cost!r}; expected one of {_COST_NAMES}"
             )
+        if self.fault_model is not None:
+            # Resolve eagerly so a misspelt model name fails when the
+            # sweep grid is declared, not inside a worker process.
+            from repro.faults.registry import get_fault_model_class
+
+            get_fault_model_class(self.fault_model)
         count = self.num_cosets
         if isinstance(count, bool) or not isinstance(count, (int, np.integer)):
             raise ConfigurationError(
@@ -160,6 +175,24 @@ class TechniqueSpec:
     def display_name(self) -> str:
         """Label used in result tables."""
         return self.label or self.encoder
+
+
+def make_read_corrector(name: Optional[str], line_bits: int = 512) -> Optional[ErrorCorrector]:
+    """Build the ECC corrector named by a :class:`TechniqueSpec.corrector`.
+
+    The single spelling of the corrector dispatch (``"secded"``,
+    ``"ecpN"``) shared by the lifetime simulator's row-failure judge and
+    the controller's transient-read correction path, so the two layers
+    cannot drift apart.
+    """
+    if name is None:
+        return None
+    key = name.lower()
+    if key == "secded":
+        return HammingSecded()
+    if key.startswith("ecp"):
+        return ECP(entries_per_row=int(key[3:] or 3), row_bits=line_bits)
+    raise ConfigurationError(f"unknown corrector {name!r}; expected 'secded' or 'ecpN'")
 
 
 def build_controller(
@@ -175,7 +208,13 @@ def build_controller(
     use_fault_context: bool = True,
     mlc_energy: MLCEnergyModel = DEFAULT_MLC_ENERGY,
 ) -> MemoryController:
-    """Build the full array + encoder + controller stack for one technique."""
+    """Build the full array + encoder + controller stack for one technique.
+
+    When the spec names a :mod:`repro.faults` model, the model object is
+    materialised once and handed to both the array (wear-drift
+    thresholds) and the controller (transient sensing, corrected by the
+    spec's ECC budget before the encoder observes a read).
+    """
     cost = make_cost(spec.cost, technology, mlc_energy)
     encoder = make_encoder(
         spec.encoder,
@@ -185,6 +224,7 @@ def build_controller(
         cost_function=cost,
         seed=seed,
     )
+    fault_model = make_fault_model(spec.fault_model) if spec.fault_model else None
     array = PCMArray(
         rows=rows,
         row_bits=line_bits,
@@ -193,13 +233,19 @@ def build_controller(
         endurance_model=endurance_model,
         seed=seed,
         word_bits=word_bits,
+        fault_model=fault_model,
     )
+    read_corrector = None
+    if fault_model is not None and fault_model.read_flip_rate > 0.0:
+        read_corrector = make_read_corrector(spec.corrector, line_bits)
     return MemoryController(
         array=array,
         encoder=encoder,
         config=ControllerConfig(line_bits=line_bits, word_bits=word_bits, encrypt=encrypt),
         mlc_energy=mlc_energy,
         use_fault_context=use_fault_context,
+        fault_model=fault_model,
+        read_corrector=read_corrector,
     )
 
 
@@ -237,12 +283,14 @@ def cached_fault_map(
     technology: CellTechnology,
     fault_rate: float,
     seed: int,
+    model: str = "static-stuck-at",
 ) -> FaultMap:
     """Per-process memo around :class:`FaultMap` (see :func:`cached_trace`).
 
     Safe to share: :class:`~repro.pcm.array.PCMArray` copies the stuck
     positions/values into its own arrays at construction and never
-    writes back into the map.
+    writes back into the map.  ``model`` selects the
+    :mod:`repro.faults` model that shapes the stuck-at snapshot.
     """
     return FaultMap(
         rows=rows,
@@ -250,6 +298,7 @@ def cached_fault_map(
         technology=technology,
         fault_rate=fault_rate,
         seed=seed,
+        model=model,
     )
 
 

@@ -32,12 +32,10 @@ from repro.campaign.engine import ProgressCallback, run_campaign
 from repro.campaign.spec import Task
 from repro.campaign.store import ResultStore
 from repro.campaign.tasks import register_task
-from repro.ecc.ecp import ECP
-from repro.ecc.hamming import HammingSecded
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.pcm.cell import CellTechnology
 from repro.pcm.endurance import EnduranceModel
-from repro.sim.harness import TechniqueSpec, build_controller
+from repro.sim.harness import TechniqueSpec, build_controller, make_read_corrector
 from repro.sim.repetition import kaplan_meier_mean
 from repro.sim.results import ResultTable
 from repro.traces.synthetic import generate_trace
@@ -90,14 +88,12 @@ def _row_failure(spec: TechniqueSpec, saw_bits_per_word: Sequence[int], line_bit
     """Decide whether a row write with residual wrong bits is fatal."""
     if spec.corrector is None:
         return any(saw_bits_per_word)
-    if spec.corrector == "secded":
-        return not HammingSecded().row_outcome(saw_bits_per_word).correctable
-    if spec.corrector.startswith("ecp"):
-        entries = int(spec.corrector[3:] or 3)
-        return not ECP(entries_per_row=entries, row_bits=line_bits).row_outcome(
-            saw_bits_per_word
-        ).correctable
-    raise SimulationError(f"unknown corrector {spec.corrector!r}")
+    try:
+        corrector = make_read_corrector(spec.corrector, line_bits)
+    except ConfigurationError as error:
+        raise SimulationError(str(error)) from error
+    assert corrector is not None
+    return not corrector.row_outcome(saw_bits_per_word).correctable
 
 
 @dataclass(frozen=True)
@@ -205,6 +201,7 @@ def _fig11_lifetime_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         num_cosets=params["num_cosets"],
         label=params["label"],
         corrector=params["corrector"],
+        fault_model=params.get("fault_model"),
     )
     config = LifetimeStudyConfig(
         rows=params["rows"],
@@ -236,8 +233,14 @@ def lifetime_study_tasks(
     num_cosets: int = 256,
     config: LifetimeStudyConfig = LifetimeStudyConfig(),
     repetitions: int = 1,
+    fault_model: Optional[str] = None,
 ) -> List[Task]:
-    """The Fig. 11 sweep as campaign tasks (benchmark × technique × rep)."""
+    """The Fig. 11 sweep as campaign tasks (benchmark × technique × rep).
+
+    ``fault_model`` (or a per-spec ``TechniqueSpec.fault_model``) selects
+    a :mod:`repro.faults` model; ``None`` keeps the historical behaviour
+    and the historical task hashes.
+    """
     base = {
         "num_cosets": num_cosets,
         "rows": config.rows,
@@ -264,6 +267,9 @@ def lifetime_study_tasks(
                     corrector=spec.corrector,
                     rep=rep,
                 )
+                model = fault_model or spec.fault_model
+                if model is not None:
+                    params["fault_model"] = model
                 tasks.append(Task(kind="fig11-lifetime-cell", params=params))
     return tasks
 
@@ -277,14 +283,19 @@ def lifetime_study(
     jobs: int = 1,
     store: Union[ResultStore, str, Path, None] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_model: Optional[str] = None,
 ) -> ResultTable:
     """Fig. 11: per-benchmark writes-to-failure for every technique.
 
     The (benchmark × technique × repetition) cross-product runs through
     the campaign engine: ``jobs`` worker processes (bit-identical rows for
     any count) with optional result caching and resume via ``store``.
+    ``fault_model`` runs the whole line-up under one :mod:`repro.faults`
+    model.
     """
-    tasks = lifetime_study_tasks(benchmarks, techniques, num_cosets, config, repetitions)
+    tasks = lifetime_study_tasks(
+        benchmarks, techniques, num_cosets, config, repetitions, fault_model=fault_model
+    )
     result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
     values_by_cell: Dict[Tuple[str, str], List[Tuple[int, bool]]] = {}
     censored_cells = 0
@@ -361,6 +372,7 @@ def _fig12_lifetime_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
         num_cosets=params["cosets"],
         label=params["label"],
         corrector=params["corrector"],
+        fault_model=params.get("fault_model"),
     )
     config = LifetimeStudyConfig(
         rows=params["rows"],
@@ -393,6 +405,7 @@ def mean_lifetime_tasks(
     techniques: Sequence[TechniqueSpec] = DEFAULT_LIFETIME_TECHNIQUES,
     config: LifetimeStudyConfig = LifetimeStudyConfig(),
     repetitions: int = 1,
+    fault_model: Optional[str] = None,
 ) -> List[Task]:
     """The Fig. 12 sweep as campaign tasks (cosets × technique × benchmark × rep)."""
     base = {
@@ -422,6 +435,9 @@ def mean_lifetime_tasks(
                         benchmark=benchmark,
                         rep=rep,
                     )
+                    model = fault_model or spec.fault_model
+                    if model is not None:
+                        params["fault_model"] = model
                     tasks.append(Task(kind="fig12-lifetime-cell", params=params))
     return tasks
 
@@ -435,6 +451,7 @@ def mean_lifetime_by_coset_count(
     jobs: int = 1,
     store: Union[ResultStore, str, Path, None] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_model: Optional[str] = None,
 ) -> ResultTable:
     """Fig. 12: mean writes-to-failure across benchmarks vs. coset count.
 
@@ -451,7 +468,9 @@ def mean_lifetime_by_coset_count(
     (:func:`repro.sim.repetition.kaplan_meier_mean`) rather than being
     silently averaged in as failure times, and are counted in the notes.
     """
-    tasks = mean_lifetime_tasks(coset_counts, benchmarks, techniques, config, repetitions)
+    tasks = mean_lifetime_tasks(
+        coset_counts, benchmarks, techniques, config, repetitions, fault_model=fault_model
+    )
     result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
     values_by_cell: Dict[Tuple[int, str], List[Tuple[int, bool]]] = {}
     censored_cells = 0

@@ -141,18 +141,31 @@ def _fig2_masking_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
     """
     config = _random_study_config(params)
     cosets = params["cosets"]
+    # Optional zoo selection: absent for legacy tasks (so their hashes —
+    # and any stored results — are unchanged), a model name otherwise.
+    fault_model = params.get("fault_model")
     fault_map = cached_fault_map(
         rows=config.rows,
         cells_per_row=config.cells_per_row,
         technology=config.technology,
         fault_rate=config.fault_rate,
         seed=derive_seed(config.seed, "fig2-faults"),
+        model=fault_model or "static-stuck-at",
     )
     if cosets <= 1:
-        spec = TechniqueSpec(encoder="unencoded", cost="saw-then-energy", label="1 coset")
+        spec = TechniqueSpec(
+            encoder="unencoded",
+            cost="saw-then-energy",
+            label="1 coset",
+            fault_model=fault_model,
+        )
     else:
         spec = TechniqueSpec(
-            encoder="rcc", cost="saw-then-energy", num_cosets=cosets, label=f"{cosets} cosets"
+            encoder="rcc",
+            cost="saw-then-energy",
+            num_cosets=cosets,
+            label=f"{cosets} cosets",
+            fault_model=fault_model,
         )
     stats = _run_spec(spec, config, fault_map, f"fig2-{cosets}")
     cells_written = stats.rows_written * config.cells_per_row
@@ -170,13 +183,23 @@ def _fig2_masking_cell(params: Dict[str, Any]) -> List[Dict[str, Any]]:
 def fault_masking_tasks(
     coset_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
     config: SawStudyConfig = SawStudyConfig(),
+    fault_model: Optional[str] = None,
 ) -> List[Task]:
-    """The Fig. 2 sweep as campaign tasks, one per coset count."""
+    """The Fig. 2 sweep as campaign tasks, one per coset count.
+
+    ``fault_model`` selects a :mod:`repro.faults` model for every cell;
+    ``None`` keeps the historical static snapshot and leaves the task
+    hashes (and any cached results) untouched.
+    """
+    if fault_model is not None:
+        TechniqueSpec(encoder="unencoded", fault_model=fault_model)  # eager name check
     base = _random_study_base(config)
     tasks: List[Task] = []
     for cosets in checked_coset_counts(coset_counts, minimum=1):
         params = dict(base)
         params.update(cosets=cosets)
+        if fault_model is not None:
+            params["fault_model"] = fault_model
         tasks.append(Task(kind="fig2-masking-cell", params=params))
     return tasks
 
@@ -187,6 +210,7 @@ def fault_masking_study(
     jobs: int = 1,
     store: Union[ResultStore, str, Path, None] = None,
     progress: Optional[ProgressCallback] = None,
+    fault_model: Optional[str] = None,
 ) -> ResultTable:
     """Fig. 2: mean observed fault rate as the coset candidate count grows.
 
@@ -199,12 +223,15 @@ def fault_masking_study(
     processes (bit-identical rows for any count) with optional result
     caching and resume via ``store``.
     """
-    tasks = fault_masking_tasks(coset_counts, config)
+    tasks = fault_masking_tasks(coset_counts, config, fault_model=fault_model)
     result = run_campaign(tasks, store=store, jobs=jobs, progress=progress)
+    notes = f"pre-generated fault map at rate {config.fault_rate}"
+    if fault_model is not None:
+        notes += f"; fault model {fault_model}"
     table = ResultTable(
         title="Fig. 2 — mean observed fault rate vs. number of coset codes",
         columns=["cosets", "observed_fault_rate", "saw_cells", "cells_written"],
-        notes=f"pre-generated fault map at rate {config.fault_rate}",
+        notes=notes,
     )
     return table.extend(result.rows())
 

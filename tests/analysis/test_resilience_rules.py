@@ -1,0 +1,130 @@
+"""RES rule fixtures: unbounded retry loops vs the sanctioned shapes."""
+
+import textwrap
+
+from repro.analysis import analyze_source
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+def run(source, path="src/repro/example.py", **kwargs):
+    kwargs.setdefault("select", ["RES"])
+    return analyze_source(textwrap.dedent(source), path=path, **kwargs)
+
+
+class TestRES001UnboundedRetryLoop:
+    def test_violating_submit_loop(self):
+        findings = run(
+            """
+            def keep_trying(pool, job):
+                while True:
+                    future = pool.submit(job)
+                    try:
+                        return future.result()
+                    except RuntimeError:
+                        pass
+            """
+        )
+        assert codes(findings) == ["RES001"]
+        assert "budget" in findings[0].message
+
+    def test_violating_sleep_loop(self):
+        findings = run(
+            """
+            import time
+
+
+            def poll(check):
+                while 1:
+                    if check():
+                        return
+                    time.sleep(0.5)
+            """
+        )
+        assert codes(findings) == ["RES001"]
+
+    def test_clean_bounded_for_loop(self):
+        findings = run(
+            """
+            import time
+
+
+            def bounded(pool, job, retries):
+                for attempt in range(retries + 1):
+                    try:
+                        return pool.submit(job).result()
+                    except RuntimeError:
+                        time.sleep(0.1)
+                return None
+            """
+        )
+        assert findings == []
+
+    def test_clean_while_true_with_attempt_budget(self):
+        findings = run(
+            """
+            import time
+
+
+            def capped(pool, job):
+                attempt = 0
+                while True:
+                    try:
+                        return pool.submit(job).result()
+                    except RuntimeError:
+                        attempt += 1
+                        if attempt > 3:
+                            raise
+                        time.sleep(0.1)
+            """
+        )
+        assert findings == []
+
+    def test_clean_conditional_while_loop(self):
+        # The executor's own shape: bounded by real state, not a constant.
+        findings = run(
+            """
+            def drain(pool, ready, in_flight):
+                while ready or in_flight:
+                    pool.submit(ready.pop())
+            """
+        )
+        assert findings == []
+
+    def test_clean_event_loop_without_resubmission(self):
+        findings = run(
+            """
+            def serve(queue):
+                while True:
+                    item = queue.get()
+                    if item is None:
+                        break
+            """
+        )
+        assert findings == []
+
+    def test_waived_with_reason(self):
+        findings = run(
+            """
+            import time
+
+
+            def heartbeat():
+                while True:  # repro: allow[RES001] reason=intentional daemon heartbeat, terminated by process shutdown
+                    time.sleep(30.0)
+            """
+        )
+        assert findings == []
+
+    def test_real_executor_module_stays_clean(self):
+        from pathlib import Path
+
+        import repro.campaign.executor as executor
+
+        source = Path(executor.__file__).read_text(encoding="utf-8")
+        findings = analyze_source(
+            source, path="src/repro/campaign/executor.py", select=["RES"]
+        )
+        assert findings == []

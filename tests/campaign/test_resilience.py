@@ -1,0 +1,315 @@
+"""Campaign resilience: chaos crashes, retries, timeouts, degradation.
+
+The load-bearing claim is that resilience is *scheduling-only*: a sweep
+that survives injected worker crashes via bounded retry must hand back
+rows bit-identical to a clean serial run, because a task's rows are a
+pure function of its parameters no matter which attempt produced them.
+The chaos decisions themselves are seeded (:class:`repro.faults.ChaosPlan`),
+so every test here injects the same failures on every run.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.campaign.engine import (
+    RunPolicy,
+    reset_run_policy,
+    run_campaign,
+    set_run_policy,
+)
+from repro.campaign.executor import ProcessExecutor, SerialExecutor
+from repro.campaign.spec import SweepSpec
+from repro.campaign.store import ResultStore
+from repro.errors import ConfigurationError, SimulationError, WorkerCrashError
+from repro.faults import ChaosPlan
+
+START_METHODS = multiprocessing.get_all_start_methods()
+
+
+def _fig7_tasks(cells=8):
+    spec = SweepSpec(
+        kind="fig7-energy-cell",
+        base={
+            "rows": 32,
+            "word_bits": 64,
+            "line_bits": 512,
+            "num_writes": 30,
+            "technology": "mlc",
+            "encoder": "rcc",
+            "cost": "energy-then-saw",
+            "label": "RCC",
+        },
+        grid={"cosets": [4, 8]},
+        seeds=tuple(range(3, 3 + (cells + 1) // 2)),
+    )
+    return spec.expand()[:cells]
+
+
+class TestChaosCrashRecovery:
+    """Every batch's first attempt dies; retry must recover bit-identically."""
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_rows_bit_identical_to_clean_serial(self, start_method, jobs):
+        tasks = _fig7_tasks(8)
+        oracle = run_campaign(tasks, jobs=1)
+        chaos = ChaosPlan(seed=11, crash_rate=1.0)
+        if jobs == 1:
+            survivor = run_campaign(tasks, jobs=1, retries=2, chaos=chaos)
+        else:
+            executor = ProcessExecutor(
+                jobs, batch_size=2, retries=2, chaos=chaos, start_method=start_method
+            )
+            rows_by_hash = {}
+            stats = executor.run(
+                tasks, lambda task, rows, telemetry: rows_by_hash.update(
+                    {task.task_hash: rows}
+                )
+            )
+            assert stats.retried > 0
+            assert stats.worker_crashes > 0
+            assert stats.degraded == 0
+            flattened = [row for t in tasks for row in rows_by_hash[t.task_hash]]
+            assert flattened == oracle.rows()
+            return
+        assert survivor.rows() == oracle.rows()
+        assert survivor.failures == []
+
+    def test_run_campaign_telemetry_counts_recovery(self):
+        tasks = _fig7_tasks(4)
+        chaos = ChaosPlan(seed=11, crash_rate=1.0)
+        result = run_campaign(tasks, jobs=2, batch_size=2, retries=2, chaos=chaos)
+        oracle = run_campaign(tasks, jobs=1)
+        assert result.rows() == oracle.rows()
+        assert result.telemetry.retried > 0
+        assert result.telemetry.worker_crashes > 0
+        assert result.telemetry.degraded == 0
+        assert "retried" in result.telemetry.resilience_summary()
+
+
+class TestExhaustion:
+    def test_worker_crash_error_carries_batch_and_progress(self):
+        tasks = _fig7_tasks(4)
+        chaos = ChaosPlan(seed=11, crash_rate=1.0)
+        executor = ProcessExecutor(2, batch_size=2, retries=0, chaos=chaos)
+        with pytest.raises(WorkerCrashError, match="worker process died") as excinfo:
+            executor.run(tasks, lambda task, rows, telemetry: None)
+        assert excinfo.value.batch_index >= 0
+        assert excinfo.value.completed >= 0
+
+    def test_crashes_beyond_retry_budget_degrade_when_asked(self):
+        tasks = _fig7_tasks(4)
+        # crash_attempts above the retry budget: every attempt dies.
+        chaos = ChaosPlan(seed=11, crash_rate=1.0, crash_attempts=99)
+        result = run_campaign(
+            tasks, jobs=2, batch_size=2, retries=1, degrade=True, chaos=chaos
+        )
+        assert len(result.failures) == len(tasks)
+        assert {failure.kind for failure in result.failures} == {"crash"}
+        assert result.rows() == []
+
+
+class TestGracefulDegradation:
+    def _failing_spec(self, flag):
+        from repro.campaign.tasks import register_task
+
+        @register_task("test-resilience-degrade-cell")
+        def _cell(params):
+            import os
+
+            if params["index"] == 2 and os.path.exists(params["flag"]):
+                raise SimulationError("injected task failure")
+            return [{"index": params["index"], "value": params["index"] * 7}]
+
+        return SweepSpec(
+            kind="test-resilience-degrade-cell",
+            base={"flag": str(flag)},
+            grid={"index": list(range(5))},
+        )
+
+    def test_failure_rows_and_store_healing(self, tmp_path):
+        from repro.campaign.tasks import unregister_task
+
+        flag = tmp_path / "armed"
+        flag.write_text("armed")
+        spec = self._failing_spec(flag)
+        store = ResultStore(tmp_path / "store")
+        try:
+            result = run_campaign(spec, store=store, jobs=1, retries=1, degrade=True)
+            assert len(result.failures) == 1
+            failure_row = result.failure_rows()[0]
+            assert failure_row["kind"] == "error"
+            assert failure_row["attempts"] == 2
+            assert "injected task failure" in failure_row["message"]
+            # Failed tasks are never persisted, so the rerun re-executes
+            # exactly them — and succeeds once the flag is gone.
+            assert len(store) == 4
+            flag.unlink()
+            healed = run_campaign(spec, store=store, jobs=1)
+            assert healed.cached == 4
+            assert healed.executed == 1
+            assert [row["value"] for row in healed.rows()] == [i * 7 for i in range(5)]
+        finally:
+            unregister_task("test-resilience-degrade-cell")
+
+    def test_without_degrade_exhaustion_raises(self, tmp_path):
+        from repro.campaign.tasks import unregister_task
+
+        flag = tmp_path / "armed"
+        flag.write_text("armed")
+        spec = self._failing_spec(flag)
+        try:
+            with pytest.raises(SimulationError, match="injected task failure"):
+                run_campaign(spec, jobs=1, retries=1)
+        finally:
+            unregister_task("test-resilience-degrade-cell")
+
+
+class TestTimeouts:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exactly_the_slow_tasks_degrade(self, jobs, tmp_path):
+        tasks = _fig7_tasks(6)
+        chaos = ChaosPlan(seed=23, crash_rate=0.0, slow_rate=0.5, slow_s=1.5)
+        slow_hashes = {
+            task.task_hash for task in tasks if chaos.slow_delay(task.task_hash) > 0
+        }
+        assert 0 < len(slow_hashes) < len(tasks), "seed must mix fast and slow"
+        store = ResultStore(tmp_path / "store")
+        result = run_campaign(
+            tasks,
+            store=store,
+            jobs=jobs,
+            batch_size=1,
+            task_timeout_s=0.5,
+            degrade=True,
+            chaos=chaos,
+        )
+        failed = {failure.task.task_hash for failure in result.failures}
+        assert failed == slow_hashes
+        assert {failure.kind for failure in result.failures} == {"timeout"}
+        # Resume without chaos heals: only the timed-out tasks re-run.
+        healed = run_campaign(tasks, store=store, jobs=jobs)
+        assert healed.cached == len(tasks) - len(slow_hashes)
+        assert healed.executed == len(slow_hashes)
+        assert healed.rows() == run_campaign(tasks, jobs=1).rows()
+
+
+class TestStoreQuarantine:
+    def test_corrupt_object_quarantined_and_recomputed(self, tmp_path):
+        tasks = _fig7_tasks(4)
+        store = ResultStore(tmp_path / "store")
+        first = run_campaign(tasks, store=store, jobs=1)
+        assert store.corrupt_object(tasks[0].task_hash)
+        second = run_campaign(tasks, store=store, jobs=1)
+        assert second.cached == 3
+        assert second.executed == 1
+        assert second.rows() == first.rows()
+        corpses = list((tmp_path / "store").rglob("*.corrupt"))
+        assert len(corpses) == 1
+        assert corpses[0].stem == tasks[0].task_hash
+
+    def test_chaos_corruption_heals_on_rerun(self, tmp_path):
+        tasks = _fig7_tasks(4)
+        store = ResultStore(tmp_path / "store")
+        chaos = ChaosPlan(seed=7, crash_rate=0.0, corrupt_rate=1.0)
+        first = run_campaign(tasks, store=store, jobs=1, retries=0, chaos=chaos)
+        # Every stored object was mangled after its put; the rerun must
+        # quarantine all of them and recompute from scratch.
+        second = run_campaign(tasks, store=store, jobs=1)
+        assert second.executed == len(tasks)
+        assert second.rows() == first.rows()
+        assert len(list((tmp_path / "store").rglob("*.corrupt"))) == len(tasks)
+
+
+class TestRunPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunPolicy(retries=-1)
+        with pytest.raises(ConfigurationError):
+            RunPolicy(task_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            RunPolicy(backoff_s=-0.1)
+
+    def test_global_policy_arms_and_disarms(self, tmp_path):
+        from repro.campaign.tasks import register_task, unregister_task
+
+        @register_task("test-resilience-policy-cell")
+        def _cell(params):
+            import os
+
+            if os.path.exists(params["flag"]):
+                raise SimulationError("always failing")
+            return [{"value": 1}]
+
+        flag = tmp_path / "armed"
+        flag.write_text("armed")
+        spec = SweepSpec(
+            kind="test-resilience-policy-cell",
+            base={"flag": str(flag)},
+            grid={"index": [0, 1]},
+        )
+        previous = set_run_policy(RunPolicy(retries=1, degrade=True))
+        try:
+            assert previous == RunPolicy()
+            result = run_campaign(spec, jobs=1)
+            assert len(result.failures) == 2
+            assert all(failure.attempts == 2 for failure in result.failures)
+        finally:
+            reset_run_policy()
+            unregister_task("test-resilience-policy-cell")
+        # Disarmed again: the same sweep now fails fast.
+        from repro.campaign.tasks import register_task as re_register
+
+        @re_register("test-resilience-policy-cell")
+        def _cell_again(params):
+            import os
+
+            if os.path.exists(params["flag"]):
+                raise SimulationError("always failing")
+            return [{"value": 1}]
+
+        try:
+            with pytest.raises(SimulationError, match="always failing"):
+                run_campaign(spec, jobs=1)
+        finally:
+            unregister_task("test-resilience-policy-cell")
+
+    def test_explicit_kwargs_override_policy(self):
+        set_run_policy(RunPolicy(retries=5))
+        try:
+            tasks = _fig7_tasks(2)
+            result = run_campaign(tasks, jobs=1, retries=0)
+            assert result.telemetry.retried == 0
+        finally:
+            reset_run_policy()
+
+
+class TestSerialExecutorRetry:
+    def test_serial_retry_recovers_flaky_task(self, tmp_path):
+        from repro.campaign.spec import Task
+        from repro.campaign.tasks import register_task, unregister_task
+
+        @register_task("test-resilience-flaky-cell")
+        def _cell(params):
+            import os
+
+            flag = params["flag"]
+            if os.path.exists(flag):
+                os.unlink(flag)  # fail once, succeed on retry
+                raise SimulationError("flaky")
+            return [{"value": 42}]
+
+        flag = tmp_path / "flaky"
+        flag.write_text("armed")
+        task = Task(kind="test-resilience-flaky-cell", params={"flag": str(flag)})
+        rows_seen = []
+        try:
+            stats = SerialExecutor(retries=1, backoff_s=0.0).run(
+                [task], lambda t, rows, telemetry: rows_seen.append(rows)
+            )
+            assert rows_seen == [[{"value": 42}]]
+            assert stats.retried == 1
+            assert stats.degraded == 0
+        finally:
+            unregister_task("test-resilience-flaky-cell")
